@@ -1,0 +1,216 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.analysis import figures
+from repro.cluster.storage import SharedStorage
+from repro.core.checkpoint import CheckpointCostModel
+from repro.core.diagnosis import (DiagnosisSystem, LogCompressor,
+                                  RuleBasedDiagnoser)
+from repro.core.evalsched import (CoordinatorConfig, TrialCoordinator,
+                                  lpt_pack, pack_makespan)
+from repro.evaluation.datasets import standard_catalog
+from repro.failures.logs import REASON_SIGNATURES, LogGenerator
+from repro.training.memory import MemoryModel
+from repro.training.model import MODEL_123B
+from repro.training.parallelism import internevo_v2
+from repro.training.pretrain import (PretrainJobConfig, PretrainSimulator,
+                                     RecoveryMode)
+from repro.training.step import StepTimeModel
+
+
+def _reservation_sweep():
+    rows = []
+    for fraction in (0.80, 0.90, 0.96, 0.98):
+        result = figures.fig6(n_jobs=2500, reserved_fraction=fraction)
+        delays = result["seren"]["median_queueing_delay_s"]
+        rows.append({"reserved_fraction": fraction,
+                     "eval_median_delay_s":
+                         delays.get("evaluation", 0.0),
+                     "pretrain_median_delay_s":
+                         delays.get("pretrain", 0.0)})
+    return rows
+
+
+def test_ablation_reservation_fraction(benchmark, emit):
+    rows = run_once(benchmark, _reservation_sweep)
+    emit("ablation_reservation", render_table(
+        rows, title="Ablation: quota size vs evaluation queueing delay "
+        "(the larger the pretraining reservation, the worse eval waits)"))
+    assert rows[-1]["eval_median_delay_s"] >= rows[0][
+        "eval_median_delay_s"]
+
+
+def _checkpoint_interval_sweep():
+    rows = []
+    for interval_min, asynchronous in ((240, False), (240, True),
+                                       (30, False), (30, True),
+                                       (5, True)):
+        config = PretrainJobConfig(
+            name="sweep", step_time=12.0, total_iterations=40_000,
+            checkpoint_interval=interval_min * 60.0,
+            mtbf=0.8 * 86400.0, recovery=RecoveryMode.AUTOMATIC,
+            loss_spike_probability=0.0)
+        run = PretrainSimulator(config, seed=21).run(
+            deadline=10 * 86400.0)
+        storage = SharedStorage(backend_bandwidth=800e9,
+                                node_nic_bandwidth=25e9)
+        cost = CheckpointCostModel(storage).cost(MODEL_123B, 2048)
+        blocking = (cost.async_blocking if asynchronous
+                    else cost.sync_blocking)
+        ckpt_overhead = blocking / (interval_min * 60.0)
+        rows.append({
+            "interval_min": interval_min,
+            "async": asynchronous,
+            "lost_iterations": run.lost_iterations,
+            "useful_fraction": run.useful_fraction,
+            "ckpt_overhead_pct": 100.0 * ckpt_overhead,
+        })
+    return rows
+
+
+def test_ablation_checkpoint_interval(benchmark, emit):
+    rows = run_once(benchmark, _checkpoint_interval_sweep)
+    emit("ablation_checkpoint", render_table(
+        rows, title="Ablation: checkpoint interval x sync/async "
+        "(frequent async saves cut rollback loss at negligible cost)"))
+    dense_async = [r for r in rows if r["interval_min"] == 5][0]
+    sparse = [r for r in rows if r["interval_min"] == 240][0]
+    assert dense_async["lost_iterations"] < sparse["lost_iterations"]
+    assert dense_async["ckpt_overhead_pct"] < 5.0
+
+
+def _shard_group_sweep():
+    rows = []
+    for group in (8, 32, 64, 256, 2048):
+        plan = internevo_v2(2048, shard_group=group)
+        step = StepTimeModel(MODEL_123B, plan)
+        memory = MemoryModel(MODEL_123B, plan)
+        rows.append({
+            "shard_group": group,
+            "step_seconds": step.step_time(),
+            "static_gib": memory.static_bytes() / 2 ** 30,
+            "fits_80gb": memory.fits(),
+        })
+    return rows
+
+
+def test_ablation_zero_shard_group(benchmark, emit):
+    rows = run_once(benchmark, _shard_group_sweep)
+    emit("ablation_shard_group", render_table(
+        rows, title="Ablation: hierarchical-ZeRO shard-group size "
+        "(memory/step-time trade-off behind the paper's choice of 64)"))
+    by_group = {row["shard_group"]: row for row in rows}
+    assert not by_group[8]["fits_80gb"]     # too little sharding
+    assert by_group[64]["fits_80gb"]        # the paper's setting
+
+
+def _diagnosis_paths():
+    rows = []
+    generator = LogGenerator(seed=77)
+    logs = [generator.failed_log(reason, n_steps=120)
+            for reason in REASON_SIGNATURES]
+
+    rules_only = RuleBasedDiagnoser()
+    hits = 0
+    for log in logs:
+        errors = LogCompressor().compress(log.lines).error_lines
+        if rules_only.diagnose(errors) == log.reason:
+            hits += 1
+    rows.append({"pipeline": "seed-rules-only",
+                 "accuracy": hits / len(logs)})
+
+    system = DiagnosisSystem()
+    hits = sum(system.diagnose(log.lines).reason == log.reason
+               for log in logs)
+    rows.append({"pipeline": "rules+retrieval+agent",
+                 "accuracy": hits / len(logs)})
+    return rows
+
+
+def test_ablation_diagnosis_pipeline(benchmark, emit):
+    rows = run_once(benchmark, _diagnosis_paths)
+    emit("ablation_diagnosis", render_table(
+        rows, title="Ablation: rule matching alone vs the full §6.1 "
+        "pipeline (the paper's motivation for the LLM stage)"))
+    assert rows[1]["accuracy"] > rows[0]["accuracy"]
+
+
+def _packing_strategies():
+    catalog = standard_catalog()
+    gpus = 32
+    rows = []
+    fifo_like = pack_makespan(  # arrival order, no splitting
+        lpt_pack(catalog, gpus, prioritize_cpu_metrics=False))
+    rows.append({"strategy": "lpt-no-split", "gpu_makespan_min":
+                 fifo_like / 60.0})
+    coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=4))
+    baseline = coordinator.run_baseline(catalog).makespan
+    decoupled = coordinator.run_decoupled(catalog).makespan
+    rows.append({"strategy": "baseline-per-dataset-trials",
+                 "gpu_makespan_min": baseline / 60.0})
+    rows.append({"strategy": "decoupled+elastic",
+                 "gpu_makespan_min": decoupled / 60.0})
+    return rows
+
+
+def test_ablation_eval_packing(benchmark, emit):
+    rows = run_once(benchmark, _packing_strategies)
+    emit("ablation_packing", render_table(
+        rows, title="Ablation: evaluation packing strategies (32 GPUs)"))
+    assert rows[-1]["gpu_makespan_min"] < rows[1]["gpu_makespan_min"]
+
+
+def _optimal_interval_rows():
+    from repro.failures.reliability import GoodputModel, interval_sweep
+
+    storage2 = SharedStorage(backend_bandwidth=800e9,
+                             node_nic_bandwidth=25e9)
+    cost = CheckpointCostModel(storage2).cost(MODEL_123B, 2048)
+    rows = []
+    for label, blocking in (("sync", cost.sync_blocking),
+                            ("async", cost.async_blocking)):
+        model = GoodputModel(mtbf=0.8 * 86400.0,
+                             checkpoint_cost=blocking,
+                             restart_cost=600.0)
+        optimum = model.optimal_interval()
+        sweep = interval_sweep(model, [300.0, 1800.0, 7200.0, optimum])
+        rows.append({
+            "mode": label,
+            "blocking_s": blocking,
+            "young_daly_interval_min":
+                model.young_daly_interval() / 60.0,
+            "optimal_interval_min": optimum / 60.0,
+            "goodput_at_30min": sweep[1]["goodput"],
+            "goodput_at_optimum": sweep[3]["goodput"],
+        })
+    return rows
+
+
+def test_ablation_optimal_checkpoint_interval(benchmark, emit):
+    rows = run_once(benchmark, _optimal_interval_rows)
+    emit("ablation_optimal_interval", render_table(
+        rows, title="Ablation: Young/Daly optimal checkpoint interval "
+        "(async checkpointing makes the paper's 30-min interval "
+        "near-free)"))
+    by_mode = {row["mode"]: row for row in rows}
+    assert (by_mode["async"]["optimal_interval_min"]
+            < by_mode["sync"]["optimal_interval_min"])
+    assert by_mode["async"]["goodput_at_30min"] > 0.95
+
+
+def _thermal_rows():
+    from repro.failures.thermal import scenario_failure_rates
+
+    return scenario_failure_rates()
+
+
+def test_ablation_thermal_failures(benchmark, emit):
+    rows = run_once(benchmark, _thermal_rows)
+    emit("ablation_thermal", render_table(
+        rows, title="§5.2: temperature-coupled NVLink/ECC failure rates "
+        "(the July 2023 heat event and the cooling upgrade)"))
+    by_name = {row["scenario"]: row for row in rows}
+    assert (by_name["july-2023-heat"]["hazard_multiplier"]
+            > by_name["after-cooling-upgrade"]["hazard_multiplier"])

@@ -1,0 +1,83 @@
+"""Appendix experiments: Figs. 17-22 and the A.3 carbon accounting."""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import render_cdf_summary, render_key_values
+
+N = 6000
+
+
+def test_fig17_final_statuses(benchmark, emit):
+    result = run_once(benchmark, figures.fig17, N)
+    sections = []
+    for cluster, data in result.items():
+        sections.append(render_key_values(
+            data["count_share"], title=f"{cluster} status by count "
+            "[paper: ~40% failed, ~7% canceled]"))
+        sections.append(render_key_values(
+            data["gpu_time_share"], title=f"{cluster} status by GPU time "
+            "[paper: canceled > 60%, completed 20-30%, failed ~10%]"))
+    emit("fig17", "\n\n".join(sections))
+    assert result["kalos"]["gpu_time_share"]["canceled"] > 0.5
+
+
+def test_fig18_host_memory(benchmark, emit):
+    result = run_once(benchmark, figures.fig18)
+    emit("fig18", render_key_values(
+        {**result["components_gb"],
+         "total_used_gb": result["total_used_gb"],
+         "idle_gb": result["idle_gb"],
+         "checkpoint_buffers_7b": result["checkpoint_buffers_7b"]},
+        title="Fig 18: host-memory breakdown (GB) [paper: 123 GB of "
+              "1 TB; fs client 45.3, tensorboard 6.5]"))
+    assert abs(result["total_used_gb"] - 123.0) < 2.0
+
+
+def test_fig19_20_profiling_at_1024_gpus(benchmark, emit):
+    result = run_once(benchmark, figures.fig19)
+    memory = figures.fig20()
+    emit("fig19_20", render_key_values(
+        {"v2_speedup_1024": result["v2_speedup"],
+         "v1_mean_sm": result["v1_3d"]["mean_sm"],
+         "v2_mean_sm": result["v2_hierarchical_zero"]["mean_sm"],
+         "v1_peak_act_gib": memory["v1_3d"]["peak_activation_gib"],
+         "v2_peak_act_gib":
+             memory["v2_hierarchical_zero"]["peak_activation_gib"]},
+        title="Figs 19/20: 1024-GPU profile [paper: same patterns as "
+              "2048 — generalizable]"))
+    assert result["v2_speedup"] > 1.0
+
+
+def test_fig21_gpu_temperature(benchmark, emit):
+    result = run_once(benchmark, figures.fig21, N)
+    emit("fig21", "\n\n".join([
+        render_cdf_summary({"core": result["core_cdf"],
+                            "memory": result["memory_cdf"]},
+                           title="Fig 21: GPU temperature CDFs",
+                           unit="celsius"),
+        render_key_values(
+            {"memory_hotter": result["memory_hotter"],
+             "over_65c_fraction": result["over_65c_fraction"]},
+            title="[paper: memory hotter than core; loaded GPUs above "
+                  "65C]"),
+    ]))
+    assert result["memory_hotter"]
+
+
+def test_fig22_moe_utilization(benchmark, emit):
+    result = run_once(benchmark, figures.fig22)
+    emit("fig22", render_key_values(
+        {"moe_mean_sm": result["moe_mean_sm"],
+         "dense_mean_sm": result["dense_mean_sm"]},
+        title="Fig 22: Mistral-7B MoE on Seren [paper: much lower SM "
+              "utilization than dense — all-to-all over 1 NIC]"))
+    assert result["moe_lower"]
+
+
+def test_a3_carbon_emissions(benchmark, emit):
+    result = run_once(benchmark, figures.carbon_a3)
+    emit("a3_carbon", render_key_values(
+        result, title="A.3: Seren May 2023 [paper: 673 MWh -> "
+        "321.7 tCO2e, PUE 1.25, 30.61% carbon-free]"))
+    assert abs(result["emissions_tco2e"] - 321.7) < 0.5

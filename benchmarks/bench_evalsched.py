@@ -1,0 +1,44 @@
+"""§6.2 system performance: decoupled evaluation scheduling.
+
+The headline experiment: the 63-dataset round on a 7B model, one node vs
+four nodes (paper: 1.3x and 1.8x makespan reduction), plus the scaling
+sweep across node counts.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.core.evalsched import CoordinatorConfig, TrialCoordinator
+from repro.evaluation.datasets import standard_catalog
+
+
+def _makespan_sweep(node_counts=(1, 2, 4, 8)):
+    catalog = standard_catalog()
+    rows = []
+    for nodes in node_counts:
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=nodes))
+        outcome = coordinator.compare(catalog)
+        rows.append({
+            "nodes": nodes,
+            "gpus": nodes * 8,
+            "baseline_makespan_min":
+                outcome["baseline"].makespan / 60.0,
+            "decoupled_makespan_min":
+                outcome["decoupled"].makespan / 60.0,
+            "speedup": outcome["speedup"],
+            "baseline_gpu_efficiency":
+                outcome["baseline"].gpu_efficiency,
+            "decoupled_gpu_efficiency":
+                outcome["decoupled"].gpu_efficiency,
+        })
+    return rows
+
+
+def test_evaluation_makespan(benchmark, emit):
+    rows = run_once(benchmark, _makespan_sweep)
+    emit("evalsched", render_table(
+        rows, title="§6.2: 63-dataset evaluation round, 7B model "
+        "[paper: 1.3x on 1 node, 1.8x on 4 nodes]"))
+    by_nodes = {row["nodes"]: row for row in rows}
+    assert by_nodes[1]["speedup"] > 1.1
+    assert by_nodes[4]["speedup"] > by_nodes[1]["speedup"]

@@ -1,0 +1,75 @@
+"""§7 future-work modes: long-sequence pretraining, RLHF, fat-tree.
+
+The paper's closing section names the workloads InternEvo is being
+extended toward; these benches quantify why each one stresses the
+systems the paper built.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cluster.fattree import FatTreeConfig, factor_table
+from repro.training.extensions import (LongSequencePlan, RlhfConfig,
+                                       RlhfStageModel)
+from repro.training.model import MODEL_7B, MODEL_123B
+
+
+def _long_sequence_rows():
+    rows = []
+    for seq_len in (4096, 32768, 131072, 262144):
+        plan = LongSequencePlan(base_model=MODEL_7B, seq_len=seq_len,
+                                recompute=False)
+        rows.append({
+            "seq_len": seq_len,
+            "activation_gib_unsharded":
+                plan.activation_bytes_per_gpu() / 2 ** 30,
+            "attention_flops_fraction":
+                plan.attention_flops_fraction(),
+            "min_context_parallel": plan.min_context_parallel(),
+        })
+    return rows
+
+
+def test_long_sequence_pretraining(benchmark, emit):
+    rows = run_once(benchmark, _long_sequence_rows)
+    emit("ext_long_sequence", render_table(
+        rows, title="§7: long-sequence pretraining (7B) — activation "
+        "memory forces context parallelism as sequences grow"))
+    assert rows[-1]["min_context_parallel"] > rows[0][
+        "min_context_parallel"]
+
+
+def _rlhf_rows():
+    rows = []
+    for actor, world in ((MODEL_7B, 256), (MODEL_123B, 2048)):
+        model = RlhfStageModel(RlhfConfig(actor=actor,
+                                          world_size=world))
+        timeline = model.utilization_timeline(iterations=1)
+        rows.append({
+            "actor": actor.name,
+            "gpus": world,
+            "memory_vs_pretraining":
+                model.memory_multiple_of_pretraining(),
+            "generation_fraction": model.generation_fraction(),
+            "mean_sm": timeline.mean_sm(),
+        })
+    return rows
+
+
+def test_rlhf_efficiency_problem(benchmark, emit):
+    rows = run_once(benchmark, _rlhf_rows)
+    emit("ext_rlhf", render_table(
+        rows, title="§7: RLHF — four resident models and a decode-bound "
+        "rollout phase keep mean SM activity low"))
+    assert all(row["generation_fraction"] > 0.5 for row in rows)
+    assert all(row["memory_vs_pretraining"] > 2.0 for row in rows)
+
+
+def test_fattree_factor_table(benchmark, emit):
+    rows = run_once(benchmark, factor_table, FatTreeConfig(nodes=256))
+    emit("ext_fattree", render_table(
+        rows, title="Leaf-spine bandwidth factors — why hierarchical "
+        "ZeRO caps shard groups at one 8-node leaf (64 GPUs)"))
+    by_nodes = {row["nodes"]: row for row in rows}
+    assert by_nodes[8]["bandwidth_factor"] == 1.0
+    assert by_nodes[128]["bandwidth_factor"] < 1.0

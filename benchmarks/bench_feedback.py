@@ -1,0 +1,61 @@
+"""The 'delayed feedback on model performance' challenge (§1, §6.2).
+
+Connects the evaluation coordinator's makespan reduction to what it
+actually buys: with faster evaluation rounds, a quality regression is
+noticed sooner and fewer pretraining steps are wasted before rollback.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.core.evalsched import CoordinatorConfig, TrialCoordinator
+from repro.evaluation import (QualityModel, feedback_delay_cost,
+                              standard_catalog)
+
+# The paper's 30-minute checkpoint cadence at 14 s/step (123B, 2048 GPUs).
+CHECKPOINT_INTERVAL_STEPS = 128
+STEP_TIME_S = 14.0
+
+
+def _feedback_rows():
+    catalog = standard_catalog()
+    coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=2))
+    outcome = coordinator.compare(catalog)
+    checkpoint_wall_s = CHECKPOINT_INTERVAL_STEPS * STEP_TIME_S
+    rows = []
+    for label, makespan in (
+            ("baseline", outcome["baseline"].makespan),
+            ("decoupled", outcome["decoupled"].makespan)):
+        # Evaluation rounds queue behind each other if a round takes
+        # longer than the checkpoint cadence produces work.
+        delay_rounds = max(0, int(makespan // checkpoint_wall_s))
+        model = QualityModel(catalog[:16], seed=13)
+        cost = feedback_delay_cost(
+            model,
+            checkpoint_steps=list(range(0, 10_000,
+                                        CHECKPOINT_INTERVAL_STEPS)),
+            regression_step=4_200,
+            eval_delay_checkpoints=delay_rounds,
+            checkpoint_interval_steps=CHECKPOINT_INTERVAL_STEPS)
+        rows.append({
+            "strategy": label,
+            "round_makespan_min": makespan / 60.0,
+            "rounds_of_lag": delay_rounds,
+            "regression_detected_at_step": cost["detected_at_step"],
+            "wasted_steps": cost["wasted_steps"],
+            "wasted_gpu_hours": cost["wasted_steps"] * STEP_TIME_S
+            * 2048 / 3600.0,
+        })
+    return rows
+
+
+def test_feedback_delay_cost(benchmark, emit):
+    rows = run_once(benchmark, _feedback_rows)
+    emit("feedback_delay", render_table(
+        rows, title="§1/§6.2: delayed model-quality feedback — wasted "
+        "pretraining when a regression is noticed late "
+        "(2048-GPU campaign, 30-min checkpoints, regression at "
+        "step 4200)"))
+    by_label = {row["strategy"]: row for row in rows}
+    assert (by_label["decoupled"]["wasted_steps"]
+            < by_label["baseline"]["wasted_steps"])

@@ -1,0 +1,49 @@
+"""Figures 2 and 3: Acme vs prior DL datacenters.
+
+Paper rows reproduced: median job duration per datacenter (Fig. 2a),
+median GPU utilization (Fig. 2b), GPU-time share of single-GPU and
+>= 256-GPU jobs (Fig. 3b).
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import (render_cdf_summary, render_key_values)
+
+N = 6000
+
+
+def test_fig2_duration_and_utilization(benchmark, emit):
+    result = run_once(benchmark, figures.fig2, N)
+    text = "\n\n".join([
+        render_cdf_summary(result["duration_cdf"],
+                           title="Fig 2a: GPU job duration CDF",
+                           unit="seconds"),
+        render_key_values(result["median_duration_s"],
+                          title="median duration (s) "
+                                "[paper: Acme=120, others 1.7-7.2x]"),
+        render_key_values(result["median_utilization"],
+                          title="median GPU utilization "
+                                "[paper: seren .97 kalos .99 "
+                                "philly .48 pai .04]"),
+    ])
+    emit("fig02", text)
+    assert result["median_duration_s"]["seren"] < \
+        result["median_duration_s"]["philly"]
+
+
+def test_fig3_demand_distribution(benchmark, emit):
+    result = run_once(benchmark, figures.fig3, N)
+    text = "\n\n".join([
+        render_cdf_summary(result["count_cdf"],
+                           title="Fig 3a: requested-GPU CDF by job count",
+                           unit="GPUs"),
+        render_key_values(
+            {"kalos_gpu_time_share_>=256": result["kalos_share_ge_256"],
+             **{f"single_gpu_share_{k}": v
+                for k, v in result["single_gpu_time_share"].items()}},
+            title="Fig 3b anchors [paper: kalos>=256 > 96%, "
+                  "acme single-GPU < 2%, pai > 68%]"),
+    ])
+    emit("fig03", text)
+    assert result["kalos_share_ge_256"] > 0.85

@@ -1,0 +1,66 @@
+"""Figures 4-6: workload categories, demand boxplots, queueing delays."""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import (render_cdf_summary, render_key_values,
+                                   render_table)
+
+N = 6000
+
+
+def test_fig4_workload_mix(benchmark, emit):
+    result = run_once(benchmark, figures.fig4, N)
+    sections = []
+    for cluster, data in result.items():
+        sections.append(render_key_values(
+            data["count_share"], title=f"{cluster} job-count share "
+            "[paper kalos: eval 92.9%, pretrain 3.2%]"))
+        sections.append(render_key_values(
+            data["gpu_time_share"], title=f"{cluster} GPU-time share "
+            "[paper: pretrain 69.5% (seren) / 94.0% (kalos)]"))
+    emit("fig04", "\n\n".join(sections))
+    assert result["kalos"]["gpu_time_share"]["pretrain"] > 0.9
+
+
+def test_fig5_demand_boxplots(benchmark, emit):
+    result = run_once(benchmark, figures.fig5, N)
+    rows = []
+    for cluster, boxes in result.items():
+        for job_type, stats in boxes.items():
+            rows.append({"cluster": cluster, "type": job_type,
+                         "q1": stats.q1, "median": stats.median,
+                         "q3": stats.q3,
+                         "whisker_low": stats.whisker_low,
+                         "whisker_high": stats.whisker_high})
+    emit("fig05", render_table(
+        rows, title="Fig 5: GPU-demand boxplots "
+        "[paper: eval < 4 GPUs, pretrain > 100]"))
+    kalos = result["kalos"]
+    assert kalos["pretrain"].median > kalos["evaluation"].median
+
+
+def test_fig6_queueing_delays(benchmark, emit):
+    result = run_once(benchmark, figures.fig6, 3000)
+    sections = []
+    for cluster, data in result.items():
+        sections.append(render_key_values(
+            data["median_queueing_delay_s"],
+            title=f"{cluster} median queueing delay (s) "
+            "[paper: evaluation longest, pretraining ~0]"))
+        sections.append(render_cdf_summary(
+            data["queueing_cdf"],
+            title=f"{cluster} queueing-delay CDF", unit="seconds"))
+    emit("fig06", "\n\n".join(sections))
+    for cluster in result.values():
+        delays = cluster["median_queueing_delay_s"]
+        assert delays["evaluation"] == max(delays.values())
+
+
+def test_queueing_contrast_with_prior_clusters(benchmark, emit):
+    result = run_once(benchmark, figures.queueing_contrast, 2500)
+    emit("queueing_contrast", render_key_values(
+        result, title="§3.2 contrast: prior DL clusters (FIFO: big jobs "
+        "wait) vs Acme (reservation: tiny eval jobs wait longest)"))
+    assert result["philly_large_jobs_wait_longer"]
+    assert result["acme_smallest_jobs_wait_longest"]

@@ -1,0 +1,66 @@
+"""Figures 7-9: infrastructure utilization and power."""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import render_cdf_summary, render_key_values
+
+N = 6000
+SAMPLES = 4000
+
+
+def test_fig7_infrastructure_utilization(benchmark, emit):
+    result = run_once(benchmark, figures.fig7, N, 0, SAMPLES)
+    sections = []
+    for cluster, data in result.items():
+        sections.append(render_cdf_summary(
+            {"sm_activity": data["sm_activity_cdf"],
+             "tc_activity": data["tc_activity_cdf"],
+             "gpu_memory": data["gpu_memory_cdf"],
+             "host_memory": data["host_memory_cdf"],
+             "cpu_util": data["cpu_utilization_cdf"],
+             "ib_send": data["ib_send_cdf"]},
+            title=f"Fig 7 ({cluster}) [paper: SM median ~40%, kalos "
+                  "50% GPUs > 60GB, NIC idle > 60%]"))
+        sections.append(render_key_values(
+            {"median_sm_activity": data["median_sm_activity"],
+             "gpu_memory_over_75pct": data["gpu_memory_over_75pct"],
+             "nic_idle_fraction": data["nic_idle_fraction"]},
+            title=f"{cluster} anchors"))
+    emit("fig07", "\n\n".join(sections))
+    assert result["kalos"]["gpu_memory_over_75pct"] > 0.35
+
+
+def test_fig8_power_distributions(benchmark, emit):
+    result = run_once(benchmark, figures.fig8, N, 0, SAMPLES)
+    sections = [render_cdf_summary(
+        {cluster: result[cluster]["gpu_power_cdf"]
+         for cluster in ("seren", "kalos")},
+        title="Fig 8a: GPU power CDF [paper: ~30% idle at 60W, "
+              "22.1%/12.5% above 400W TDP]", unit="watts")]
+    for cluster in ("seren", "kalos"):
+        sections.append(render_key_values(
+            {"idle_fraction": result[cluster]["idle_fraction"],
+             "over_tdp_fraction": result[cluster]["over_tdp_fraction"]},
+            title=f"{cluster} anchors"))
+    sections.append(render_key_values(
+        {"mean_gpu_server_w":
+             result["seren_server"]["mean_gpu_server_w"],
+         "cpu_server_w": result["seren_server"]["cpu_server_w"],
+         "ratio": result["seren_server"]["gpu_to_cpu_server_ratio"]},
+        title="Fig 8b: server power [paper: GPU servers ~5x CPU servers]"))
+    emit("fig08", "\n\n".join(sections))
+    assert result["seren_server"]["gpu_to_cpu_server_ratio"] > 3.0
+
+
+def test_fig9_power_breakdown(benchmark, emit):
+    result = run_once(benchmark, figures.fig9, N)
+    text = "\n\n".join([
+        render_key_values(result["watts"],
+                          title="Fig 9: average module power (W)"),
+        render_key_values(result["shares"],
+                          title="shares [paper: GPU ~2/3, CPU 11.2%, "
+                                "PSU 9.6%]"),
+    ])
+    emit("fig09", text)
+    assert 0.55 < result["shares"]["gpu"] < 0.75

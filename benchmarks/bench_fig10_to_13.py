@@ -1,0 +1,77 @@
+"""Figures 10-13: pretraining and evaluation workload profiling."""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import render_key_values, render_table
+
+
+def test_fig10_strategy_sm_utilization(benchmark, emit):
+    result = run_once(benchmark, figures.fig10)
+    rows = []
+    for label in ("v1_3d", "v2_hierarchical_zero"):
+        data = result[label]
+        rows.append({"strategy": label,
+                     "mean_sm": data["mean_sm"],
+                     "peak_sm": data["peak_sm"],
+                     "idle_fraction": data["idle_fraction"],
+                     "step_seconds": data["step_seconds"]})
+    text = "\n\n".join([
+        render_table(rows, title="Fig 10: 123B over 2048 GPUs "
+                     "[paper: V2 higher peak SM, ~16% acceleration]"),
+        render_key_values({"v2_speedup": result["v2_speedup"]},
+                          title="speedup (paper: ~1.16x)"),
+        render_key_values(result["v1_3d"]["breakdown"],
+                          title="V1 step breakdown (s)"),
+        render_key_values(result["v2_hierarchical_zero"]["breakdown"],
+                          title="V2 step breakdown (s)"),
+    ])
+    emit("fig10", text)
+    assert result["v2_speedup"] > 1.05
+
+
+def test_fig11_memory_snapshots(benchmark, emit):
+    result = run_once(benchmark, figures.fig11)
+    rows = [{"strategy": label,
+             "static_gib": result[label]["static_gib"],
+             "peak_activation_gib": result[label]["peak_activation_gib"]}
+            for label in ("v1_3d", "v2_hierarchical_zero")]
+    emit("fig11", render_table(
+        rows, title="Fig 11: per-GPU memory (123B) [paper: 3D "
+        "parallelism needs substantially more activation memory]"))
+    assert result["v1_activations_higher"]
+
+
+def test_fig12_pipeline_rank_memory(benchmark, emit):
+    result = run_once(benchmark, figures.fig12)
+    rows = [{"pipeline_rank": rank,
+             "in_flight_microbatches": m,
+             "activations_gib": act,
+             "total_gib": total}
+            for rank, (m, act, total) in enumerate(zip(
+                result["in_flight_microbatches"],
+                result["per_rank_activation_gib"],
+                result["per_rank_total_gib"]))]
+    emit("fig12", render_table(
+        rows, title="Fig 12: 1F1B per-rank memory "
+        "[paper: rank 0 holds the most]"))
+    assert result["per_rank_total_gib"][0] > result["per_rank_total_gib"][-1]
+
+
+def test_fig13_evaluation_stages(benchmark, emit):
+    result = run_once(benchmark, figures.fig13)
+    text = "\n\n".join([
+        render_key_values(result["stage_seconds"],
+                          title="Fig 13: HumanEval trial stage "
+                                "durations (s)"),
+        render_key_values(
+            {"total_seconds": result["total_seconds"],
+             "load_preprocess_fraction":
+                 result["load_preprocess_fraction"],
+             "metric_fraction": result["metric_fraction"],
+             "gpu_busy_fraction": result["gpu_busy_fraction"]},
+            title="anchors [paper: 29.5% load/preproc, 19.0% idle "
+                  "metric tail, ~half GPU-busy]"),
+    ])
+    emit("fig13", text)
+    assert abs(result["metric_fraction"] - 0.19) < 0.02

@@ -1,0 +1,49 @@
+"""Figure 14 (recovery timeline) and Figure 16 (+ §6.2 makespan)."""
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.analysis.report import render_key_values, render_table
+
+
+def test_fig14_training_progress(benchmark, emit):
+    result = run_once(benchmark, figures.fig14)
+    rows = []
+    for name in ("104B", "123B"):
+        data = result[name]
+        rows.append({"model": name,
+                     "failures": data["failures"],
+                     "lost_iterations": data["lost_iterations"],
+                     "final_iteration": data["final_iteration"],
+                     "useful_fraction": data["useful_fraction"]})
+    emit("fig14", render_table(
+        rows, title="Fig 14: two-week campaigns [paper: the 123B run "
+        "(30-min ckpts + graceful termination) is far more stable]"))
+    assert (result["123B"]["useful_fraction"]
+            > result["104B"]["useful_fraction"])
+
+
+def test_fig16_loading_and_makespan(benchmark, emit):
+    result = run_once(benchmark, figures.fig16)
+    load_rows = [{"concurrent_trials": trials,
+                  "per_trial_rate_gbps": rate * 8 / 1e9}
+                 for trials, rate in result["loading_speed_by_trials"]]
+    makespan_rows = [
+        {"setup": setup,
+         "baseline_min": data["baseline_makespan_s"] / 60.0,
+         "decoupled_min": data["decoupled_makespan_s"] / 60.0,
+         "speedup": data["speedup"]}
+        for setup, data in result["makespan"].items()]
+    text = "\n\n".join([
+        render_table(load_rows,
+                     title="Fig 16 left: model-loading stress test "
+                           "[paper: collapse 1->8 trials, flat to 256]"),
+        render_table(makespan_rows,
+                     title="Fig 16 right / §6.2: 63-dataset round, 7B "
+                           "[paper: 1.3x (1 node) and 1.8x (4 nodes)]"),
+        render_key_values(
+            {"collapse_1_to_8": result["speed_collapse_1_to_8"]}),
+    ])
+    emit("fig16", text)
+    assert result["makespan"]["4_node"]["speedup"] > \
+        result["makespan"]["1_node"]["speedup"] > 1.1

@@ -1,0 +1,23 @@
+"""Tables 1 and 2."""
+
+from conftest import run_once
+
+from repro.analysis import tables
+from repro.analysis.report import render_table
+
+
+def test_table1_cluster_specs(benchmark, emit):
+    rows = run_once(benchmark, tables.table1)
+    emit("table1", render_table(
+        rows, title="Table 1: per-node specification and cluster scale"))
+    assert sum(row["total_gpus"] for row in rows) == 4704
+
+
+def test_table2_datacenter_comparison(benchmark, emit):
+    rows = run_once(benchmark, tables.table2)
+    emit("table2", render_table(
+        rows, columns=["datacenter", "year", "jobs", "avg_gpus",
+                       "gpu_model", "total_gpus"],
+        title="Table 2: Acme vs Philly/Helios/PAI"))
+    acme = [row for row in rows if row["datacenter"] == "acme"][0]
+    assert acme["total_gpus"] == 4704

@@ -1,0 +1,44 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one paper table/figure, times it via
+pytest-benchmark, prints the same rows/series the paper reports, and
+persists the rendering under ``benchmarks/reports/`` so the numbers can
+be diffed against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def emit(report_dir, capsys):
+    """Print a rendered report and persist it as an artifact."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a figure generator with a single timed round.
+
+    Figure generation is seconds-scale; one round keeps the whole
+    harness fast while still recording wall time.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

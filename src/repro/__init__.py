@@ -1,0 +1,21 @@
+"""repro — reproduction of "Characterization of Large Language Model
+Development in the Datacenter" (NSDI '24).
+
+Subpackages
+-----------
+``repro.sim``        discrete-event simulation engine
+``repro.cluster``    hardware model (nodes, GPUs, network, storage)
+``repro.scheduler``  quota-reservation cluster scheduler
+``repro.workload``   synthetic Acme + baseline-datacenter traces
+``repro.training``   distributed-pretraining simulator
+``repro.monitor``    DCGM/IPMI/Prometheus telemetry + carbon accounting
+``repro.failures``   Table 3 taxonomy, injection, runtime logs
+``repro.core``       the paper's systems: async checkpointing, failure
+                     diagnosis, recovery, decoupled evaluation scheduling
+``repro.evaluation`` benchmark-dataset catalog + trial model
+``repro.analysis``   regenerates every paper table and figure
+
+See DESIGN.md for the full system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Analysis layer: regenerates every table and figure of the paper.
+
+``figures`` exposes one function per paper figure returning structured
+series (the same rows/series the paper plots); ``tables`` does the same
+for Tables 1–3; ``report`` renders them as aligned text for the benchmark
+harness output.
+"""
+
+from repro.analysis.stats import (cdf, percentile, boxplot_stats,
+                                  BoxplotStats, median)
+from repro.analysis import figures
+from repro.analysis import tables
+from repro.analysis.report import (render_table, render_cdf_summary,
+                                   render_key_values)
+from repro.analysis import plotting
+from repro.analysis.export import export_all
+
+__all__ = [
+    "cdf",
+    "percentile",
+    "median",
+    "boxplot_stats",
+    "BoxplotStats",
+    "figures",
+    "tables",
+    "render_table",
+    "render_cdf_summary",
+    "render_key_values",
+    "plotting",
+    "export_all",
+]

@@ -1,0 +1,174 @@
+"""Figure export: SVG charts and CSV series for every paper figure.
+
+``export_all(outdir)`` regenerates the figures and writes:
+
+* ``<figure>.svg`` — a rendered chart (``repro.analysis.plotting``);
+* ``<figure>__<series>.csv`` — the underlying series for external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.analysis.plotting import plot_bars, plot_cdfs, plot_timeline
+
+
+def _write_series_csv(path: Path, columns: dict[str, np.ndarray]) -> None:
+    arrays = {name: np.asarray(values).ravel()
+              for name, values in columns.items()}
+    length = max(array.size for array in arrays.values())
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(arrays.keys())
+        for index in range(length):
+            writer.writerow([arrays[name][index]
+                             if index < arrays[name].size else ""
+                             for name in arrays])
+
+
+def export_fig2(outdir: Path, n_jobs: int, seed: int) -> list[Path]:
+    """Render Fig. 2's duration/utilization CDFs as SVG + CSV."""
+    data = figures.fig2(n_jobs, seed)
+    written = [
+        plot_cdfs(data["duration_cdf"], "Fig 2a: GPU job duration",
+                  "duration (s)", outdir / "fig02a_duration.svg",
+                  log_x=True),
+        plot_cdfs(data["utilization_cdf"], "Fig 2b: GPU utilization",
+                  "utilization", outdir / "fig02b_utilization.svg"),
+    ]
+    for name, (values, probability) in data["duration_cdf"].items():
+        path = outdir / f"fig02a__{name}.csv"
+        _write_series_csv(path, {"duration_s": values,
+                                 "cdf": probability})
+        written.append(path)
+    return written
+
+
+def export_fig6(outdir: Path, n_jobs: int, seed: int) -> list[Path]:
+    """Render Fig. 6's queueing-delay CDFs as SVG."""
+    data = figures.fig6(min(n_jobs, 3000), seed)
+    written = []
+    for cluster, cluster_data in data.items():
+        written.append(plot_cdfs(
+            cluster_data["queueing_cdf"],
+            f"Fig 6: queueing delay ({cluster})", "delay (s)",
+            outdir / f"fig06_queueing_{cluster}.svg", log_x=True))
+    return written
+
+
+def export_fig10(outdir: Path) -> list[Path]:
+    """Render Fig. 10's SM-activity timelines as SVG + CSV."""
+    data = figures.fig10()
+    written = []
+    for label in ("v1_3d", "v2_hierarchical_zero"):
+        timeline = data[label]["timeline"]
+        written.append(plot_timeline(
+            timeline, f"Fig 10: SM activity ({label})",
+            outdir / f"fig10_{label}.svg"))
+        csv_path = outdir / f"fig10__{label}.csv"
+        _write_series_csv(csv_path, {"time_s": timeline.times,
+                                     "sm": timeline.sm,
+                                     "tc": timeline.tc})
+        written.append(csv_path)
+    return written
+
+
+def export_fig12(outdir: Path) -> list[Path]:
+    """Render Fig. 12's per-rank memory bars as SVG."""
+    data = figures.fig12()
+    bars = {f"rank {rank}": gib
+            for rank, gib in enumerate(data["per_rank_total_gib"])}
+    return [plot_bars(bars, "Fig 12: per-pipeline-rank memory",
+                      "GiB", outdir / "fig12_rank_memory.svg")]
+
+
+def export_fig13(outdir: Path) -> list[Path]:
+    """Render Fig. 13's HumanEval trial timeline as SVG."""
+    data = figures.fig13()
+    return [plot_timeline(data["timeline"],
+                          "Fig 13: HumanEval evaluation trial",
+                          outdir / "fig13_humaneval.svg")]
+
+
+def export_fig14(outdir: Path) -> list[Path]:
+    """Render Fig. 14's recovery progress curves as SVG."""
+    data = figures.fig14()
+    from repro.analysis.plotting import SvgFigure
+
+    figure = SvgFigure("Fig 14: training progress with recovery",
+                       "wall-clock (days)", "iteration")
+    for name, run in data.items():
+        times, iterations = run["progress_curve"]
+        figure.add_series(name, times / 86400.0, iterations)
+    return [figure.save(outdir / "fig14_progress.svg")]
+
+
+def export_fig16(outdir: Path) -> list[Path]:
+    """Render Fig. 16's loading sweep and makespan bars as SVG."""
+    data = figures.fig16()
+    trials, rates = zip(*data["loading_speed_by_trials"])
+    from repro.analysis.plotting import SvgFigure
+
+    figure = SvgFigure("Fig 16 left: model loading under contention",
+                       "concurrent trials", "per-trial Gb/s", log_x=True)
+    figure.add_series("load speed", np.array(trials, dtype=float),
+                      np.array(rates) * 8 / 1e9)
+    written = [figure.save(outdir / "fig16_loading.svg")]
+    bars = {setup: info["speedup"]
+            for setup, info in data["makespan"].items()}
+    written.append(plot_bars(bars, "Fig 16 right: makespan speedup",
+                             "speedup (x)",
+                             outdir / "fig16_speedup.svg"))
+    return written
+
+
+def export_fig17(outdir: Path, n_jobs: int, seed: int) -> list[Path]:
+    """Render Fig. 17's final-status shares as SVG bars."""
+    data = figures.fig17(n_jobs, seed)
+    written = []
+    for cluster, cluster_data in data.items():
+        written.append(plot_bars(
+            cluster_data["gpu_time_share"],
+            f"Fig 17: GPU time by final status ({cluster})", "share",
+            outdir / f"fig17_{cluster}.svg"))
+    return written
+
+
+def export_fig21(outdir: Path, n_jobs: int, seed: int) -> list[Path]:
+    """Render Fig. 21's temperature CDFs as SVG."""
+    data = figures.fig21(n_jobs, seed)
+    return [plot_cdfs({"core": data["core_cdf"],
+                       "memory": data["memory_cdf"]},
+                      "Fig 21: GPU temperatures", "celsius",
+                      outdir / "fig21_temperature.svg")]
+
+
+def export_fig22(outdir: Path) -> list[Path]:
+    """Render Fig. 22's MoE SM-activity timeline as SVG."""
+    data = figures.fig22()
+    return [plot_timeline(data["timeline"],
+                          "Fig 22: MoE pretraining SM activity",
+                          outdir / "fig22_moe.svg")]
+
+
+def export_all(outdir: str | Path, n_jobs: int = 6000,
+               seed: int = 0) -> list[Path]:
+    """Export every renderable figure; returns the written paths."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    written += export_fig2(outdir, n_jobs, seed)
+    written += export_fig6(outdir, n_jobs, seed)
+    written += export_fig10(outdir)
+    written += export_fig12(outdir)
+    written += export_fig13(outdir)
+    written += export_fig14(outdir)
+    written += export_fig16(outdir)
+    written += export_fig17(outdir, n_jobs, seed)
+    written += export_fig21(outdir, n_jobs, seed)
+    written += export_fig22(outdir)
+    return written

@@ -1,0 +1,271 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+matplotlib is unavailable offline, so this module draws the three chart
+shapes the paper uses — CDF/line plots, timelines, and bar charts — as
+standalone SVG files with axes, ticks, and legends.  Output is valid XML
+(the tests parse it back).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+PALETTE = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+           "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"]
+
+
+def _nice_ticks(low: float, high: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    step = 10 ** math.floor(math.log10(span / max(n, 1)))
+    for multiplier in (1, 2, 5, 10):
+        if span / (step * multiplier) <= n:
+            step *= multiplier
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-12:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [low, high]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+@dataclass
+class Series:
+    """One named line on a chart."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError("x and y must have the same shape")
+
+
+class SvgFigure:
+    """A single-axes SVG chart."""
+
+    def __init__(self, title: str, xlabel: str, ylabel: str,
+                 width: int = 640, height: int = 400,
+                 log_x: bool = False) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.log_x = log_x
+        self.series: list[Series] = []
+        self.margin = dict(left=70, right=20, top=40, bottom=50)
+
+    def add_series(self, label: str, x, y) -> None:
+        """Add one labeled line to the chart."""
+        series = Series(label, x, y)
+        if self.log_x and (series.x <= 0).any():
+            raise ValueError("log-x plots need positive x values")
+        self.series.append(series)
+
+    # -- coordinate transforms ---------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([np.log10(s.x) if self.log_x else s.x
+                             for s in self.series])
+        ys = np.concatenate([s.y for s in self.series])
+        x0, x1 = float(xs.min()), float(xs.max())
+        y0, y1 = float(ys.min()), float(ys.max())
+        if x1 == x0:
+            x1 = x0 + 1.0
+        if y1 == y0:
+            y1 = y0 + 1.0
+        return x0, x1, y0, y1
+
+    def _to_px(self, x: float, y: float,
+               bounds: tuple[float, float, float, float]
+               ) -> tuple[float, float]:
+        x0, x1, y0, y1 = bounds
+        plot_w = self.width - self.margin["left"] - self.margin["right"]
+        plot_h = self.height - self.margin["top"] - self.margin["bottom"]
+        px = self.margin["left"] + (x - x0) / (x1 - x0) * plot_w
+        py = (self.height - self.margin["bottom"]
+              - (y - y0) / (y1 - y0) * plot_h)
+        return px, py
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Produce the SVG document as a string."""
+        if not self.series:
+            raise ValueError("no series to plot")
+        bounds = self._bounds()
+        x0, x1, y0, y1 = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-family="sans-serif" '
+            f'font-weight="bold">{escape(self.title)}</text>',
+        ]
+        # axes box
+        left, top = self.margin["left"], self.margin["top"]
+        right = self.width - self.margin["right"]
+        bottom = self.height - self.margin["bottom"]
+        parts.append(f'<rect x="{left}" y="{top}" '
+                     f'width="{right - left}" height="{bottom - top}" '
+                     f'fill="none" stroke="#333"/>')
+        # ticks
+        for tick in _nice_ticks(x0, x1):
+            px, _ = self._to_px(tick, y0, bounds)
+            if not left <= px <= right:
+                continue
+            label = (_format_tick(10 ** tick) if self.log_x
+                     else _format_tick(tick))
+            parts.append(f'<line x1="{px:.1f}" y1="{bottom}" '
+                         f'x2="{px:.1f}" y2="{bottom + 5}" '
+                         f'stroke="#333"/>')
+            parts.append(f'<text x="{px:.1f}" y="{bottom + 18}" '
+                         f'text-anchor="middle" font-size="10" '
+                         f'font-family="sans-serif">{label}</text>')
+        for tick in _nice_ticks(y0, y1):
+            _, py = self._to_px(x0, tick, bounds)
+            if not top <= py <= bottom:
+                continue
+            parts.append(f'<line x1="{left - 5}" y1="{py:.1f}" '
+                         f'x2="{left}" y2="{py:.1f}" stroke="#333"/>')
+            parts.append(f'<text x="{left - 8}" y="{py + 3:.1f}" '
+                         f'text-anchor="end" font-size="10" '
+                         f'font-family="sans-serif">'
+                         f'{_format_tick(tick)}</text>')
+        # axis labels
+        parts.append(f'<text x="{(left + right) / 2}" '
+                     f'y="{self.height - 10}" text-anchor="middle" '
+                     f'font-size="12" font-family="sans-serif">'
+                     f'{escape(self.xlabel)}</text>')
+        parts.append(f'<text x="15" y="{(top + bottom) / 2}" '
+                     f'text-anchor="middle" font-size="12" '
+                     f'font-family="sans-serif" transform="rotate(-90 15 '
+                     f'{(top + bottom) / 2})">{escape(self.ylabel)}'
+                     f'</text>')
+        # series
+        for index, series in enumerate(self.series):
+            color = PALETTE[index % len(PALETTE)]
+            xs = np.log10(series.x) if self.log_x else series.x
+            points = " ".join(
+                f"{px:.1f},{py:.1f}"
+                for px, py in (self._to_px(x, y, bounds)
+                               for x, y in zip(xs, series.y)))
+            parts.append(f'<polyline points="{points}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.5"/>')
+            legend_y = top + 14 + 14 * index
+            parts.append(f'<line x1="{right - 110}" y1="{legend_y}" '
+                         f'x2="{right - 90}" y2="{legend_y}" '
+                         f'stroke="{color}" stroke-width="2"/>')
+            parts.append(f'<text x="{right - 85}" y="{legend_y + 4}" '
+                         f'font-size="10" font-family="sans-serif">'
+                         f'{escape(series.label)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        """Render and write the SVG to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+def plot_cdfs(series: dict[str, tuple[np.ndarray, np.ndarray]],
+              title: str, xlabel: str, path: str | Path,
+              log_x: bool = False) -> Path:
+    """Render named (values, probability) CDF series."""
+    figure = SvgFigure(title, xlabel, "CDF", log_x=log_x)
+    for label, (values, probability) in sorted(series.items()):
+        values = np.asarray(values, dtype=float)
+        probability = np.asarray(probability, dtype=float)
+        if log_x:
+            mask = values > 0
+            values, probability = values[mask], probability[mask]
+        if values.size:
+            figure.add_series(label, values, probability)
+    return figure.save(path)
+
+
+def plot_timeline(timeline, title: str, path: str | Path,
+                  ylabel: str = "SM activity") -> Path:
+    """Render a :class:`UtilizationTimeline` (Figs. 10/13/22)."""
+    figure = SvgFigure(title, "time (s)", ylabel)
+    figure.add_series("SM", timeline.times, timeline.sm)
+    figure.add_series("TC", timeline.times, timeline.tc)
+    return figure.save(path)
+
+
+def plot_bars(values: dict[str, float], title: str, ylabel: str,
+              path: str | Path, width: int = 640,
+              height: int = 400) -> Path:
+    """A simple labeled bar chart (Figs. 9/12/17)."""
+    if not values:
+        raise ValueError("no bars to plot")
+    labels = list(values.keys())
+    heights = np.array([values[label] for label in labels], dtype=float)
+    top_value = float(heights.max()) or 1.0
+    margin_left, margin_bottom, margin_top = 70, 70, 40
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_top - margin_bottom
+    bar_w = plot_w / len(labels) * 0.7
+    gap = plot_w / len(labels)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif" font-weight="bold">'
+        f'{escape(title)}</text>',
+    ]
+    for index, (label, value) in enumerate(zip(labels, heights)):
+        bar_h = value / top_value * plot_h
+        x = margin_left + index * gap + (gap - bar_w) / 2
+        y = margin_top + plot_h - bar_h
+        color = PALETTE[index % len(PALETTE)]
+        parts.append(f'<rect x="{x:.1f}" y="{y:.1f}" '
+                     f'width="{bar_w:.1f}" height="{bar_h:.1f}" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+                     f'text-anchor="middle" font-size="10" '
+                     f'font-family="sans-serif">'
+                     f'{_format_tick(float(value))}</text>')
+        parts.append(f'<text x="{x + bar_w / 2:.1f}" '
+                     f'y="{margin_top + plot_h + 14}" '
+                     f'text-anchor="middle" font-size="9" '
+                     f'font-family="sans-serif">{escape(label)}</text>')
+    parts.append(f'<text x="15" y="{margin_top + plot_h / 2}" '
+                 f'text-anchor="middle" font-size="12" '
+                 f'font-family="sans-serif" transform="rotate(-90 15 '
+                 f'{margin_top + plot_h / 2})">{escape(ylabel)}</text>')
+    parts.append("</svg>")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(parts))
+    return path

@@ -1,0 +1,73 @@
+"""Plain-text rendering of tables and figure summaries.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns or rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns]
+             for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_cdf_summary(series: dict, quantiles: Sequence[float] =
+                       (10, 25, 50, 75, 90, 99),
+                       title: str | None = None,
+                       unit: str = "") -> str:
+    """Summarize named CDF series at fixed quantiles."""
+    rows = []
+    for name, (values, _prob) in sorted(series.items()):
+        row = {"series": name}
+        for q in quantiles:
+            key = f"p{int(q)}"
+            row[key] = (float(np.percentile(values, q))
+                        if len(values) else float("nan"))
+        rows.append(row)
+    table = render_table(rows, title=title)
+    if unit:
+        table += f"\n(values in {unit})"
+    return table
+
+
+def render_key_values(data: dict, title: str | None = None) -> str:
+    """Render scalar findings as 'key: value' lines."""
+    lines = [title] if title else []
+    for key, value in data.items():
+        lines.append(f"  {key}: {_format_cell(value)}")
+    return "\n".join(lines)

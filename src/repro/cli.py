@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Subcommands::
+
+    acme-repro generate-trace --cluster kalos --jobs 10000 --out t.csv
+    acme-repro analyze t.csv
+    acme-repro diagnose runtime.log
+    acme-repro evalsched --nodes 4
+    acme-repro checkpoint --model 123b --gpus 2048
+    acme-repro report --jobs 6000
+
+(``python -m repro ...`` works identically.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.report import render_key_values, render_table
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    from repro.workload.generator import TraceGenerator
+    from repro.workload.spec import KALOS_SPEC, SEREN_SPEC
+
+    spec = {"seren": SEREN_SPEC, "kalos": KALOS_SPEC}[args.cluster]
+    trace = TraceGenerator(spec, seed=args.seed).generate(
+        args.jobs, include_cpu_jobs=args.cpu_jobs)
+    out = Path(args.out)
+    if out.suffix == ".jsonl":
+        trace.to_jsonl(out)
+    else:
+        trace.to_csv(out)
+    print(f"wrote {len(trace)} jobs to {out}")
+    return 0
+
+
+def _load_trace(path: str):
+    from repro.workload.trace import Trace
+
+    file_path = Path(path)
+    if file_path.suffix == ".jsonl":
+        return Trace.from_jsonl(file_path)
+    return Trace.from_csv(file_path)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.trace)
+    count = trace.count_share_by_type()
+    time_share = trace.gpu_time_share_by_type()
+    rows = [{"type": job_type.value,
+             "count_share": count.get(job_type, 0.0),
+             "gpu_time_share": time_share.get(job_type, 0.0)}
+            for job_type in count]
+    print(render_table(rows, title=f"workload mix ({trace.cluster}, "
+                                   f"{len(trace)} jobs)"))
+    durations = trace.durations()
+    print(render_key_values({
+        "median duration (s)": float(np.median(durations)),
+        "mean duration (s)": float(durations.mean()),
+        "mean GPUs/job": trace.mean_gpu_demand(),
+        "median GPU utilization":
+            float(np.median(trace.utilizations())),
+    }, title="headline statistics"))
+    statuses = trace.status_counts()
+    total = sum(statuses.values())
+    print(render_key_values(
+        {status.value: count / total
+         for status, count in statuses.items()},
+        title="final statuses (count share)"))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.diagnosis import DiagnosisSystem
+
+    lines = Path(args.logfile).read_text(errors="replace").splitlines()
+    system = DiagnosisSystem()
+    diagnosis = system.diagnose(lines)
+    print(render_key_values({
+        "root cause": diagnosis.reason,
+        "category": diagnosis.category.value,
+        "recoverable by restart": diagnosis.recoverable,
+        "diagnosis path": diagnosis.path,
+        "confidence": diagnosis.confidence,
+        "log compression ratio":
+            diagnosis.compression.compression_ratio,
+    }, title=f"diagnosis of {args.logfile}"))
+    print(f"\nmitigation: {diagnosis.mitigation}")
+    return 0 if diagnosis.reason != "Unknown" else 1
+
+
+def _cmd_evalsched(args: argparse.Namespace) -> int:
+    from repro.core.evalsched import CoordinatorConfig, TrialCoordinator
+    from repro.evaluation import standard_catalog
+
+    outcome = TrialCoordinator(CoordinatorConfig(
+        n_nodes=args.nodes)).compare(standard_catalog(args.model_scale))
+    print(render_key_values({
+        "datasets": 63,
+        "nodes": args.nodes,
+        "baseline makespan (min)":
+            outcome["baseline"].makespan / 60.0,
+        "decoupled makespan (min)":
+            outcome["decoupled"].makespan / 60.0,
+        "speedup": outcome["speedup"],
+    }, title="§6.2 evaluation round"))
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.cluster.storage import SharedStorage
+    from repro.core.checkpoint import CheckpointCostModel
+    from repro.training import model as models
+
+    catalog = {"7b": models.MODEL_7B, "13b": models.MODEL_13B,
+               "30b": models.MODEL_30B, "104b": models.MODEL_104B,
+               "123b": models.MODEL_123B}
+    config = catalog[args.model]
+    storage = SharedStorage(backend_bandwidth=800e9,
+                            node_nic_bandwidth=25e9)
+    cost = CheckpointCostModel(storage).cost(config, args.gpus)
+    print(render_key_values({
+        "model": config.describe(),
+        "model state (TB)": config.model_state_bytes / 1e12,
+        "sync blocking (s)": cost.sync_blocking,
+        "async blocking (s)": cost.async_blocking,
+        "blocking reduction": cost.reduction,
+        "async overhead @30min": cost.overhead_fraction(1800.0, True),
+    }, title="§6.1 checkpoint cost"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workload.validate import calibration_report
+
+    trace = _load_trace(args.trace)
+    report, passed = calibration_report(trace)
+    print(report)
+    return 0 if passed else 1
+
+
+def _cmd_export_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+
+    written = export_all(args.outdir, n_jobs=args.jobs, seed=args.seed)
+    print(f"wrote {len(written)} files to {args.outdir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="acme-repro",
+        description="Reproduction of 'Characterization of LLM Development "
+                    "in the Datacenter' (NSDI '24)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-trace",
+                         help="generate a synthetic Acme job trace")
+    gen.add_argument("--cluster", choices=("seren", "kalos"),
+                     default="kalos")
+    gen.add_argument("--jobs", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--cpu-jobs", action="store_true",
+                     help="include CPU-only jobs")
+    gen.add_argument("--out", default="trace.csv",
+                     help=".csv or .jsonl output path")
+    gen.set_defaults(func=_cmd_generate_trace)
+
+    analyze = sub.add_parser("analyze",
+                             help="characterize a trace file")
+    analyze.add_argument("trace")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="root-cause a job's runtime log (§6.1)")
+    diagnose.add_argument("logfile")
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    evalsched = sub.add_parser(
+        "evalsched", help="run the §6.2 makespan experiment")
+    evalsched.add_argument("--nodes", type=int, default=4)
+    evalsched.add_argument("--model-scale", type=float, default=1.0)
+    evalsched.set_defaults(func=_cmd_evalsched)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="§6.1 checkpoint blocking-time model")
+    checkpoint.add_argument("--model", default="123b",
+                            choices=("7b", "13b", "30b", "104b", "123b"))
+    checkpoint.add_argument("--gpus", type=int, default=2048)
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    validate = sub.add_parser(
+        "validate", help="check a trace against the paper's anchors")
+    validate.add_argument("trace")
+    validate.set_defaults(func=_cmd_validate)
+
+    export = sub.add_parser(
+        "export-figures", help="render every figure as SVG + CSV")
+    export.add_argument("--outdir", default="figures")
+    export.add_argument("--jobs", type=int, default=6000)
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=_cmd_export_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Two-tier leaf–spine (fat-tree) fabric model.
+
+The training step model derates collective bandwidth as a group spans
+switch tiers (``repro.training.step.hierarchy_bandwidth_factor``).  This
+module derives that derating from an explicit topology instead of
+constants: nodes hang off leaf switches; leaves connect to spines with a
+configurable oversubscription ratio; a collective's effective per-node
+bandwidth is limited by the narrowest tier it crosses.
+
+InfiniBand HDR fabrics like Acme's are commonly built exactly this way,
+and the 8-node leaf domain matches the hierarchical-ZeRO subgroup the
+paper settles on (64 GPUs = 8 nodes, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FatTreeConfig:
+    """Leaf–spine fabric parameters."""
+
+    nodes: int
+    nodes_per_leaf: int = 8
+    #: per-node NIC bandwidth into its leaf, bytes/s
+    nic_bandwidth: float = 200e9 / 8.0
+    #: downlink:uplink capacity ratio at the leaf (1.0 = non-blocking)
+    leaf_oversubscription: float = 1.5
+    #: additional oversubscription crossing spine pods (large fabrics
+    #: often aggregate spines into pods with a narrower core)
+    pod_oversubscription: float = 1.8
+    leaves_per_pod: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.nodes_per_leaf <= 0:
+            raise ValueError("nodes and nodes_per_leaf must be positive")
+        if self.leaf_oversubscription < 1.0 \
+                or self.pod_oversubscription < 1.0:
+            raise ValueError("oversubscription ratios must be >= 1")
+
+    @property
+    def leaf_count(self) -> int:
+        return -(-self.nodes // self.nodes_per_leaf)  # ceil
+
+    @property
+    def pod_count(self) -> int:
+        return -(-self.leaf_count // self.leaves_per_pod)
+
+    @property
+    def nodes_per_pod(self) -> int:
+        return self.nodes_per_leaf * self.leaves_per_pod
+
+
+class FatTree:
+    """Locality queries over the leaf–spine fabric."""
+
+    def __init__(self, config: FatTreeConfig) -> None:
+        self.config = config
+
+    def leaf_of(self, node: int) -> int:
+        """Leaf switch index of a node."""
+        self._check(node)
+        return node // self.config.nodes_per_leaf
+
+    def pod_of(self, node: int) -> int:
+        """Spine pod index of a node."""
+        return self.leaf_of(node) // self.config.leaves_per_pod
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.config.nodes:
+            raise IndexError(f"node {node} out of range")
+
+    def tiers_crossed(self, nodes: list[int]) -> int:
+        """0 = one leaf, 1 = one pod (cross-leaf), 2 = cross-pod."""
+        if not nodes:
+            raise ValueError("empty node group")
+        leaves = {self.leaf_of(node) for node in nodes}
+        if len(leaves) == 1:
+            return 0
+        pods = {self.pod_of(node) for node in nodes}
+        return 1 if len(pods) == 1 else 2
+
+    def group_bandwidth_factor(self, nodes: list[int]) -> float:
+        """Effective per-node bandwidth derating for a collective.
+
+        Within one leaf the NIC is the only constraint (factor 1.0);
+        crossing leaves divides by the leaf oversubscription; crossing
+        pods additionally divides by the pod oversubscription.
+        """
+        tiers = self.tiers_crossed(nodes)
+        factor = 1.0
+        if tiers >= 1:
+            factor /= self.config.leaf_oversubscription
+        if tiers >= 2:
+            factor /= self.config.pod_oversubscription
+        return factor
+
+    def group_bandwidth(self, nodes: list[int]) -> float:
+        """Per-node effective collective bandwidth, bytes/s."""
+        return (self.config.nic_bandwidth
+                * self.group_bandwidth_factor(nodes))
+
+    def contiguous_group(self, first_node: int, count: int) -> list[int]:
+        """Nodes [first, first+count) — how gang placement lays out."""
+        nodes = list(range(first_node, first_node + count))
+        self._check(nodes[-1])
+        return nodes
+
+    def bisection_bandwidth(self) -> float:
+        """Aggregate bandwidth between the fabric's two halves."""
+        cfg = self.config
+        half_nodes = cfg.nodes / 2.0
+        raw = half_nodes * cfg.nic_bandwidth
+        return raw / (cfg.leaf_oversubscription
+                      * (cfg.pod_oversubscription
+                         if cfg.pod_count > 1 else 1.0))
+
+
+def factor_table(config: FatTreeConfig,
+                 group_sizes: list[int] | None = None) -> list[dict]:
+    """Bandwidth factors per contiguous group size (ablation view).
+
+    Shows why hierarchical ZeRO caps shard groups at one leaf: the
+    64-GPU (8-node) group is the largest with factor 1.0.
+    """
+    tree = FatTree(config)
+    sizes = group_sizes or [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    rows = []
+    for size in sizes:
+        if size > config.nodes:
+            break
+        group = tree.contiguous_group(0, size)
+        rows.append({
+            "nodes": size,
+            "gpus": size * 8,
+            "tiers_crossed": tree.tiers_crossed(group),
+            "bandwidth_factor": tree.group_bandwidth_factor(group),
+            "per_node_gbps": tree.group_bandwidth(group) * 8 / 1e9,
+        })
+    return rows

@@ -1,0 +1,223 @@
+"""Node and GPU hardware specifications.
+
+Constants follow Table 1 and §2.2 of the paper: every node carries
+8× NVIDIA A100-SXM 80GB GPUs and 2× Intel Xeon Platinum 8358P (128 threads),
+NVLink/NVSwitch intra-node, and 200 Gb/s HDR InfiniBand inter-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+GIB = 1024 ** 3
+GB = 10 ** 9
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static properties of a GPU model."""
+
+    name: str
+    memory_bytes: int
+    tdp_watts: float
+    idle_watts: float
+    peak_watts: float
+    #: dense BF16 tensor-core throughput, FLOP/s
+    peak_flops: float
+    #: NVLink bandwidth per GPU (unidirectional), bytes/s
+    nvlink_bandwidth: float
+    #: host <-> device PCIe bandwidth, bytes/s
+    pcie_bandwidth: float
+
+
+#: The A100-SXM 80GB used throughout Acme.  312 TFLOP/s BF16 tensor core,
+#: 400 W TDP (the paper observes idle ~60 W and excursions to ~600 W),
+#: 600 GB/s NVLink (NVLink 3, per direction), ~25 GB/s effective PCIe 4.0.
+A100_SXM_80GB = GpuSpec(
+    name="A100-SXM-80GB",
+    memory_bytes=80 * GIB,
+    tdp_watts=400.0,
+    idle_watts=60.0,
+    peak_watts=600.0,
+    peak_flops=312e12,
+    nvlink_bandwidth=600e9,
+    pcie_bandwidth=25e9,
+)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static properties of a compute node (one Table 1 row)."""
+
+    name: str
+    cpus: int
+    gpus_per_node: int
+    host_memory_bytes: int
+    #: number of 200 Gb/s IB HCAs dedicated to application traffic
+    compute_nics: int
+    #: per-HCA application bandwidth, bytes/s (200 Gb/s HDR)
+    nic_bandwidth: float
+    #: bandwidth of the HCA (or share) that reaches remote storage, bytes/s.
+    #: §6.2: Seren's storage NIC is 25 Gb/s.
+    storage_bandwidth: float
+    gpu: GpuSpec = A100_SXM_80GB
+
+    @property
+    def total_network_bandwidth(self) -> float:
+        return self.compute_nics * self.nic_bandwidth
+
+
+def seren_node_spec() -> NodeSpec:
+    """Seren: 128 CPUs, 8 GPUs, 1 TB host memory, 1×200 Gb/s IB."""
+    return NodeSpec(
+        name="seren-node",
+        cpus=128,
+        gpus_per_node=8,
+        host_memory_bytes=1024 * GIB,
+        compute_nics=1,
+        nic_bandwidth=200e9 / 8.0,
+        storage_bandwidth=25e9 / 8.0,
+    )
+
+
+def kalos_node_spec() -> NodeSpec:
+    """Kalos: 2 TB host memory, 4 application HCAs + 1 storage HCA."""
+    return NodeSpec(
+        name="kalos-node",
+        cpus=128,
+        gpus_per_node=8,
+        host_memory_bytes=2048 * GIB,
+        compute_nics=4,
+        nic_bandwidth=200e9 / 8.0,
+        storage_bandwidth=200e9 / 8.0,
+    )
+
+
+class NodeHealth(Enum):
+    """Operational state used by the recovery toolkit (§6.1)."""
+
+    HEALTHY = "healthy"
+    FAULTY = "faulty"
+    CORDONED = "cordoned"
+
+
+@dataclass
+class Gpu:
+    """A single GPU's dynamic state.
+
+    ``sm_activity`` / ``tc_activity`` are the DCGM-style instantaneous
+    activity fractions in [0, 1]; ``memory_used`` is the allocated
+    framebuffer in bytes.  The power model (``repro.monitor.power``) derives
+    draw from these.
+    """
+
+    index: int
+    spec: GpuSpec
+    sm_activity: float = 0.0
+    tc_activity: float = 0.0
+    memory_used: int = 0
+    job_id: str | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+    def assign(self, job_id: str) -> None:
+        """Bind this GPU to a job."""
+        if self.job_id is not None:
+            raise RuntimeError(
+                f"GPU {self.index} already assigned to {self.job_id}")
+        self.job_id = job_id
+
+    def free(self) -> None:
+        """Release the GPU and clear its activity state."""
+        self.job_id = None
+        self.sm_activity = 0.0
+        self.tc_activity = 0.0
+        self.memory_used = 0
+
+    def memory_fraction(self) -> float:
+        """Used framebuffer as a fraction of capacity."""
+        return self.memory_used / self.spec.memory_bytes
+
+
+@dataclass
+class Node:
+    """A compute node: GPUs, CPUs, host memory, NICs."""
+
+    name: str
+    spec: NodeSpec
+    gpus: list[Gpu] = field(default_factory=list)
+    health: NodeHealth = NodeHealth.HEALTHY
+    cpus_used: int = 0
+    host_memory_used: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            self.gpus = [Gpu(index=i, spec=self.spec.gpu)
+                         for i in range(self.spec.gpus_per_node)]
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.gpus)
+
+    def free_gpus(self) -> list[Gpu]:
+        """The node's unallocated GPUs."""
+        return [gpu for gpu in self.gpus if not gpu.busy]
+
+    @property
+    def free_gpu_count(self) -> int:
+        return sum(1 for gpu in self.gpus if not gpu.busy)
+
+    def allocate_gpus(self, count: int, job_id: str) -> list[Gpu]:
+        """Assign ``count`` free GPUs to ``job_id``; raises if unavailable."""
+        free = self.free_gpus()
+        if count > len(free):
+            raise RuntimeError(
+                f"node {self.name}: requested {count} GPUs, "
+                f"{len(free)} free")
+        chosen = free[:count]
+        for gpu in chosen:
+            gpu.assign(job_id)
+        return chosen
+
+    def release_job(self, job_id: str) -> int:
+        """Free every GPU held by ``job_id``; returns the number freed."""
+        freed = 0
+        for gpu in self.gpus:
+            if gpu.job_id == job_id:
+                gpu.free()
+                freed += 1
+        return freed
+
+    def allocate_host_memory(self, amount: int) -> None:
+        """Reserve host memory; raises when the node would overcommit."""
+        if self.host_memory_used + amount > self.spec.host_memory_bytes:
+            raise RuntimeError(
+                f"node {self.name}: host memory exhausted "
+                f"({self.host_memory_used + amount} > "
+                f"{self.spec.host_memory_bytes})")
+        self.host_memory_used += amount
+
+    def release_host_memory(self, amount: int) -> None:
+        """Return previously reserved host memory."""
+        if amount > self.host_memory_used:
+            raise RuntimeError("releasing more host memory than in use")
+        self.host_memory_used -= amount
+
+    @property
+    def host_memory_free(self) -> int:
+        return self.spec.host_memory_bytes - self.host_memory_used
+
+    def cordon(self) -> None:
+        """Mark the node unschedulable (used after fault detection)."""
+        self.health = NodeHealth.CORDONED
+
+    def uncordon(self) -> None:
+        """Return a repaired node to the schedulable pool."""
+        self.health = NodeHealth.HEALTHY
+
+    @property
+    def schedulable(self) -> bool:
+        return self.health == NodeHealth.HEALTHY

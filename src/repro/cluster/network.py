@@ -1,0 +1,187 @@
+"""Bandwidth-sharing network model.
+
+Transfers through a shared link receive a max-min fair share of its
+capacity.  This is the contention model behind the model-loading stress
+test (Fig. 16 left): N concurrent single-GPU evaluation trials on one node
+share the node's 25 Gb/s storage NIC, so per-trial loading speed collapses
+roughly as 1/N until trials spread across nodes.
+
+The model is analytic (progressive filling) rather than packet-level: the
+paper's observations are about steady-state throughput, not transport
+dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Link:
+    """A named capacity: bytes/s."""
+
+    name: str
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+@dataclass
+class Flow:
+    """A transfer traversing an ordered list of links."""
+
+    flow_id: str
+    links: tuple[str, ...]
+    #: optional per-flow cap (e.g. a single GPU's PCIe ingest rate)
+    rate_cap: float = float("inf")
+
+
+def max_min_fair_rates(links: dict[str, float],
+                       flows: Sequence[Flow]) -> dict[str, float]:
+    """Compute max-min fair flow rates over shared links.
+
+    Progressive filling: repeatedly find the bottleneck link (smallest
+    equal-share rate among unfrozen flows), freeze its flows at that rate,
+    and subtract.  Per-flow ``rate_cap`` is treated as a virtual one-flow
+    link.
+
+    Returns a mapping flow_id -> bytes/s.
+    """
+    remaining = dict(links)
+    active: dict[str, Flow] = {flow.flow_id: flow for flow in flows}
+    rates: dict[str, float] = {}
+    for flow in flows:
+        for link in flow.links:
+            if link not in remaining:
+                raise KeyError(f"flow {flow.flow_id} uses unknown link "
+                               f"{link!r}")
+    while active:
+        # Share each link equally among the active flows crossing it.
+        link_users: dict[str, int] = {}
+        for flow in active.values():
+            for link in flow.links:
+                link_users[link] = link_users.get(link, 0) + 1
+        bottleneck_rate = float("inf")
+        for link, users in link_users.items():
+            share = remaining[link] / users
+            bottleneck_rate = min(bottleneck_rate, share)
+        # Per-flow caps can bind before any link does.
+        capped = [flow for flow in active.values()
+                  if flow.rate_cap <= bottleneck_rate]
+        if capped:
+            for flow in capped:
+                rates[flow.flow_id] = flow.rate_cap
+                for link in flow.links:
+                    remaining[link] -= flow.rate_cap
+                del active[flow.flow_id]
+            continue
+        frozen = [flow for flow in active.values()
+                  if any(remaining[link] / link_users[link] <=
+                         bottleneck_rate + 1e-12
+                         for link in flow.links)]
+        for flow in frozen:
+            rates[flow.flow_id] = bottleneck_rate
+            for link in flow.links:
+                remaining[link] -= bottleneck_rate
+            del active[flow.flow_id]
+    return rates
+
+
+class FairShareLink:
+    """A single link shared equally by concurrent transfers.
+
+    Convenience wrapper used where only one bottleneck matters (the storage
+    NIC).  ``rate_for(n)`` gives the per-transfer rate with ``n`` sharers.
+    """
+
+    def __init__(self, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+
+    def rate_for(self, concurrent: int, per_flow_cap: float = float("inf")
+                 ) -> float:
+        """Per-transfer rate with ``concurrent`` equal sharers."""
+        if concurrent <= 0:
+            raise ValueError("concurrent must be positive")
+        return min(self.bandwidth / concurrent, per_flow_cap)
+
+    def transfer_time(self, size_bytes: float, concurrent: int = 1,
+                      per_flow_cap: float = float("inf")) -> float:
+        """Seconds to move ``size_bytes`` at the fair-share steady rate."""
+        return size_bytes / self.rate_for(concurrent, per_flow_cap)
+
+
+class NetworkFabric:
+    """The cluster interconnect as a set of named links.
+
+    Links follow the paper's architecture: per-node application NIC(s),
+    per-node storage NIC, per-GPU PCIe, per-GPU NVLink, and an aggregate
+    storage backend.
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[str, Link] = {}
+
+    def add_link(self, link: Link) -> None:
+        """Register a named link; duplicate names are rejected."""
+        if link.name in self._links:
+            raise ValueError(f"duplicate link {link.name!r}")
+        self._links[link.name] = link
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name."""
+        return self._links[name]
+
+    def has_link(self, name: str) -> bool:
+        """Whether a link with this name exists."""
+        return name in self._links
+
+    def rates(self, flows: Sequence[Flow]) -> dict[str, float]:
+        """Max-min fair rates for the given flows."""
+        capacities = {name: link.bandwidth
+                      for name, link in self._links.items()}
+        return max_min_fair_rates(capacities, flows)
+
+    def transfer_times(self, flows: Sequence[Flow],
+                       sizes: dict[str, float]) -> dict[str, float]:
+        """Steady-state completion time per flow (no rate re-negotiation)."""
+        rates = self.rates(flows)
+        return {flow_id: sizes[flow_id] / rate
+                for flow_id, rate in rates.items()}
+
+    @property
+    def link_names(self) -> Iterable[str]:
+        return self._links.keys()
+
+
+def allreduce_time(size_bytes: float, world: int, bandwidth: float,
+                   latency: float = 15e-6) -> float:
+    """Ring all-reduce time for ``size_bytes`` across ``world`` workers.
+
+    Standard model: 2*(w-1)/w chunks traverse the slowest inter-worker
+    bandwidth, plus per-step latency.  Used by the training step model for
+    tensor-parallel all-reduce and ZeRO gradient reduce-scatter/all-gather.
+    """
+    if world <= 1:
+        return 0.0
+    steps = 2 * (world - 1)
+    volume = 2.0 * (world - 1) / world * size_bytes
+    return volume / bandwidth + steps * latency
+
+
+def alltoall_time(size_bytes: float, world: int, bandwidth: float,
+                  latency: float = 15e-6) -> float:
+    """All-to-all exchange time (MoE dispatch/combine).
+
+    Each worker sends (w-1)/w of its buffer through its NIC; with a single
+    NIC per node this serializes heavily — the effect behind the paper's
+    Fig. 22 (MoE utilization collapse on Seren's 1-NIC nodes).
+    """
+    if world <= 1:
+        return 0.0
+    volume = (world - 1) / world * size_bytes
+    return volume / bandwidth + (world - 1) * latency

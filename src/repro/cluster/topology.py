@@ -1,0 +1,107 @@
+"""Cluster topology: which GPUs live where, and link construction.
+
+Builds a :class:`repro.cluster.network.NetworkFabric` mirroring the paper's
+architecture — NVLink/NVSwitch inside a node, HDR InfiniBand between nodes,
+and a separate path to storage.  The training step model asks the topology
+for effective bandwidths between parallelism groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import Node, NodeSpec
+from repro.cluster.network import Link, NetworkFabric
+
+
+@dataclass(frozen=True)
+class GpuAddress:
+    """Global coordinates of a GPU."""
+
+    node_index: int
+    local_index: int
+
+    def global_index(self, gpus_per_node: int) -> int:
+        """Flatten to a global GPU rank."""
+        return self.node_index * gpus_per_node + self.local_index
+
+
+class ClusterTopology:
+    """Maps global GPU ranks onto nodes and exposes bandwidth queries."""
+
+    def __init__(self, nodes: list[Node]) -> None:
+        if not nodes:
+            raise ValueError("topology needs at least one node")
+        self.nodes = nodes
+        self.gpus_per_node = nodes[0].spec.gpus_per_node
+        for node in nodes:
+            if node.spec.gpus_per_node != self.gpus_per_node:
+                raise ValueError("heterogeneous nodes are not supported")
+        self.fabric = self._build_fabric()
+
+    def _build_fabric(self) -> NetworkFabric:
+        fabric = NetworkFabric()
+        for index, node in enumerate(self.nodes):
+            spec = node.spec
+            fabric.add_link(Link(f"nic/{index}",
+                                 spec.total_network_bandwidth))
+            fabric.add_link(Link(f"storage-nic/{index}",
+                                 spec.storage_bandwidth))
+            for gpu in range(spec.gpus_per_node):
+                fabric.add_link(Link(f"pcie/{index}/{gpu}",
+                                     spec.gpu.pcie_bandwidth))
+        return fabric
+
+    @property
+    def total_gpus(self) -> int:
+        return len(self.nodes) * self.gpus_per_node
+
+    def address(self, rank: int) -> GpuAddress:
+        """Global rank -> (node, local GPU)."""
+        if not 0 <= rank < self.total_gpus:
+            raise IndexError(f"rank {rank} out of range")
+        return GpuAddress(rank // self.gpus_per_node,
+                          rank % self.gpus_per_node)
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two global ranks share a node."""
+        return (self.address(rank_a).node_index
+                == self.address(rank_b).node_index)
+
+    def group_bandwidth(self, ranks: list[int]) -> float:
+        """Effective per-GPU collective bandwidth within a rank group.
+
+        If the whole group lives in one node, NVLink bandwidth applies.
+        Otherwise the group's collectives cross node NICs; each GPU's share
+        is the node's application NIC bandwidth divided by the number of
+        group members on that node (they share the NIC during the
+        collective).
+        """
+        if not ranks:
+            raise ValueError("empty rank group")
+        nodes_involved: dict[int, int] = {}
+        for rank in ranks:
+            addr = self.address(rank)
+            nodes_involved[addr.node_index] = (
+                nodes_involved.get(addr.node_index, 0) + 1)
+        if len(nodes_involved) == 1:
+            return self.nodes[0].spec.gpu.nvlink_bandwidth
+        worst = float("inf")
+        for node_index, members in nodes_involved.items():
+            spec = self.nodes[node_index].spec
+            worst = min(worst, spec.total_network_bandwidth / members)
+        return worst
+
+    def contiguous_group(self, start_rank: int, size: int) -> list[int]:
+        """Ranks [start, start+size) — the layout 3D parallelism uses."""
+        if start_rank < 0 or start_rank + size > self.total_gpus:
+            raise IndexError("group out of range")
+        return list(range(start_rank, start_rank + size))
+
+    def strided_group(self, start_rank: int, stride: int, size: int
+                      ) -> list[int]:
+        """Ranks start, start+stride, ... (pipeline/data parallel groups)."""
+        ranks = [start_rank + i * stride for i in range(size)]
+        if ranks and ranks[-1] >= self.total_gpus:
+            raise IndexError("group out of range")
+        return ranks

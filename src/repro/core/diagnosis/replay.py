@@ -1,0 +1,100 @@
+"""Batch diagnosis replay over a trace's failed jobs.
+
+Closes the loop between the workload substrate and the diagnosis system:
+every failed job in a trace gets a synthetic runtime log for its
+assigned failure reason, the full Fig. 15 pipeline diagnoses it, and the
+results are aggregated into a Table-3-style attribution with accuracy
+accounting — the experiment behind the paper's "~90% less manual
+intervention" estimate, run end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagnosis.agents import DiagnosisSystem
+from repro.failures.injector import FailureInjector
+from repro.failures.logs import LogGenerator
+from repro.failures.taxonomy import FailureCategory, taxonomy_by_reason
+from repro.scheduler.job import FinalStatus
+from repro.workload.trace import Trace
+
+
+@dataclass
+class ReplayReport:
+    """Aggregated outcome of a diagnosis replay."""
+
+    total: int = 0
+    correct: int = 0
+    category_correct: int = 0
+    auto_recovered: int = 0
+    needs_human: int = 0
+    by_reason: dict = field(default_factory=dict)
+    mean_compression_ratio: float = 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def category_accuracy(self) -> float:
+        return self.category_correct / self.total if self.total else 0.0
+
+    @property
+    def manual_intervention_rate(self) -> float:
+        return self.needs_human / self.total if self.total else 0.0
+
+    def rows(self) -> list[dict]:
+        """Per-reason accuracy rows for rendering."""
+        return [{"reason": reason, **stats}
+                for reason, stats in sorted(self.by_reason.items())]
+
+
+def replay_trace_failures(trace: Trace,
+                          max_jobs: int | None = None,
+                          seed: int = 0,
+                          log_steps: int = 60,
+                          system: DiagnosisSystem | None = None
+                          ) -> ReplayReport:
+    """Diagnose every failed job of ``trace`` from synthesized logs.
+
+    If the trace's failed jobs lack ``failure_reason`` tags, the Table 3
+    injector assigns them first (demand-conditioned, §5.2 style).
+    """
+    failed = [job for job in trace.gpu_jobs()
+              if job.final_status is FinalStatus.FAILED]
+    if not failed:
+        raise ValueError("trace has no failed jobs")
+    if any(job.failure_reason is None for job in failed):
+        FailureInjector(seed=seed).assign_to_trace(trace)
+    if max_jobs is not None:
+        failed = failed[:max_jobs]
+
+    generator = LogGenerator(seed=seed)
+    system = system or DiagnosisSystem()
+    taxonomy = taxonomy_by_reason()
+    report = ReplayReport()
+    compression_total = 0.0
+    for job in failed:
+        truth = job.failure_reason
+        log = generator.failed_log(truth, n_steps=log_steps)
+        diagnosis = system.diagnose(log.lines)
+        report.total += 1
+        compression_total += diagnosis.compression.compression_ratio
+        stats = report.by_reason.setdefault(
+            truth, {"count": 0, "correct": 0})
+        stats["count"] += 1
+        if diagnosis.reason == truth:
+            report.correct += 1
+            stats["correct"] += 1
+        true_category = taxonomy[truth].category
+        if diagnosis.category is true_category:
+            report.category_correct += 1
+        # A human is needed exactly when the (diagnosed) failure is a
+        # user error — automatic restart cannot fix the script.
+        if diagnosis.category is FailureCategory.SCRIPT:
+            report.needs_human += 1
+        else:
+            report.auto_recovered += 1
+    report.mean_compression_ratio = compression_total / report.total
+    return report

@@ -1,0 +1,112 @@
+"""Rule-based diagnosis: the fast path of Fig. 15.
+
+An ordered list of (regex -> reason) rules built up from previously
+diagnosed incidents.  Rules are checked against the *compressed* log's
+error lines; the first match on the most recent lines wins.  The Failure
+Agent appends a new rule after every LLM-diagnosed incident, so the rule
+base converges toward catching everything cheaply — the "continuous
+learning" loop of §6.1.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.failures.taxonomy import FailureCategory, taxonomy_by_reason
+
+
+@dataclass(frozen=True)
+class DiagnosisRule:
+    """One learned or seeded rule."""
+
+    pattern: str
+    reason: str
+    #: higher-priority rules are consulted first (hardware signatures
+    #: outrank generic exceptions in cascades)
+    priority: int = 0
+
+    def compiled(self) -> re.Pattern:
+        """The compiled regex for this rule."""
+        return re.compile(self.pattern)
+
+
+#: Seed rules: the unambiguous hardware signatures an operator writes on
+#: day one.  Generic Python exceptions are deliberately NOT seeded — they
+#: mis-fire on cascades, which is the paper's motivation for the LLM path.
+SEED_RULES: list[DiagnosisRule] = [
+    DiagnosisRule(r"NVLink: fatal error|uncorrectable NVLink",
+                  "NVLinkError", priority=10),
+    DiagnosisRule(r"ECC row remapping|uncorrectable ECC error",
+                  "ECCError", priority=10),
+    DiagnosisRule(r"CANCELLED DUE TO NODE FAILURE|lost heartbeat",
+                  "NodeFailure", priority=9),
+    DiagnosisRule(r"CUDA error: (an illegal memory access|device-side "
+                  r"assert)", "CUDAError", priority=8),
+    DiagnosisRule(r"transport retry counter exceeded",
+                  "NetworkError", priority=7),
+    DiagnosisRule(r"Could not connect to the endpoint URL|S3 GET timed "
+                  r"out", "S3StorageError", priority=7),
+    DiagnosisRule(r"DataLoader worker \(pid \d+\) is killed",
+                  "DataloaderKilled", priority=8),
+    DiagnosisRule(r"CUDA out of memory", "OutOfMemoryError", priority=8),
+]
+
+
+class RuleBasedDiagnoser:
+    """Ordered regex matching over error lines."""
+
+    def __init__(self, rules: list[DiagnosisRule] | None = None) -> None:
+        self.rules: list[DiagnosisRule] = list(
+            rules if rules is not None else SEED_RULES)
+        self._taxonomy = taxonomy_by_reason()
+        self.hits = 0
+        self.misses = 0
+
+    def add_rule(self, rule: DiagnosisRule) -> bool:
+        """Add a learned rule; returns False on duplicates."""
+        if any(existing.pattern == rule.pattern
+               and existing.reason == rule.reason
+               for existing in self.rules):
+            return False
+        re.compile(rule.pattern)  # fail fast on malformed regex
+        self.rules.append(rule)
+        return True
+
+    def diagnose(self, error_lines: list[str]) -> str | None:
+        """Returns the matched reason or None.
+
+        Rules are tried in priority order; within a priority, matches on
+        *later* lines win (cascades end with the root cause).
+        """
+        ordered = sorted(self.rules, key=lambda rule: -rule.priority)
+        for rule in ordered:
+            regex = rule.compiled()
+            for line in reversed(error_lines):
+                if regex.search(line):
+                    self.hits += 1
+                    return rule.reason
+        self.misses += 1
+        return None
+
+    def category_of(self, reason: str) -> FailureCategory:
+        """Taxonomy category for a diagnosed reason."""
+        spec = self._taxonomy.get(reason)
+        return spec.category if spec else FailureCategory.FRAMEWORK
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the rule base as JSON."""
+        payload = [{"pattern": rule.pattern, "reason": rule.reason,
+                    "priority": rule.priority} for rule in self.rules]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RuleBasedDiagnoser":
+        """Load a rule base saved with :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        rules = [DiagnosisRule(**record) for record in payload]
+        return cls(rules)

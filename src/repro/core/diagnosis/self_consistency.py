@@ -1,0 +1,38 @@
+"""Self-consistency voting (§6.1).
+
+The Log/Failure agents run each LLM query several times and keep the
+majority answer, absorbing sampling noise.  The paper cites Wang et al.'s
+self-consistency; the mechanism here is a plain mode with deterministic
+tie-breaking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Sequence, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def majority_vote(answers: Sequence[T]) -> tuple[T, float]:
+    """Returns (winning answer, agreement fraction).
+
+    Ties break toward the answer that appeared first — with a sampled LLM
+    the first answer at low temperature is the highest-probability one.
+    """
+    if not answers:
+        raise ValueError("no answers to vote on")
+    counts = Counter(answers)
+    best_count = max(counts.values())
+    for answer in answers:  # first-appearance tie-break
+        if counts[answer] == best_count:
+            return answer, best_count / len(answers)
+    raise AssertionError("unreachable")
+
+
+def sample_and_vote(query: Callable[[], T], samples: int = 3
+                    ) -> tuple[T, float]:
+    """Run ``query`` ``samples`` times and majority-vote the results."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    return majority_vote([query() for _ in range(samples)])

@@ -1,0 +1,82 @@
+"""Compressed-log embedding and retrieval (§6.1 Fig. 15 right).
+
+Failed-job logs that rules cannot classify are embedded and stored; the
+Failure Agent retrieves the most similar past incidents as context for the
+LLM.  Offline we use a hashed character-n-gram TF vector with L2
+normalization — robust to the payload variation (ranks, addresses, paths)
+that defeats exact matching, which is the property the paper's pipeline
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_DIM = 1024
+_NGRAM = 4
+
+
+def embed_text(text: str, dim: int = _DIM) -> np.ndarray:
+    """Hashed character n-gram term-frequency embedding, L2-normalized."""
+    vector = np.zeros(dim, dtype=float)
+    data = text.lower()
+    if len(data) < _NGRAM:
+        data = data + " " * (_NGRAM - len(data))
+    for i in range(len(data) - _NGRAM + 1):
+        gram = data[i:i + _NGRAM]
+        vector[hash(gram) % dim] += 1.0
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    return vector
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """An embedded incident with its metadata (e.g. resolved reason)."""
+
+    doc_id: str
+    text: str
+    metadata: dict
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One retrieval result with its cosine similarity."""
+    document: StoredDocument
+    similarity: float
+
+
+class VectorStore:
+    """A small in-memory cosine-similarity index."""
+
+    def __init__(self, dim: int = _DIM) -> None:
+        self.dim = dim
+        self._documents: list[StoredDocument] = []
+        self._matrix = np.empty((0, dim))
+
+    def add(self, doc_id: str, text: str,
+            metadata: dict | None = None) -> None:
+        """Embed and index a document."""
+        vector = embed_text(text, self.dim)
+        self._documents.append(StoredDocument(doc_id, text,
+                                              metadata or {}))
+        self._matrix = np.vstack([self._matrix, vector])
+
+    def query(self, text: str, top_k: int = 3) -> list[QueryHit]:
+        """Top-k most similar stored documents."""
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if not self._documents:
+            return []
+        vector = embed_text(text, self.dim)
+        similarities = self._matrix @ vector
+        order = np.argsort(-similarities)[:top_k]
+        return [QueryHit(self._documents[int(i)],
+                         float(similarities[int(i)]))
+                for i in order]
+
+    def __len__(self) -> int:
+        return len(self._documents)

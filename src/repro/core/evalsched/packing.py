@@ -1,0 +1,94 @@
+"""Prior-based elastic scheduling (§6.2, technique 3).
+
+The coordinator knows each dataset's approximate runtime, can merge small
+datasets into one trial (amortizing model loading) and split large ones
+(bounding the straggler), and packs work longest-first round-robin over
+sorted queues.  Trials with lengthy CPU metric phases are prioritized so
+their decoupled metric jobs overlap the rest of the round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import heapq
+
+from repro.evaluation.datasets import EvalDataset
+
+
+@dataclass
+class PackedAssignment:
+    """Datasets assigned to one GPU slot, in execution order."""
+
+    gpu_index: int
+    datasets: list[EvalDataset] = field(default_factory=list)
+
+    def gpu_seconds(self, per_dataset_overhead: float = 0.0) -> float:
+        """GPU time this slot's datasets consume."""
+        return sum(d.inference_seconds + d.preprocess_seconds
+                   + per_dataset_overhead for d in self.datasets)
+
+
+def elastic_decompose(datasets: list[EvalDataset], gpus: int,
+                      target_seconds: float | None = None
+                      ) -> list[EvalDataset]:
+    """Split oversized datasets so no single shard dominates the round.
+
+    ``target_seconds`` defaults to the ideal balanced share (total work /
+    GPUs); any splittable dataset longer than that is partitioned into
+    shards of roughly the target size.
+    """
+    if gpus <= 0:
+        raise ValueError("gpus must be positive")
+    if not datasets:
+        return []
+    total = sum(d.inference_seconds for d in datasets)
+    if target_seconds is None:
+        target_seconds = max(total / gpus, 1.0)
+    result: list[EvalDataset] = []
+    for dataset in datasets:
+        if (dataset.splittable
+                and dataset.inference_seconds > 1.5 * target_seconds):
+            parts = min(gpus, max(
+                2, round(dataset.inference_seconds / target_seconds)))
+            result.extend(dataset.split(parts))
+        else:
+            result.append(dataset)
+    return result
+
+
+def lpt_pack(datasets: list[EvalDataset], gpus: int,
+             prioritize_cpu_metrics: bool = True,
+             per_dataset_overhead: float = 0.0
+             ) -> list[PackedAssignment]:
+    """Longest-processing-time-first packing over ``gpus`` slots.
+
+    ``prioritize_cpu_metrics`` puts heavy-metric datasets at the *front*
+    of each slot's execution order so their CPU metric jobs start early
+    and overlap the remaining GPU work (§6.2).
+    """
+    if gpus <= 0:
+        raise ValueError("gpus must be positive")
+    assignments = [PackedAssignment(gpu_index=i) for i in range(gpus)]
+    heap: list[tuple[float, int]] = [(0.0, i) for i in range(gpus)]
+    heapq.heapify(heap)
+    ordered = sorted(datasets,
+                     key=lambda d: -(d.inference_seconds
+                                     + d.preprocess_seconds))
+    for dataset in ordered:
+        load, index = heapq.heappop(heap)
+        assignments[index].datasets.append(dataset)
+        load += (dataset.inference_seconds + dataset.preprocess_seconds
+                 + per_dataset_overhead)
+        heapq.heappush(heap, (load, index))
+    if prioritize_cpu_metrics:
+        for assignment in assignments:
+            assignment.datasets.sort(key=lambda d: -d.metric_cpu_seconds)
+    return assignments
+
+
+def pack_makespan(assignments: list[PackedAssignment],
+                  per_dataset_overhead: float = 0.0) -> float:
+    """GPU-side makespan of a packing."""
+    if not assignments:
+        return 0.0
+    return max(a.gpu_seconds(per_dataset_overhead) for a in assignments)

@@ -1,0 +1,29 @@
+"""Fast fault detection and recovery (§6.1, design 3).
+
+* ``nccl_test`` — the two-round NCCL allgather procedure that pinpoints
+  faulty nodes;
+* ``detector`` — training-anomaly detectors (loss spikes, hangs);
+* ``controller`` — the orchestrator that ties diagnosis, detection,
+  cordoning, and checkpoint rollback into automatic restarts.
+"""
+
+from repro.core.recovery.nccl_test import (CollectiveTester,
+                                           two_round_nccl_test, World)
+from repro.core.recovery.detector import (LossSpikeDetector, HangDetector,
+                                          AnomalyEvent)
+from repro.core.recovery.controller import (RecoveryController,
+                                            RecoveryAction, RecoveryPlan,
+                                            CheckpointCatalog)
+
+__all__ = [
+    "CheckpointCatalog",
+    "CollectiveTester",
+    "two_round_nccl_test",
+    "World",
+    "LossSpikeDetector",
+    "HangDetector",
+    "AnomalyEvent",
+    "RecoveryController",
+    "RecoveryAction",
+    "RecoveryPlan",
+]

@@ -1,0 +1,193 @@
+"""The recovery orchestrator: diagnosis -> detection -> restart (§6.1).
+
+Given a failed (or anomalous) pretraining job, the controller decides and
+executes the recovery plan:
+
+* infrastructure failure -> run the two-round NCCL test over the job's
+  nodes, cordon convicted nodes, restart from the latest checkpoint on
+  the surviving pool;
+* framework failure -> restart from the latest checkpoint (configs often
+  salvageable), flagging for human follow-up;
+* script failure -> do **not** restart (it would fail identically);
+  notify the owner with the diagnosis and mitigation;
+* loss spike -> roll back to an *earlier* healthy checkpoint and skip the
+  offending data batches;
+* hang -> treat as a suspected infrastructure failure (silent stalls are
+  usually hardware, Appendix A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Node
+from repro.core.diagnosis.agents import Diagnosis, DiagnosisSystem
+from repro.core.recovery.detector import AnomalyEvent
+from repro.core.recovery.nccl_test import (CollectiveTester,
+                                           two_round_nccl_test)
+from repro.failures.taxonomy import FailureCategory
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One concrete action the controller took."""
+
+    kind: str      # "nccl_test", "cordon", "restart", "rollback", "notify"
+    detail: str
+
+
+@dataclass
+class RecoveryPlan:
+    """The controller's decision for one incident."""
+
+    diagnosis: Diagnosis | None
+    restart: bool
+    restart_checkpoint_step: int | None
+    cordoned_nodes: set[str] = field(default_factory=set)
+    skip_batches: bool = False
+    actions: list[RecoveryAction] = field(default_factory=list)
+
+
+class CheckpointCatalog:
+    """Minimal view of available checkpoints the controller restarts from."""
+
+    def __init__(self, steps: list[int] | None = None) -> None:
+        self._steps = sorted(steps or [])
+
+    def add(self, step: int) -> None:
+        """Record a newly persisted checkpoint step."""
+        self._steps.append(step)
+        self._steps.sort()
+
+    def latest(self) -> int | None:
+        """Newest checkpoint step, or None."""
+        return self._steps[-1] if self._steps else None
+
+    def earlier_healthy(self, before_step: int, back: int = 2
+                        ) -> int | None:
+        """A checkpoint ``back`` saves earlier than the last one before
+        ``before_step`` — the loss-spike rollback target."""
+        eligible = [step for step in self._steps if step <= before_step]
+        if not eligible:
+            return None
+        index = max(len(eligible) - 1 - back, 0)
+        return eligible[index]
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+
+class RecoveryController:
+    """Drives automatic recovery for one pretraining job."""
+
+    def __init__(self, diagnosis_system: DiagnosisSystem,
+                 checkpoints: CheckpointCatalog,
+                 nodes: list[Node]) -> None:
+        self.diagnosis_system = diagnosis_system
+        self.checkpoints = checkpoints
+        self.nodes = {node.name: node for node in nodes}
+        self.incidents: list[RecoveryPlan] = []
+
+    # -- failure path ---------------------------------------------------------
+
+    def handle_failure(self, log_lines: list[str],
+                       tester: CollectiveTester | None = None
+                       ) -> RecoveryPlan:
+        """Diagnose a failed job's log and execute the recovery plan."""
+        diagnosis = self.diagnosis_system.diagnose(log_lines)
+        plan = RecoveryPlan(diagnosis=diagnosis, restart=False,
+                            restart_checkpoint_step=None)
+        if diagnosis.category is FailureCategory.SCRIPT:
+            plan.actions.append(RecoveryAction(
+                "notify",
+                f"script error {diagnosis.reason}: {diagnosis.mitigation}"))
+        elif diagnosis.category is FailureCategory.INFRASTRUCTURE:
+            self._isolate_faulty_nodes(plan, tester)
+            self._restart_from_latest(plan)
+        else:  # framework
+            self._restart_from_latest(plan)
+            plan.actions.append(RecoveryAction(
+                "notify",
+                f"framework error {diagnosis.reason}; flagged for review"))
+        self.incidents.append(plan)
+        return plan
+
+    # -- anomaly path ---------------------------------------------------------
+
+    def handle_anomaly(self, event: AnomalyEvent,
+                       tester: CollectiveTester | None = None
+                       ) -> RecoveryPlan:
+        """React to a loss spike or hang with the matching plan."""
+        plan = RecoveryPlan(diagnosis=None, restart=False,
+                            restart_checkpoint_step=None)
+        if event.kind == "loss_spike":
+            target = self.checkpoints.earlier_healthy(event.step)
+            if target is not None:
+                plan.restart = True
+                plan.restart_checkpoint_step = target
+                plan.skip_batches = True
+                plan.actions.append(RecoveryAction(
+                    "rollback",
+                    f"loss spike at step {event.step}: restart from "
+                    f"{target} and skip offending batches"))
+            else:
+                plan.actions.append(RecoveryAction(
+                    "notify", "loss spike but no checkpoint to roll "
+                              "back to"))
+        elif event.kind == "hang":
+            self._isolate_faulty_nodes(plan, tester)
+            self._restart_from_latest(plan)
+        else:
+            raise ValueError(f"unknown anomaly kind {event.kind!r}")
+        self.incidents.append(plan)
+        return plan
+
+    # -- helpers --------------------------------------------------------------
+
+    def _isolate_faulty_nodes(self, plan: RecoveryPlan,
+                              tester: CollectiveTester | None) -> None:
+        if tester is None:
+            return
+        schedulable = [name for name, node in self.nodes.items()
+                       if node.schedulable]
+        result = two_round_nccl_test(schedulable, tester)
+        plan.actions.append(RecoveryAction(
+            "nccl_test",
+            f"{result.tests_run} collectives, "
+            f"{len(result.faulty)} faulty"))
+        for name in result.faulty:
+            self.nodes[name].cordon()
+            plan.cordoned_nodes.add(name)
+            plan.actions.append(RecoveryAction("cordon", name))
+
+    def _restart_from_latest(self, plan: RecoveryPlan) -> None:
+        latest = self.checkpoints.latest()
+        if latest is None:
+            plan.actions.append(RecoveryAction(
+                "notify", "no checkpoint available; restart from scratch"))
+            plan.restart = True
+            plan.restart_checkpoint_step = 0
+            return
+        plan.restart = True
+        plan.restart_checkpoint_step = latest
+        plan.actions.append(RecoveryAction(
+            "restart", f"restart from checkpoint step {latest}"))
+
+    # -- reporting ------------------------------------------------------------
+
+    def manual_interventions(self) -> int:
+        """Incidents that still need a human (script errors / unknowns)."""
+        count = 0
+        for plan in self.incidents:
+            if plan.diagnosis is None:
+                continue
+            if (plan.diagnosis.category is FailureCategory.SCRIPT
+                    or plan.diagnosis.reason == "Unknown"):
+                count += 1
+        return count
+
+    def automation_rate(self) -> float:
+        """Fraction of incidents recovered without a human in the loop."""
+        if not self.incidents:
+            return 0.0
+        return 1.0 - self.manual_interventions() / len(self.incidents)

@@ -1,0 +1,103 @@
+"""Training-anomaly detectors (§5.3's restart triggers).
+
+Three situations demand a restart: (1) an error inside the job — handled
+by the diagnosis system; (2) a loss spike that does not recover; (3) a
+stuck training process.  This module covers (2) and (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A detected anomaly."""
+
+    kind: str          # "loss_spike" or "hang"
+    step: int
+    detail: str
+
+
+class LossSpikeDetector:
+    """Flags a loss spike that fails to recover.
+
+    A spike is a loss sample exceeding the trailing-window mean by
+    ``threshold`` standard deviations (with a relative floor).  The spike
+    is only *reported* if the loss stays elevated for ``patience``
+    consecutive steps — the paper restarts only when a spike "does not
+    recover over a certain period".
+    """
+
+    def __init__(self, window: int = 50, threshold: float = 4.0,
+                 relative_floor: float = 0.15,
+                 patience: int = 10) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.window = window
+        self.threshold = threshold
+        self.relative_floor = relative_floor
+        self.patience = patience
+        self._history: deque[float] = deque(maxlen=window)
+        self._elevated_since: int | None = None
+
+    def _is_elevated(self, loss: float) -> bool:
+        n = len(self._history)
+        if n < self.window // 2:
+            return False
+        mean = sum(self._history) / n
+        variance = sum((x - mean) ** 2 for x in self._history) / n
+        std = variance ** 0.5
+        bound = mean + max(self.threshold * std,
+                           self.relative_floor * abs(mean))
+        return loss > bound
+
+    def observe(self, step: int, loss: float) -> AnomalyEvent | None:
+        """Feed one loss sample; returns an event once a spike persists."""
+        elevated = self._is_elevated(loss)
+        if elevated:
+            if self._elevated_since is None:
+                self._elevated_since = step
+            if step - self._elevated_since + 1 >= self.patience:
+                since = self._elevated_since
+                self._elevated_since = None
+                return AnomalyEvent(
+                    kind="loss_spike", step=step,
+                    detail=f"loss elevated since step {since}")
+        else:
+            self._elevated_since = None
+            self._history.append(loss)  # only healthy samples train stats
+        return None
+
+
+class HangDetector:
+    """Flags a stuck job: no step progress within ``timeout`` seconds.
+
+    Appendix A.1 motivates this: jobs stalling on silent infrastructure
+    issues wasted large-scale resources until someone noticed manually.
+    """
+
+    def __init__(self, timeout: float = 1800.0) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self._last_step: int | None = None
+        self._last_progress_time: float | None = None
+
+    def heartbeat(self, time: float, step: int) -> AnomalyEvent | None:
+        """Report the current (wall time, step); returns an event on hang."""
+        if self._last_step is None or step > self._last_step:
+            self._last_step = step
+            self._last_progress_time = time
+            return None
+        assert self._last_progress_time is not None
+        stalled = time - self._last_progress_time
+        if stalled >= self.timeout:
+            self._last_progress_time = time  # re-arm after reporting
+            return AnomalyEvent(
+                kind="hang", step=step,
+                detail=f"no progress for {stalled:.0f}s")
+        return None

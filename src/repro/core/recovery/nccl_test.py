@@ -1,0 +1,124 @@
+"""Two-round NCCL test for locating faulty nodes (§6.1).
+
+The paper's procedure for frequent NVLink errors:
+
+1. Split all nodes into two-node worlds (one world of three if the count
+   is odd) and run an allgather in each.  A world whose allgather fails
+   contains at least one faulty node — its members become suspects.
+2. Pair every suspect with a node from a passing world and re-run the
+   allgather.  A failing pair convicts the suspect; a passing pair clears
+   it.  Convicted nodes are cordoned off.
+
+The collective itself is abstracted behind :class:`CollectiveTester` so
+the algorithm is exactly the production pairing logic, independent of the
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class World:
+    """One test world (group of nodes running an allgather together)."""
+
+    members: tuple[str, ...]
+
+
+class CollectiveTester:
+    """Runs (simulated) allgather tests against a hidden faulty set.
+
+    A real deployment implements ``run_allgather`` with nccl-tests; here
+    the collective fails iff any participant is in the injected faulty
+    set.  ``tests_run`` counts collective launches — the efficiency the
+    two-round scheme is optimizing.
+    """
+
+    def __init__(self, faulty_nodes: Iterable[str]) -> None:
+        self.faulty_nodes = frozenset(faulty_nodes)
+        self.tests_run = 0
+
+    def run_allgather(self, world: World) -> bool:
+        """True if the collective succeeds."""
+        if not world.members:
+            raise ValueError("empty world")
+        self.tests_run += 1
+        return not any(member in self.faulty_nodes
+                       for member in world.members)
+
+
+def _make_worlds(nodes: Sequence[str]) -> list[World]:
+    """Pair nodes two at a time; fold a leftover into a world of three."""
+    worlds = []
+    count = len(nodes)
+    even_end = count if count % 2 == 0 else count - 3
+    for index in range(0, max(even_end, 0), 2):
+        worlds.append(World((nodes[index], nodes[index + 1])))
+    if count % 2 == 1:
+        if count >= 3:
+            worlds.append(World(tuple(nodes[-3:])))
+        else:  # a single node cannot be paired; test it alone
+            worlds.append(World((nodes[-1],)))
+    return worlds
+
+
+@dataclass
+class NcclTestResult:
+    """Outcome of the two-round procedure."""
+
+    faulty: set[str] = field(default_factory=set)
+    cleared: set[str] = field(default_factory=set)
+    suspects_after_round1: set[str] = field(default_factory=set)
+    tests_run: int = 0
+
+
+def two_round_nccl_test(nodes: Sequence[str],
+                        tester: CollectiveTester) -> NcclTestResult:
+    """Identify the faulty nodes among ``nodes``.
+
+    Guarantees (under the fail-iff-any-member-faulty model): every faulty
+    node is convicted and no healthy node is, provided at least one world
+    passes round 1 (otherwise there is no trusted partner and all
+    suspects are conservatively convicted).
+    """
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("duplicate node names")
+    result = NcclTestResult()
+    if not nodes:
+        result.tests_run = tester.tests_run
+        return result
+
+    # Round 1: pairwise sweep.
+    suspects: list[str] = []
+    healthy_pool: list[str] = []
+    for world in _make_worlds(list(nodes)):
+        if tester.run_allgather(world):
+            healthy_pool.extend(world.members)
+        else:
+            suspects.extend(world.members)
+    result.suspects_after_round1 = set(suspects)
+
+    if not suspects:
+        result.cleared = set(nodes)
+        result.tests_run = tester.tests_run
+        return result
+
+    if not healthy_pool:
+        # No trusted partner exists; cordon everything suspicious rather
+        # than risk restarting onto broken hardware.
+        result.faulty = set(suspects)
+        result.tests_run = tester.tests_run
+        return result
+
+    # Round 2: pair each suspect with a known-good node.
+    probe = healthy_pool[0]
+    for suspect in suspects:
+        if tester.run_allgather(World((suspect, probe))):
+            result.cleared.add(suspect)
+        else:
+            result.faulty.add(suspect)
+    result.cleared.update(healthy_pool)
+    result.tests_run = tester.tests_run
+    return result

@@ -1,0 +1,154 @@
+"""Sharded checkpointing across ranks (§6.1 at TB scale).
+
+A 123B model's state is 16Ψ ≈ 2 TB spread over thousands of ranks; each
+rank checkpoints its own shard.  A checkpoint is *usable* only if every
+rank's shard for that step is durable — if a failure interrupts the
+flush, some ranks will have persisted step N while others stopped at
+N-k, and recovery must fall back to the newest step **complete across
+all ranks**.
+
+``ShardedCheckpointer`` coordinates per-rank async checkpointers and
+implements that consistency rule; ``latest_complete_step`` is what the
+recovery controller's :class:`CheckpointCatalog` should be fed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checkpoint import (AsyncCheckpointer, InMemoryStorage,
+                                   StateDict, _deserialize,
+                                   _checkpoint_key, _key_step)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One rank's durable checkpoint steps."""
+
+    rank: int
+    steps: tuple[int, ...]
+
+
+class ShardedCheckpointer:
+    """Per-rank async checkpointing with all-ranks-complete recovery."""
+
+    def __init__(self, world_size: int,
+                 storage_factory=None,
+                 buffer_slots: int = 2) -> None:
+        if world_size <= 0:
+            raise ValueError("world_size must be positive")
+        storage_factory = storage_factory or InMemoryStorage
+        self.world_size = world_size
+        self.storages = [storage_factory() for _ in range(world_size)]
+        self.checkpointers = [
+            AsyncCheckpointer(storage, buffer_slots=buffer_slots)
+            for storage in self.storages]
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self, step: int, shards: list[StateDict],
+             fail_after_rank: int | None = None) -> float:
+        """Snapshot every rank's shard; returns total blocking seconds.
+
+        ``fail_after_rank`` emulates a crash mid-save: ranks beyond it
+        never snapshot this step (their latest durable step stays
+        older) — the inconsistency the recovery rule exists for.
+        """
+        if len(shards) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} shards, got {len(shards)}")
+        blocking = 0.0
+        for rank, (checkpointer, shard) in enumerate(
+                zip(self.checkpointers, shards)):
+            if fail_after_rank is not None and rank > fail_after_rank:
+                break
+            blocking += checkpointer.save(step, shard)
+        return blocking
+
+    def flush(self) -> None:
+        """Block until every rank's snapshots are durable."""
+        for checkpointer in self.checkpointers:
+            checkpointer.flush()
+
+    def close(self) -> None:
+        """Flush and stop all per-rank background threads."""
+        for checkpointer in self.checkpointers:
+            checkpointer.close()
+
+    def __enter__(self) -> "ShardedCheckpointer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recovery -------------------------------------------------------------
+
+    def shard_infos(self) -> list[ShardInfo]:
+        """Durable steps per rank."""
+        infos = []
+        for rank, storage in enumerate(self.storages):
+            steps = tuple(sorted(_key_step(key)
+                                 for key in storage.keys()))
+            infos.append(ShardInfo(rank=rank, steps=steps))
+        return infos
+
+    def latest_complete_step(self) -> int | None:
+        """Newest step durable on **every** rank (None if no such step)."""
+        common: set[int] | None = None
+        for info in self.shard_infos():
+            steps = set(info.steps)
+            common = steps if common is None else common & steps
+            if not common:
+                return None
+        return max(common) if common else None
+
+    def load_complete(self) -> tuple[int, list[StateDict]] | None:
+        """Load the newest all-ranks-complete checkpoint."""
+        step = self.latest_complete_step()
+        if step is None:
+            return None
+        shards = []
+        for storage in self.storages:
+            loaded_step, state = _deserialize(
+                storage.read(_checkpoint_key(step)))
+            assert loaded_step == step
+            shards.append(state)
+        return step, shards
+
+    # -- accounting -----------------------------------------------------------
+
+    def total_state_bytes(self) -> int:
+        """Durable bytes across all ranks (for capacity accounting)."""
+        return sum(len(storage.read(key))
+                   for storage in self.storages
+                   for key in storage.keys())
+
+
+def demo_inconsistent_save(world_size: int = 4, seed: int = 0) -> dict:
+    """A worked example of the consistency rule.
+
+    Saves step 100 everywhere, then crashes halfway through saving step
+    200 — recovery must come back at 100, not 200.
+    """
+    rng = np.random.default_rng(seed)
+
+    def shards_for(step: int) -> list[StateDict]:
+        return [{"weights": rng.normal(size=64),
+                 "step": np.array([step])}
+                for _ in range(world_size)]
+
+    with ShardedCheckpointer(world_size) as checkpointer:
+        checkpointer.save(100, shards_for(100))
+        checkpointer.flush()
+        checkpointer.save(200, shards_for(200),
+                          fail_after_rank=world_size // 2 - 1)
+        checkpointer.flush()
+        step = checkpointer.latest_complete_step()
+        loaded = checkpointer.load_complete()
+    return {
+        "latest_complete_step": step,
+        "loaded_step": loaded[0] if loaded else None,
+        "ranks_with_step_200": world_size // 2,
+    }

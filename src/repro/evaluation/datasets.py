@@ -1,0 +1,158 @@
+"""Benchmark-dataset catalog with runtime priors.
+
+The paper's evaluation rounds cover ~60 datasets per checkpoint (§6.2 uses
+63).  The trial coordinator's elastic scheduling leans on "quite robust"
+prior knowledge of per-dataset runtimes; this catalog encodes those priors
+for a 7B model on one A100:
+
+* ``inference_seconds`` — GPU generation/scoring time;
+* ``preprocess_seconds`` — tokenization etc. (cacheable);
+* ``metric_cpu_seconds`` — post-inference metric computation; near zero
+  for log-likelihood benchmarks, tens of minutes for code-correctness
+  suites (HumanEval/MBPP) and LLM-judged chat (§4.2);
+* ``splittable`` — large datasets can be partitioned across trials.
+
+Runtimes scale roughly linearly with model size; callers pass a
+``model_scale`` factor for larger checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EvalDataset:
+    """One benchmark dataset and its runtime priors (7B, one A100)."""
+
+    name: str
+    num_samples: int
+    inference_seconds: float
+    preprocess_seconds: float
+    metric_cpu_seconds: float
+    splittable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.inference_seconds < 0 or self.metric_cpu_seconds < 0:
+            raise ValueError("runtimes must be non-negative")
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.inference_seconds
+
+    def scaled(self, model_scale: float) -> "EvalDataset":
+        """Priors for a model ``model_scale``x the 7B reference."""
+        if model_scale <= 0:
+            raise ValueError("model_scale must be positive")
+        return replace(
+            self,
+            inference_seconds=self.inference_seconds * model_scale,
+            preprocess_seconds=self.preprocess_seconds,
+            metric_cpu_seconds=self.metric_cpu_seconds,
+        )
+
+    def split(self, parts: int) -> list["EvalDataset"]:
+        """Partition into ``parts`` shards (prior-based decomposition)."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if parts == 1 or not self.splittable:
+            return [self]
+        shards = []
+        for index in range(parts):
+            shards.append(EvalDataset(
+                name=f"{self.name}#{index}",
+                num_samples=max(1, self.num_samples // parts),
+                inference_seconds=self.inference_seconds / parts,
+                preprocess_seconds=self.preprocess_seconds,
+                metric_cpu_seconds=self.metric_cpu_seconds / parts,
+                splittable=False,
+            ))
+        return shards
+
+
+def _d(name: str, samples: int, infer: float, prep: float,
+       metric: float, splittable: bool = True) -> EvalDataset:
+    return EvalDataset(name, samples, infer, prep, metric, splittable)
+
+
+#: The 63-dataset evaluation round of §6.2.  Heavy-metric entries lead:
+#: code-correctness suites and LLM-judged conversation take up to 30 CPU
+#: minutes while the GPU would sit idle (Fig. 13).
+DATASET_CATALOG: list[EvalDataset] = [
+    _d("humaneval", 164, 113.0, 12.0, 1140.0),
+    _d("mbpp", 500, 260.0, 15.0, 1500.0),
+    _d("chatbot-arena", 80, 240.0, 8.0, 1800.0, splittable=False),
+    _d("mtbench", 80, 260.0, 8.0, 1500.0, splittable=False),
+    _d("mmlu", 14042, 900.0, 60.0, 20.0),
+    _d("cmmlu", 11528, 760.0, 55.0, 18.0),
+    _d("ceval", 13948, 820.0, 58.0, 18.0),
+    _d("agieval", 8062, 660.0, 40.0, 15.0),
+    _d("bbh", 6511, 780.0, 35.0, 30.0),
+    _d("gsm8k", 1319, 620.0, 20.0, 45.0),
+    _d("math", 5000, 840.0, 30.0, 60.0),
+    _d("theoremqa", 800, 300.0, 12.0, 25.0),
+    _d("arc-easy", 2376, 140.0, 12.0, 5.0),
+    _d("arc-challenge", 1172, 110.0, 10.0, 5.0),
+    _d("hellaswag", 10042, 420.0, 35.0, 8.0),
+    _d("winogrande", 1267, 90.0, 9.0, 4.0),
+    _d("boolq", 3270, 160.0, 14.0, 5.0),
+    _d("piqa", 1838, 110.0, 10.0, 4.0),
+    _d("siqa", 1954, 115.0, 10.0, 4.0),
+    _d("openbookqa", 500, 60.0, 6.0, 3.0),
+    _d("commonsenseqa", 1221, 95.0, 9.0, 4.0),
+    _d("strategyqa", 2290, 150.0, 12.0, 6.0),
+    _d("naturalquestions", 3610, 380.0, 25.0, 15.0),
+    _d("triviaqa", 17944, 640.0, 50.0, 20.0),
+    _d("squad", 10570, 360.0, 30.0, 12.0),
+    _d("drop", 9536, 520.0, 28.0, 40.0),
+    _d("quac", 7354, 420.0, 26.0, 15.0),
+    _d("race-middle", 1436, 130.0, 11.0, 5.0),
+    _d("race-high", 3498, 260.0, 18.0, 7.0),
+    _d("xsum", 1000, 360.0, 14.0, 35.0),
+    _d("cnn-dailymail", 1000, 420.0, 16.0, 35.0),
+    _d("wmt22-en-zh", 2037, 330.0, 15.0, 25.0),
+    _d("wmt22-zh-en", 1875, 310.0, 14.0, 25.0),
+    _d("tydiqa", 5077, 330.0, 22.0, 12.0),
+    _d("flores", 1012, 200.0, 10.0, 20.0),
+    _d("lambada", 5153, 170.0, 16.0, 4.0),
+    _d("storycloze", 1871, 95.0, 9.0, 4.0),
+    _d("wic", 638, 50.0, 6.0, 3.0),
+    _d("wsc", 104, 25.0, 4.0, 2.0),
+    _d("copa", 100, 25.0, 4.0, 2.0),
+    _d("cb", 56, 20.0, 3.0, 2.0),
+    _d("rte", 277, 35.0, 5.0, 2.0),
+    _d("anli", 3200, 170.0, 14.0, 6.0),
+    _d("qqp", 4043, 190.0, 15.0, 6.0),
+    _d("mnli", 9815, 380.0, 28.0, 9.0),
+    _d("sst2", 872, 60.0, 7.0, 3.0),
+    _d("cola", 1043, 65.0, 7.0, 3.0),
+    _d("gaokao-bench", 2811, 420.0, 20.0, 30.0),
+    _d("clue-c3", 1825, 140.0, 12.0, 5.0),
+    _d("clue-cmrc", 3219, 230.0, 16.0, 10.0),
+    _d("xtreme", 4500, 300.0, 22.0, 12.0),
+    _d("toxigen", 940, 90.0, 8.0, 20.0),
+    _d("truthfulqa", 817, 120.0, 9.0, 30.0),
+    _d("crows-pairs", 1508, 80.0, 8.0, 8.0),
+    _d("bold", 7200, 280.0, 20.0, 25.0),
+    _d("realtoxicity", 10000, 420.0, 30.0, 60.0),
+    _d("tnews", 10000, 310.0, 24.0, 8.0),
+    _d("ocnli", 3000, 150.0, 13.0, 5.0),
+    _d("afqmc", 4316, 180.0, 14.0, 5.0),
+    _d("eprstmt", 1000, 60.0, 7.0, 3.0),
+    _d("chid", 3000, 220.0, 15.0, 8.0),
+    _d("cluewsc", 1000, 70.0, 7.0, 3.0),
+    _d("bustm", 2000, 110.0, 10.0, 4.0),
+]
+
+
+def standard_catalog(model_scale: float = 1.0) -> list[EvalDataset]:
+    """The 63-dataset round, scaled to a model size."""
+    return [dataset.scaled(model_scale) for dataset in DATASET_CATALOG]
+
+
+def dataset_by_name(name: str) -> EvalDataset:
+    """Catalog lookup; raises KeyError for unknown names."""
+    for dataset in DATASET_CATALOG:
+        if dataset.name == name:
+            return dataset
+    raise KeyError(name)

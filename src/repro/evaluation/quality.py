@@ -1,0 +1,157 @@
+"""Model-quality curves and checkpoint selection (§6.2 motivation).
+
+Evaluation rounds exist so developers can "track the progress of model
+training and identify the optimal model checkpoint".  This module gives
+the evaluation substrate something to measure: per-benchmark quality
+curves that rise with training progress (power-law, like the loss
+curve's mirror), saturate at a per-dataset ceiling, regress when the
+loss spikes, and carry per-trial measurement noise.
+
+``select_best_checkpoint`` implements the decision the coordinator's
+timely feedback enables — and quantifies the cost of *delayed* feedback
+(§1's "delayed feedback on model performance" challenge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.datasets import EvalDataset
+
+
+@dataclass(frozen=True)
+class QualityCurveConfig:
+    """Score trajectory parameters for one benchmark."""
+
+    floor: float          # untrained-model score (chance level)
+    ceiling: float        # converged score
+    #: steps to reach half the floor->ceiling gap
+    half_life_steps: float
+    noise_sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.floor <= self.ceiling <= 1.0:
+            raise ValueError("need 0 <= floor <= ceiling <= 1")
+        if self.half_life_steps <= 0:
+            raise ValueError("half_life_steps must be positive")
+
+    def expected_score(self, step: float) -> float:
+        """Noise-free score at a training step."""
+        progress = 1.0 - 2.0 ** (-step / self.half_life_steps)
+        return self.floor + (self.ceiling - self.floor) * progress
+
+
+def default_curve_for(dataset: EvalDataset, seed: int = 0
+                      ) -> QualityCurveConfig:
+    """A plausible curve derived deterministically from the dataset.
+
+    Harder benchmarks (long inference, heavy metric) get lower ceilings
+    and longer half-lives — GSM8K-style tasks emerge late; multiple
+    choice saturates early.
+    """
+    rng = np.random.default_rng(abs(hash((dataset.name, seed))) % 2**32)
+    difficulty = min(1.0, (dataset.inference_seconds / 900.0
+                           + dataset.metric_cpu_seconds / 1800.0) / 2.0)
+    floor = float(rng.uniform(0.02, 0.30) * (1.0 - 0.5 * difficulty))
+    ceiling = float(np.clip(0.92 - 0.45 * difficulty
+                            + rng.uniform(-0.05, 0.05), floor + 0.05,
+                            0.97))
+    half_life = float(5000.0 + 40_000.0 * difficulty
+                      * rng.uniform(0.6, 1.4))
+    return QualityCurveConfig(floor=floor, ceiling=ceiling,
+                              half_life_steps=half_life)
+
+
+@dataclass
+class CheckpointScore:
+    """One evaluation round's outcome for one checkpoint."""
+
+    step: int
+    scores: dict[str, float] = field(default_factory=dict)
+
+    def mean_score(self) -> float:
+        """Mean score across the round's datasets."""
+        if not self.scores:
+            raise ValueError("no scores recorded")
+        return float(np.mean(list(self.scores.values())))
+
+
+class QualityModel:
+    """Scores checkpoints across a benchmark suite."""
+
+    def __init__(self, datasets: list[EvalDataset], seed: int = 0,
+                 curves: dict[str, QualityCurveConfig] | None = None
+                 ) -> None:
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        self.datasets = datasets
+        self.rng = np.random.default_rng(seed)
+        self.curves = curves or {dataset.name:
+                                 default_curve_for(dataset, seed)
+                                 for dataset in datasets}
+        #: regressions caused by unrecovered loss spikes: step -> penalty
+        self._regressions: list[tuple[int, float]] = []
+
+    def add_regression(self, step: int, penalty: float = 0.05) -> None:
+        """Record a quality regression from ``step`` onward (§5.3 loss
+        spikes degrade model quality until rolled back)."""
+        if penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        self._regressions.append((step, penalty))
+
+    def _penalty_at(self, step: int) -> float:
+        return sum(penalty for start, penalty in self._regressions
+                   if step >= start)
+
+    def evaluate_checkpoint(self, step: int) -> CheckpointScore:
+        """One full evaluation round at ``step`` (with trial noise)."""
+        result = CheckpointScore(step=step)
+        penalty = self._penalty_at(step)
+        for dataset in self.datasets:
+            curve = self.curves[dataset.name]
+            score = (curve.expected_score(step) - penalty
+                     + float(self.rng.normal(0.0, curve.noise_sigma)))
+            result.scores[dataset.name] = float(np.clip(score, 0.0, 1.0))
+        return result
+
+    def evaluate_schedule(self, steps: list[int]) -> list[CheckpointScore]:
+        """Evaluate every checkpoint step, in order."""
+        return [self.evaluate_checkpoint(step) for step in sorted(steps)]
+
+
+def select_best_checkpoint(scores: list[CheckpointScore]
+                           ) -> CheckpointScore:
+    """The coordinator's end product: the best checkpoint so far."""
+    if not scores:
+        raise ValueError("no checkpoints scored")
+    return max(scores, key=lambda score: score.mean_score())
+
+
+def feedback_delay_cost(model: QualityModel, checkpoint_steps: list[int],
+                        regression_step: int,
+                        eval_delay_checkpoints: int,
+                        checkpoint_interval_steps: int) -> dict:
+    """Quantify §1's 'delayed feedback' challenge.
+
+    A quality regression at ``regression_step`` is only *noticed* when
+    its checkpoint's evaluation completes; with a backlogged evaluation
+    queue the answer arrives ``eval_delay_checkpoints`` rounds late, and
+    every step trained meanwhile is wasted (it must be rolled back).
+    """
+    if eval_delay_checkpoints < 0:
+        raise ValueError("delay must be non-negative")
+    model.add_regression(regression_step)
+    first_bad = next((step for step in sorted(checkpoint_steps)
+                      if step >= regression_step), None)
+    if first_bad is None:
+        return {"wasted_steps": 0, "detected_at_step": None}
+    detected = first_bad + (eval_delay_checkpoints
+                            * checkpoint_interval_steps)
+    return {
+        "regression_step": regression_step,
+        "first_affected_checkpoint": first_bad,
+        "detected_at_step": detected,
+        "wasted_steps": detected - regression_step,
+    }

@@ -1,0 +1,358 @@
+"""Synthetic runtime-log generation for failed (and healthy) jobs.
+
+The diagnosis system (§6.1) consumes stdout/stderr from the pretraining
+framework.  Real logs are hundreds of MB, dominated by per-step metric
+records, with the failure evidence buried at the end — often as a cascade
+of errors where the first exceptions visible are *not* the root cause
+(the paper's example: NCCLTimeoutError and RuntimeErrors surrounding an
+underlying CUDAError).
+
+``LogGenerator`` reproduces that structure: initialization banner, a large
+body of templated metric lines, occasional benign warnings, then (for a
+failed job) a cascade of distractor errors followed by the root-cause
+signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.failures.taxonomy import TAXONOMY, FailureCategory
+
+#: Root-cause signature lines per failure reason.  The first entry is the
+#: canonical signature used for ground truth; the rest add variety.
+REASON_SIGNATURES: dict[str, list[str]] = {
+    "NVLinkError": [
+        "NVRM: Xid (PCI:0000:4b:00): 74, NVLink: fatal error detected on "
+        "link 3",
+        "NCCL WARN Cuda failure 'uncorrectable NVLink error detected "
+        "during the execution'",
+    ],
+    "CUDAError": [
+        "RuntimeError: CUDA error: an illegal memory access was "
+        "encountered",
+        "RuntimeError: CUDA error: device-side assert triggered",
+    ],
+    "NodeFailure": [
+        "slurmstepd: error: *** JOB 81374 CANCELLED DUE TO NODE FAILURE "
+        "ON node-0173 ***",
+        "kubelet: node controller lost heartbeat, marking NotReady",
+    ],
+    "ECCError": [
+        "NVRM: Xid (PCI:0000:1a:00): 63, ECC row remapping event: "
+        "uncorrectable error",
+        "RuntimeError: CUDA error: uncorrectable ECC error encountered",
+    ],
+    "NetworkError": [
+        "NCCL WARN NET/IB: got completion with error 12, opcode 1, "
+        "vendor err 129 (transport retry counter exceeded)",
+        "ibv_poll_cq failed with status transport retry counter exceeded",
+    ],
+    "ConnectionError": [
+        "requests.exceptions.ConnectionError: "
+        "HTTPSConnectionPool(host='metrics.acme.internal', port=443): "
+        "Max retries exceeded",
+        "ConnectionRefusedError: [Errno 111] Connection refused",
+    ],
+    "S3StorageError": [
+        "botocore.exceptions.EndpointConnectionError: Could not connect "
+        "to the endpoint URL: \"s3://acme-ckpt/pretrain/latest\"",
+        "petrel_client.common.exception.AccessDeniedError: S3 GET timed "
+        "out after 3 retries",
+    ],
+    "NCCLTimeoutError": [
+        "torch.distributed.DistBackendError: [Rank 371] Watchdog caught "
+        "collective operation timeout: WorkNCCL(SeqNum=88312, "
+        "OpType=ALLREDUCE) ran for 1800000 milliseconds",
+        "RuntimeError: NCCL communicator watchdog timeout",
+    ],
+    "NCCLRemoteError": [
+        "torch.distributed.DistBackendError: NCCL error: remote process "
+        "exited or there was a network error, NCCL version 2.14.3 "
+        "(ncclRemoteError)",
+    ],
+    "DataloaderKilled": [
+        "RuntimeError: DataLoader worker (pid 73214) is killed by "
+        "signal: Killed.",
+    ],
+    "AttributeError": [
+        "AttributeError: 'NoneType' object has no attribute 'shape'",
+        "AttributeError: module 'internlm.model' has no attribute "
+        "'build_moe_block'",
+    ],
+    "OutOfMemoryError": [
+        "torch.cuda.OutOfMemoryError: CUDA out of memory. Tried to "
+        "allocate 2.50 GiB (GPU 5; 79.35 GiB total capacity)",
+    ],
+    "RuntimeError": [
+        "RuntimeError: The size of tensor a (4096) must match the size "
+        "of tensor b (2048) at non-singleton dimension 1",
+        "RuntimeError: Expected all tensors to be on the same device",
+    ],
+    "AssertionError": [
+        "AssertionError: micro_num * micro_bsz must equal gradient "
+        "accumulation size",
+        "AssertionError: checkpoint step mismatch: expected 42000",
+    ],
+    "ValueError": [
+        "ValueError: invalid literal for int() with base 10: 'auto'",
+        "ValueError: optimizer got an empty parameter list",
+    ],
+    "ZeroDivisionError": [
+        "ZeroDivisionError: division by zero",
+    ],
+    "ModelLoadingError": [
+        "OSError: Unable to load weights from pytorch checkpoint file "
+        "'/mnt/petrel/ckpt/7b/step_42000/model_tp0_pp0.pt'",
+    ],
+    "DatasetLoadingError": [
+        "datasets.exceptions.DatasetGenerationError: An error occurred "
+        "while generating the dataset split 'train'",
+    ],
+    "FileNotFoundError": [
+        "FileNotFoundError: [Errno 2] No such file or directory: "
+        "'/mnt/petrel/data/en/shard_000137.bin'",
+    ],
+    "OSError": [
+        "OSError: [Errno 28] No space left on device",
+        "OSError: [Errno 122] Disk quota exceeded",
+    ],
+    "TypeError": [
+        "TypeError: forward() got an unexpected keyword argument "
+        "'use_flash_attn'",
+        "TypeError: unsupported operand type(s) for +: 'int' and 'str'",
+    ],
+    "NameError": [
+        "NameError: name 'micro_bsz' is not defined",
+    ],
+    "PermissionError": [
+        "PermissionError: [Errno 13] Permission denied: "
+        "'/mnt/petrel/shared/tokenizer.model'",
+    ],
+    "ImportError": [
+        "ImportError: cannot import name 'flash_attn_varlen_func' from "
+        "'flash_attn'",
+        "ModuleNotFoundError: No module named 'rotary_emb'",
+    ],
+    "KeyError": [
+        "KeyError: 'grad_scaler'",
+        "KeyError: 'moe_loss_coeff'",
+    ],
+    "SyntaxError": [
+        "SyntaxError: invalid syntax (train_config.py, line 47)",
+    ],
+    "ArgumentError": [
+        "argparse.ArgumentError: argument --learning-rate: invalid "
+        "float value: '3e-4x'",
+    ],
+    "CalledProcessError": [
+        "subprocess.CalledProcessError: Command "
+        "'['/usr/bin/srun', 'nccl-tests/all_reduce_perf']' returned "
+        "non-zero exit status 1.",
+    ],
+    "IndexError": [
+        "IndexError: list index out of range",
+    ],
+}
+
+#: Distractor errors that precede the root cause in real cascades (§6.1:
+#: "a job might fail with messages that include NCCLTimeoutError,
+#: CUDAError and multiple kinds of RuntimeError, whereas the root cause is
+#: CUDAError").  Keys are root reasons; values are *other* reasons whose
+#: signatures appear first.
+CASCADE_DISTRACTORS: dict[str, list[str]] = {
+    "CUDAError": ["NCCLTimeoutError", "RuntimeError"],
+    "NVLinkError": ["NCCLTimeoutError", "CUDAError", "RuntimeError"],
+    "ECCError": ["CUDAError", "RuntimeError"],
+    "NetworkError": ["NCCLTimeoutError", "ConnectionError"],
+    "NodeFailure": ["NCCLTimeoutError", "NetworkError"],
+    "DataloaderKilled": ["RuntimeError"],
+    "OutOfMemoryError": ["RuntimeError"],
+    "S3StorageError": ["ConnectionError"],
+}
+
+_TRACEBACK_HEADER = "Traceback (most recent call last):"
+_TRACEBACK_FRAMES = [
+    '  File "/opt/internlm/train.py", line 312, in main',
+    "    trainer.step(batch)",
+    '  File "/opt/internlm/internlm/core/trainer.py", line 188, in step',
+    "    loss = self.engine.execute_schedule(batch)",
+    '  File "/opt/internlm/internlm/core/engine.py", line 97, in '
+    "execute_schedule",
+    "    output = self.model(**inputs)",
+]
+
+
+@dataclass
+class JobLog:
+    """A generated runtime log plus its ground truth."""
+
+    lines: list[str]
+    reason: str | None          # None for a healthy log
+    category: FailureCategory | None = None
+    distractors: list[str] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.text.encode())
+
+
+class LogGenerator:
+    """Produces framework logs with realistic structure and volume."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+        self._categories = {spec.reason: spec.category for spec in TAXONOMY}
+
+    # -- building blocks -----------------------------------------------------
+
+    def _timestamp(self, step: int) -> str:
+        base_minutes = step // 3
+        return (f"2023-07-{12 + base_minutes // 1440:02d} "
+                f"{(3 + base_minutes // 60) % 24:02d}:"
+                f"{base_minutes % 60:02d}:"
+                f"{int(self.rng.integers(0, 60)):02d},"
+                f"{int(self.rng.integers(0, 1000)):03d}")
+
+    def _init_banner(self, world_size: int) -> list[str]:
+        return [
+            f"{self._timestamp(0)} INFO [launcher] launching job on "
+            f"{world_size} GPUs ({world_size // 8} nodes)",
+            f"{self._timestamp(0)} INFO [config] model=internlm "
+            f"layers=96 hidden=10240 seq_len=4096 micro_bsz=1",
+            f"{self._timestamp(0)} INFO [parallel] tp=8 pp=4 "
+            f"dp={world_size // 32} zero=hierarchical",
+            f"{self._timestamp(0)} INFO [dist] NCCL version 2.14.3+cuda11.7",
+            f"{self._timestamp(0)} INFO [dataloader] loaded 1.6T tokens "
+            f"from /mnt/petrel/data (on-the-fly tokenization)",
+        ]
+
+    def _metric_line(self, step: int) -> str:
+        loss = 2.2 + 6.0 / (step + 10) + float(self.rng.normal(0, 0.01))
+        tgs = 510.0 + float(self.rng.normal(0, 4.0))
+        tflops = 181.0 + float(self.rng.normal(0, 2.0))
+        return (f"{self._timestamp(step)} INFO [trainer] step={step} "
+                f"loss={loss:.4f} lr=3.00e-05 grad_norm="
+                f"{1.1 + float(self.rng.normal(0, 0.1)):.3f} "
+                f"tgs={tgs:.1f} tflops={tflops:.1f}")
+
+    def _benign_warnings(self, step: int) -> list[str]:
+        pool = [
+            f"{self._timestamp(step)} WARNING [monitor] metric push "
+            f"latency 2.3s exceeds budget, retrying",
+            f"{self._timestamp(step)} WARNING [ckpt] previous snapshot "
+            f"still flushing, queueing",
+            f"{self._timestamp(step)} DEBUG [memory] allocated=68.2GiB "
+            f"reserved=74.5GiB",
+        ]
+        index = int(self.rng.integers(len(pool)))
+        return [pool[index]]
+
+    def _error_block(self, reason: str, step: int) -> list[str]:
+        signature_pool = REASON_SIGNATURES[reason]
+        signature = signature_pool[int(self.rng.integers(
+            len(signature_pool)))]
+        lines = [f"{self._timestamp(step)} ERROR [trainer] rank "
+                 f"{int(self.rng.integers(0, 2048))} caught exception",
+                 _TRACEBACK_HEADER]
+        lines.extend(_TRACEBACK_FRAMES)
+        lines.append(signature)
+        return lines
+
+    # -- public API -----------------------------------------------------------
+
+    def healthy_log(self, n_steps: int = 200, world_size: int = 2048
+                    ) -> JobLog:
+        """A log for a job that runs cleanly (no failure)."""
+        lines = self._init_banner(world_size)
+        for step in range(1, n_steps + 1):
+            lines.append(self._metric_line(step))
+            if self.rng.uniform() < 0.02:
+                lines.extend(self._benign_warnings(step))
+        return JobLog(lines=lines, reason=None)
+
+    def failed_log(self, reason: str, n_steps: int = 200,
+                   world_size: int = 2048,
+                   with_cascade: bool = True) -> JobLog:
+        """A log that ends in ``reason`` (after optional distractors)."""
+        if reason not in REASON_SIGNATURES:
+            raise KeyError(f"unknown failure reason {reason!r}")
+        lines = self._init_banner(world_size)
+        for step in range(1, n_steps + 1):
+            lines.append(self._metric_line(step))
+            if self.rng.uniform() < 0.02:
+                lines.extend(self._benign_warnings(step))
+        distractors: list[str] = []
+        if with_cascade:
+            for distractor in CASCADE_DISTRACTORS.get(reason, []):
+                if self.rng.uniform() < 0.7:
+                    distractors.append(distractor)
+                    lines.extend(self._error_block(distractor, n_steps))
+        # The root cause is the *last* (and usually most specific) error;
+        # real cascades repeat it on several ranks.
+        for _ in range(int(self.rng.integers(1, 4))):
+            lines.extend(self._error_block(reason, n_steps))
+        return JobLog(lines=lines, reason=reason,
+                      category=self._categories.get(reason),
+                      distractors=distractors)
+
+    def corpus(self, reasons: list[str], n_steps: int = 120
+               ) -> list[JobLog]:
+        """One failed log per reason (for training/evaluating diagnosis)."""
+        return [self.failed_log(reason, n_steps=n_steps)
+                for reason in reasons]
+
+
+def generate_job_log(reason: str | None, seed: int = 0,
+                     n_steps: int = 200) -> JobLog:
+    """Convenience one-shot: healthy if ``reason`` is None."""
+    generator = LogGenerator(seed)
+    if reason is None:
+        return generator.healthy_log(n_steps=n_steps)
+    return generator.failed_log(reason, n_steps=n_steps)
+
+
+_ANSI_CODES = ["\x1b[31m", "\x1b[33m", "\x1b[0m", "\x1b[1m"]
+
+
+def make_messy(log: JobLog, seed: int = 0, rank_prefixes: bool = True,
+               ansi: bool = True, truncate: bool = True,
+               shuffle_window: int = 6) -> JobLog:
+    """Degrade a log the way multi-rank captures degrade in production.
+
+    * ``rank_prefixes`` — lines get ``[rank NNN]:`` prefixes, as when
+      the launcher multiplexes per-rank stdout;
+    * ``ansi`` — stray terminal color codes survive into the capture;
+    * ``truncate`` — some long lines are cut mid-payload;
+    * ``shuffle_window`` — nearby lines reorder (rank interleaving is
+      not time-ordered).
+
+    The diagnosis pipeline must survive all of this (tested in
+    ``tests/test_diagnosis.py``).
+    """
+    rng = np.random.default_rng(seed)
+    lines = list(log.lines)
+    if shuffle_window > 1:
+        for start in range(0, len(lines) - shuffle_window,
+                           shuffle_window):
+            window = lines[start:start + shuffle_window]
+            rng.shuffle(window)
+            lines[start:start + shuffle_window] = window
+    messy = []
+    for line in lines:
+        if rank_prefixes and rng.uniform() < 0.8:
+            line = f"[rank {int(rng.integers(0, 2048))}]: {line}"
+        if ansi and rng.uniform() < 0.15:
+            code = _ANSI_CODES[int(rng.integers(len(_ANSI_CODES)))]
+            line = code + line + "\x1b[0m"
+        if truncate and len(line) > 100 and rng.uniform() < 0.10:
+            line = line[:int(rng.integers(80, 100))]
+        messy.append(line)
+    return JobLog(lines=messy, reason=log.reason, category=log.category,
+                  distractors=list(log.distractors))

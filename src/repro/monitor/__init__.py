@@ -1,0 +1,38 @@
+"""Telemetry simulation: DCGM, IPMI, Prometheus, temperature, carbon.
+
+The paper samples hardware monitors every 15 seconds (§2.3).  This package
+reproduces those metric streams from the synthetic trace and the hardware
+models, yielding the infrastructure-utilization CDFs (Fig. 7), the power
+distributions and breakdown (Figs. 8/9), host-memory breakdown (Fig. 18),
+GPU temperatures (Fig. 21), and the carbon-emission accounting (A.3).
+"""
+
+from repro.monitor.dcgm import DcgmSampler, GpuSample
+from repro.monitor.power import GpuPowerModel, ServerPowerModel
+from repro.monitor.ipmi import IpmiSampler, ServerPowerBreakdown
+from repro.monitor.prometheus import PrometheusSampler, HostSample
+from repro.monitor.temperature import TemperatureModel
+from repro.monitor.carbon import CarbonModel, ACME_CARBON
+from repro.monitor.hostmem import (HostMemoryBreakdown,
+                                   pretraining_host_memory)
+from repro.monitor.timeseries import (MetricStore, UtilizationSeries,
+                                      record_cluster_utilization)
+
+__all__ = [
+    "DcgmSampler",
+    "GpuSample",
+    "GpuPowerModel",
+    "ServerPowerModel",
+    "IpmiSampler",
+    "ServerPowerBreakdown",
+    "PrometheusSampler",
+    "HostSample",
+    "TemperatureModel",
+    "CarbonModel",
+    "ACME_CARBON",
+    "HostMemoryBreakdown",
+    "pretraining_host_memory",
+    "MetricStore",
+    "UtilizationSeries",
+    "record_cluster_utilization",
+]

@@ -1,0 +1,62 @@
+"""Carbon-emission accounting (Appendix A.3).
+
+Acme's reported figures: PUE 1.25, 30.61% carbon-free energy (2022), an
+effective emission rate of 0.478 tCO2e/MWh, and — for May 2023 — 673 MWh
+of node-level energy in Seren yielding 321.7 tCO2e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CarbonModel:
+    """Datacenter-level energy and emission conversions."""
+
+    pue: float
+    carbon_free_fraction: float
+    #: effective emission rate applied to node-level energy, tCO2e/MWh
+    emission_rate: float
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+        if not 0.0 <= self.carbon_free_fraction <= 1.0:
+            raise ValueError("carbon_free_fraction must be in [0, 1]")
+        if self.emission_rate < 0:
+            raise ValueError("emission_rate must be non-negative")
+
+    def facility_energy_mwh(self, it_energy_mwh: float) -> float:
+        """Total facility draw including cooling/overheads (PUE)."""
+        if it_energy_mwh < 0:
+            raise ValueError("energy must be non-negative")
+        return it_energy_mwh * self.pue
+
+    def effective_emissions_tco2e(self, node_energy_mwh: float) -> float:
+        """Emissions as the paper reports them: node energy x rate."""
+        if node_energy_mwh < 0:
+            raise ValueError("energy must be non-negative")
+        return node_energy_mwh * self.emission_rate
+
+    def grid_emissions_tco2e(self, node_energy_mwh: float,
+                             grid_rate: float = 0.689) -> float:
+        """Alternative accounting from the raw grid rate.
+
+        Facility energy x non-carbon-free share x grid intensity; with the
+        default China-grid rate this lands near the paper's effective rate
+        (1.25 * (1 - 0.3061) * 0.689 ≈ 0.60 vs the reported 0.478 —
+        the residual reflects contracted renewables, so we expose both
+        accountings).
+        """
+        facility = self.facility_energy_mwh(node_energy_mwh)
+        return facility * (1.0 - self.carbon_free_fraction) * grid_rate
+
+
+#: Acme's published parameters.
+ACME_CARBON = CarbonModel(pue=1.25, carbon_free_fraction=0.3061,
+                          emission_rate=0.478)
+
+#: The Appendix A.3 worked example.
+SEREN_MAY_2023_ENERGY_MWH = 673.0
+SEREN_MAY_2023_EMISSIONS_TCO2E = 321.7

@@ -1,0 +1,92 @@
+"""IPMI-style server power telemetry (Figs. 8b, 9).
+
+IPMI reports whole-server wall power and per-module sensors; combined with
+DCGM's GPU draw this yields the module breakdown of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.dcgm import DcgmSampler
+from repro.monitor.power import GpuPowerModel, ServerPowerModel
+
+
+@dataclass(frozen=True)
+class ServerPowerBreakdown:
+    """Average watts per hardware module across the sampled fleet."""
+
+    gpu: float
+    cpu: float
+    memory: float
+    fans: float
+    nic_and_drives: float
+    psu_loss: float
+
+    @property
+    def total(self) -> float:
+        return (self.gpu + self.cpu + self.memory + self.fans
+                + self.nic_and_drives + self.psu_loss)
+
+    def shares(self) -> dict[str, float]:
+        """Module shares of total wall power."""
+        total = self.total
+        return {
+            "gpu": self.gpu / total,
+            "cpu": self.cpu / total,
+            "memory": self.memory / total,
+            "fans": self.fans / total,
+            "nic_and_drives": self.nic_and_drives / total,
+            "psu_loss": self.psu_loss / total,
+        }
+
+
+class IpmiSampler:
+    """Aggregates server power over many polls."""
+
+    def __init__(self, dcgm: DcgmSampler,
+                 server_model: ServerPowerModel | None = None,
+                 gpu_power: GpuPowerModel | None = None,
+                 seed: int = 0) -> None:
+        self.dcgm = dcgm
+        self.server_model = server_model or ServerPowerModel()
+        self.gpu_power = gpu_power or GpuPowerModel()
+        self.seed = seed
+
+    def server_power_samples(self, n_servers: int) -> np.ndarray:
+        """Wall-power samples for ``n_servers`` servers."""
+        return self.server_model.sample_servers(
+            self.dcgm, n_servers, self.gpu_power, self.seed)
+
+    def average_breakdown(self, n_servers: int = 200
+                          ) -> ServerPowerBreakdown:
+        """Fleet-average per-module watts (the Fig. 9 pie)."""
+        rng = np.random.default_rng(self.seed)
+        model = self.server_model
+        gpu_total = 0.0
+        wall_total = 0.0
+        for _ in range(n_servers):
+            draws = np.array([
+                self.gpu_power.draw(sample, rng)
+                for sample in self.dcgm.sample_many(model.gpus_per_server)])
+            gpu_total += float(draws.sum())
+            wall_total += model.total(draws)
+        n = float(n_servers)
+        psu = wall_total * model.psu_loss_fraction / n
+        return ServerPowerBreakdown(
+            gpu=gpu_total / n,
+            cpu=model.cpu_watts,
+            memory=model.memory_watts,
+            fans=model.fans_watts,
+            nic_and_drives=model.nic_and_drives_watts,
+            psu_loss=psu,
+        )
+
+    def monthly_energy_mwh(self, n_servers: int, samples: int = 200
+                           ) -> float:
+        """Estimated fleet energy for a 30-day month, MWh."""
+        mean_watts = float(self.server_power_samples(samples).mean())
+        hours = 30 * 24.0
+        return mean_watts * n_servers * hours / 1e6

@@ -1,0 +1,34 @@
+"""Cluster scheduler model.
+
+Acme's schedulers (Slurm on Seren, Kubernetes on Kalos) provide resource
+isolation and quota reservation for pretraining plus a best-effort path for
+everything else (§2.2).  This package reproduces the scheduling behaviour
+behind Fig. 6: evaluation jobs — tiny and short — nonetheless see the
+longest queueing delay because most capacity is reserved for pretraining.
+"""
+
+from repro.scheduler.job import (Job, JobState, JobType, FinalStatus,
+                                 WORKLOAD_TYPES)
+from repro.scheduler.queue import JobQueue
+from repro.scheduler.policy import (SchedulingPolicy, FifoPolicy,
+                                    ReservationPolicy, PriorityPolicy)
+from repro.scheduler.simulator import SchedulerSimulator, SchedulerConfig
+from repro.scheduler.placement import GangPlacer, Placement, PlacementError
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobType",
+    "FinalStatus",
+    "WORKLOAD_TYPES",
+    "JobQueue",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "ReservationPolicy",
+    "SchedulerSimulator",
+    "SchedulerConfig",
+    "GangPlacer",
+    "Placement",
+    "PlacementError",
+]

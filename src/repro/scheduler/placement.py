@@ -1,0 +1,126 @@
+"""Node-level gang placement.
+
+The counter-based :class:`~repro.scheduler.simulator.SchedulerSimulator`
+answers *when* jobs run; this module answers *where* — mapping a gang
+job onto concrete nodes, avoiding cordoned hardware, and preferring
+whole nodes (pretraining collectives assume 8 local ranks per node).
+
+The recovery flow uses it to restart a pretraining job on the surviving
+pool after the NCCL test cordons faulty nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Node
+
+
+class PlacementError(RuntimeError):
+    """Raised when a gang job cannot be placed or released."""
+    pass
+
+
+@dataclass
+class Placement:
+    """A concrete assignment of one job's GPUs to nodes."""
+
+    job_id: str
+    assignments: list[tuple[Node, int]] = field(default_factory=list)
+
+    @property
+    def gpu_count(self) -> int:
+        return sum(count for _, count in self.assignments)
+
+    @property
+    def node_names(self) -> list[str]:
+        return [node.name for node, _ in self.assignments]
+
+    @property
+    def is_node_aligned(self) -> bool:
+        """True if every involved node is used entirely (gang-friendly)."""
+        return all(count == node.spec.gpus_per_node
+                   for node, count in self.assignments)
+
+
+class GangPlacer:
+    """Places and releases gang jobs on a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._placements: dict[str, Placement] = {}
+
+    def place(self, job_id: str, gpus: int,
+              require_whole_nodes: bool = False) -> Placement:
+        """Allocate ``gpus`` for ``job_id``; raises if impossible.
+
+        ``require_whole_nodes`` is what pretraining wants: demand must be
+        a multiple of 8 and every node is taken entirely, so NVLink
+        domains stay intact.
+        """
+        if job_id in self._placements:
+            raise PlacementError(f"job {job_id} already placed")
+        if gpus <= 0:
+            raise ValueError("gpus must be positive")
+        per_node = self.cluster.nodes[0].spec.gpus_per_node
+        if require_whole_nodes and gpus % per_node != 0:
+            raise PlacementError(
+                f"gang job needs a multiple of {per_node} GPUs, "
+                f"got {gpus}")
+        candidates = self.cluster.find_nodes_with_free_gpus(gpus)
+        if not candidates:
+            raise PlacementError(
+                f"cannot place {gpus} GPUs "
+                f"({self.cluster.free_gpus} free)")
+        if require_whole_nodes:
+            whole = [(node, take) for node, take in candidates
+                     if node.free_gpu_count == per_node]
+            needed = gpus // per_node
+            if len(whole) < needed:
+                raise PlacementError(
+                    f"need {needed} whole nodes, "
+                    f"only {len(whole)} available")
+            candidates = [(node, per_node) for node, _ in whole[:needed]]
+        placement = Placement(job_id=job_id)
+        for node, take in candidates:
+            node.allocate_gpus(take, job_id)
+            placement.assignments.append((node, take))
+        self._placements[job_id] = placement
+        return placement
+
+    def release(self, job_id: str) -> int:
+        """Free all GPUs of a job; returns the number released."""
+        placement = self._placements.pop(job_id, None)
+        if placement is None:
+            raise PlacementError(f"job {job_id} not placed")
+        freed = 0
+        for node, _ in placement.assignments:
+            freed += node.release_job(job_id)
+        return freed
+
+    def migrate_off(self, job_id: str, bad_nodes: set[str],
+                    require_whole_nodes: bool = True) -> Placement:
+        """Re-place a job after some of its nodes were cordoned.
+
+        The §6.1 restart flow: release the old allocation, cordon stays
+        with the cluster, and the job lands on healthy nodes only.
+        """
+        old = self._placements.get(job_id)
+        if old is None:
+            raise PlacementError(f"job {job_id} not placed")
+        gpus = old.gpu_count
+        self.release(job_id)
+        for node in self.cluster.nodes:
+            if node.name in bad_nodes:
+                node.cordon()
+        return self.place(job_id, gpus,
+                          require_whole_nodes=require_whole_nodes)
+
+    def placement_of(self, job_id: str) -> Placement | None:
+        """The job's current placement, or None."""
+        return self._placements.get(job_id)
+
+    @property
+    def placed_jobs(self) -> list[str]:
+        return list(self._placements)

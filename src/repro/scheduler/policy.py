@@ -1,0 +1,114 @@
+"""Scheduling policies.
+
+``ReservationPolicy`` reproduces Acme's production setup (§2.2, §3.2):
+
+* a quota of GPUs is *reserved* for pretraining (and other high-priority
+  work), minimizing pretraining queueing delay;
+* all other jobs run best-effort on the remaining pool, with evaluation at
+  the lowest priority — which is why evaluation shows the longest queueing
+  delay in Fig. 6 despite the smallest demand.
+
+Policies are pure ordering/eligibility logic; the simulator owns placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.job import Job, JobType
+from repro.scheduler.queue import JobQueue
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A job the policy wants started, tagged with the pool it may use."""
+
+    job: Job
+    pool: str  # "reserved" or "shared"
+
+
+class SchedulingPolicy:
+    """Base policy interface."""
+
+    def candidates(self, queue: JobQueue) -> list[Candidate]:
+        """Jobs to attempt, in priority order."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Strict arrival order; everything shares one pool.
+
+    The baseline prior DL schedulers approximate (§3.1): large jobs at the
+    head block everyone behind them.
+    """
+
+    def candidates(self, queue: JobQueue) -> list[Candidate]:
+        """Jobs to attempt, in priority order."""
+        return [Candidate(job, "shared") for job in queue.pending()]
+
+
+@dataclass
+class PriorityPolicy(SchedulingPolicy):
+    """Fixed per-type priorities over a single pool, FIFO within a class.
+
+    Lower number = higher priority.
+    """
+
+    priorities: dict[JobType, int] = field(default_factory=lambda: {
+        JobType.PRETRAIN: 0,
+        JobType.SFT: 1,
+        JobType.MLLM: 1,
+        JobType.DEBUG: 2,
+        JobType.OTHER: 2,
+        JobType.EVALUATION: 3,
+    })
+
+    def priority_of(self, job: Job) -> int:
+        """Priority class of a job (lower runs first)."""
+        return self.priorities.get(job.job_type, 2)
+
+    def candidates(self, queue: JobQueue) -> list[Candidate]:
+        """Jobs to attempt, in priority order."""
+        ordered = sorted(enumerate(queue.pending()),
+                         key=lambda pair: (self.priority_of(pair[1]),
+                                           pair[0]))
+        return [Candidate(job, "shared") for _, job in ordered]
+
+
+@dataclass
+class ReservationPolicy(SchedulingPolicy):
+    """Quota reservation for pretraining + best-effort for the rest.
+
+    Pretraining (and optionally SFT/MLLM) jobs may draw from both the
+    reserved pool and the shared pool; everything else is confined to the
+    shared pool.  Within each class, FIFO order.
+    """
+
+    #: training jobs draw from the reserved quota; evaluation and other
+    #: best-effort work is confined to the spare pool (§2.2/§3.2)
+    reserved_types: frozenset[JobType] = frozenset(
+        {JobType.PRETRAIN, JobType.SFT, JobType.MLLM})
+    priorities: dict[JobType, int] = field(default_factory=lambda: {
+        JobType.PRETRAIN: 0,
+        JobType.SFT: 1,
+        JobType.MLLM: 1,
+        JobType.DEBUG: 2,
+        JobType.OTHER: 2,
+        JobType.EVALUATION: 3,
+    })
+
+    def priority_of(self, job: Job) -> int:
+        """Priority class of a job (lower runs first)."""
+        return self.priorities.get(job.job_type, 2)
+
+    def candidates(self, queue: JobQueue) -> list[Candidate]:
+        """Jobs to attempt, in priority order."""
+        ordered = sorted(enumerate(queue.pending()),
+                         key=lambda pair: (self.priority_of(pair[1]),
+                                           pair[0]))
+        result = []
+        for _, job in ordered:
+            pool = ("reserved" if job.job_type in self.reserved_types
+                    else "shared")
+            result.append(Candidate(job, pool))
+        return result

@@ -1,0 +1,59 @@
+"""Pending-job queue with priority classes.
+
+The scheduler keeps one logical queue; policies decide eligibility and
+ordering.  The queue itself only maintains insertion order and provides
+filtered views, so different policies can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.scheduler.job import Job, JobType
+
+
+class JobQueue:
+    """FIFO container of pending jobs with removal by identity."""
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+        self._ids: set[str] = set()
+
+    def push(self, job: Job) -> None:
+        """Append a job; duplicates are rejected."""
+        if job.job_id in self._ids:
+            raise ValueError(f"job {job.job_id} already queued")
+        self._jobs.append(job)
+        self._ids.add(job.job_id)
+
+    def remove(self, job: Job) -> None:
+        """Drop a queued job by identity."""
+        self._jobs.remove(job)
+        self._ids.discard(job.job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.job_id in self._ids
+
+    def pending(self, predicate: Callable[[Job], bool] | None = None
+                ) -> list[Job]:
+        """Jobs in FIFO order, optionally filtered."""
+        if predicate is None:
+            return list(self._jobs)
+        return [job for job in self._jobs if predicate(job)]
+
+    def by_type(self, job_type: JobType) -> list[Job]:
+        """Pending jobs of one workload type."""
+        return self.pending(lambda job: job.job_type is job_type)
+
+    def oldest(self) -> Job | None:
+        """Head of the queue, or None."""
+        return self._jobs[0] if self._jobs else None

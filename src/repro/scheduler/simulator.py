@@ -1,0 +1,246 @@
+"""Discrete-event cluster scheduling simulation.
+
+Replays a list of jobs (arrival time, demand, duration) through a
+two-pool scheduler — a reserved pretraining quota plus a best-effort shared
+pool — and records start/end times, from which queueing delays (Fig. 6)
+are derived.
+
+The simulator allocates from GPU *counters* rather than individual devices:
+Acme's clusters are homogeneous and gang-scheduled, so placement detail does
+not affect queueing behaviour.  Placement onto concrete nodes is exercised
+separately by the evaluation coordinator (``repro.core.evalsched``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.job import Job, JobState
+from repro.scheduler.policy import ReservationPolicy, SchedulingPolicy
+from repro.scheduler.queue import JobQueue
+from repro.sim.engine import Engine
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduler knobs.
+
+    ``reserved_fraction`` is the share of GPUs held for reserved job types;
+    the paper reserves "the majority of resources" for pretraining, so the
+    default is high.  ``backfill_depth`` bounds how far down the queue the
+    scheduler looks for jobs that fit (Slurm-style conservative backfill).
+    """
+
+    total_gpus: int
+    reserved_fraction: float = 0.75
+    backfill_depth: int = 256
+    #: reserved-class jobs may also draw from the shared pool when the
+    #: quota alone cannot fit them
+    reserved_spillover: bool = True
+    #: reserved jobs evict best-effort borrowers occupying their quota
+    #: (the resource-isolation guarantee of §2.2)
+    preempt_borrowers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_gpus <= 0:
+            raise ValueError("total_gpus must be positive")
+        if not 0.0 <= self.reserved_fraction <= 1.0:
+            raise ValueError("reserved_fraction must be in [0, 1]")
+
+    @property
+    def reserved_gpus(self) -> int:
+        return int(round(self.total_gpus * self.reserved_fraction))
+
+    @property
+    def shared_gpus(self) -> int:
+        return self.total_gpus - self.reserved_gpus
+
+
+@dataclass
+class _Allocation:
+    from_reserved: int
+    from_shared: int
+    #: the pool the job was admitted through ("reserved" or "shared")
+    pool: str = "shared"
+    #: the running job (set at start time)
+    job: Job | None = None
+    #: scheduled completion callback (cancelled on preemption)
+    finish_item: object = None
+
+
+class SchedulerSimulator:
+    """Event-driven replay of a job trace through the scheduler."""
+
+    def __init__(self, config: SchedulerConfig,
+                 policy: SchedulingPolicy | None = None,
+                 engine: Engine | None = None) -> None:
+        self.config = config
+        self.policy = policy or ReservationPolicy()
+        self.engine = engine or Engine()
+        self.queue = JobQueue()
+        self.free_reserved = config.reserved_gpus
+        self.free_shared = config.shared_gpus
+        self._allocations: dict[str, _Allocation] = {}
+        self.started: list[Job] = []
+        self.finished: list[Job] = []
+        self.preemptions = 0
+        #: time series of (time, gpus_in_use) for utilization accounting
+        self.occupancy: list[tuple[float, int]] = []
+
+    # -- public API ---------------------------------------------------------
+
+    def simulate(self, jobs: list[Job]) -> list[Job]:
+        """Run all jobs to completion; returns them with times filled in."""
+        for job in jobs:
+            if job.gpu_demand > self.config.total_gpus:
+                raise ValueError(
+                    f"job {job.job_id} demands {job.gpu_demand} GPUs but the "
+                    f"cluster has {self.config.total_gpus}")
+            self.engine.call_at(job.submit_time,
+                                lambda j=job: self._on_submit(j))
+        self.engine.run()
+        return jobs
+
+    # -- event handlers -----------------------------------------------------
+
+    def _on_submit(self, job: Job) -> None:
+        if job.gpu_demand == 0:
+            # CPU jobs bypass the GPU queue entirely (§2.3 counts them
+            # separately); they start immediately.
+            job.mark_started(self.engine.now)
+            self.engine.call_after(job.duration,
+                                   lambda: self._on_cpu_finish(job))
+            return
+        self.queue.push(job)
+        self._try_schedule()
+
+    def _on_cpu_finish(self, job: Job) -> None:
+        job.mark_finished(self.engine.now)
+        self.finished.append(job)
+
+    def _on_finish(self, job: Job) -> None:
+        job.mark_finished(self.engine.now)
+        allocation = self._allocations.pop(job.job_id)
+        self.free_reserved += allocation.from_reserved
+        self.free_shared += allocation.from_shared
+        self.finished.append(job)
+        self._record_occupancy()
+        self._try_schedule()
+
+    # -- scheduling core ------------------------------------------------------
+
+    def _try_schedule(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            candidates = self.policy.candidates(self.queue)
+            for candidate in candidates[:self.config.backfill_depth]:
+                allocation = self._fit(candidate.job.gpu_demand,
+                                       candidate.pool)
+                if allocation is None:
+                    if (candidate.pool == "reserved"
+                            and self.config.preempt_borrowers
+                            and self._evict_borrowers_for(
+                                candidate.job.gpu_demand)):
+                        allocation = self._fit(candidate.job.gpu_demand,
+                                               "reserved")
+                    if allocation is None:
+                        continue
+                self._start(candidate.job, allocation, candidate.pool)
+                progress = True
+                break  # re-evaluate priorities after every start
+
+    def _evict_borrowers_for(self, demand: int) -> bool:
+        """Preempt best-effort jobs holding reserved GPUs until
+        ``demand`` fits; returns True if eviction freed enough.
+
+        Borrowers are evicted youngest-first (least progress lost); the
+        evicted job goes back to the pending queue and will rerun from
+        scratch — the "considerable recovery overhead" that makes
+        preemption unattractive for LLM workloads (§3.1).
+        """
+        borrowers = [allocation for allocation in
+                     self._allocations.values()
+                     if allocation.pool == "shared"
+                     and allocation.from_reserved > 0]
+        if not borrowers:
+            return False
+        reclaimable = sum(a.from_reserved for a in borrowers)
+        available = (self.free_reserved + reclaimable
+                     + (self.free_shared
+                        if self.config.reserved_spillover else 0))
+        if demand > available:
+            return False
+        borrowers.sort(key=lambda a: a.job.start_time or 0.0,
+                       reverse=True)
+        for allocation in borrowers:
+            if demand <= self.free_reserved + (
+                    self.free_shared
+                    if self.config.reserved_spillover else 0):
+                break
+            self._preempt(allocation)
+        return True
+
+    def _preempt(self, allocation: "_Allocation") -> None:
+        job = allocation.job
+        if allocation.finish_item is not None:
+            self.engine.cancel(allocation.finish_item)
+        del self._allocations[job.job_id]
+        self.free_reserved += allocation.from_reserved
+        self.free_shared += allocation.from_shared
+        job.mark_preempted(self.engine.now)
+        self.preemptions += 1
+        self.queue.push(job)
+        self._record_occupancy()
+
+    def _fit(self, demand: int, pool: str) -> _Allocation | None:
+        if pool == "reserved":
+            if demand <= self.free_reserved:
+                return _Allocation(demand, 0)
+            if (self.config.reserved_spillover
+                    and demand <= self.free_reserved + self.free_shared):
+                return _Allocation(self.free_reserved,
+                                   demand - self.free_reserved)
+            return None
+        if pool == "shared":
+            if demand <= self.free_shared:
+                return _Allocation(0, demand)
+            if demand > self.config.shared_gpus:
+                # A best-effort job larger than the whole spare pool can
+                # never fit there; it borrows idle reserved capacity (the
+                # §2.2 best-effort mechanism) rather than starving forever.
+                if demand <= self.free_reserved + self.free_shared:
+                    return _Allocation(demand - self.free_shared,
+                                       self.free_shared)
+            return None
+        raise ValueError(f"unknown pool {pool!r}")
+
+    def _start(self, job: Job, allocation: _Allocation,
+               pool: str = "shared") -> None:
+        self.queue.remove(job)
+        self.free_reserved -= allocation.from_reserved
+        self.free_shared -= allocation.from_shared
+        allocation.pool = pool
+        allocation.job = job
+        self._allocations[job.job_id] = allocation
+        job.mark_started(self.engine.now)
+        self.started.append(job)
+        self._record_occupancy()
+        allocation.finish_item = self.engine.call_after(
+            job.duration, lambda: self._on_finish(job))
+
+    def _record_occupancy(self) -> None:
+        in_use = (self.config.total_gpus - self.free_reserved
+                  - self.free_shared)
+        self.occupancy.append((self.engine.now, in_use))
+
+    # -- reporting ------------------------------------------------------------
+
+    def gpu_seconds_used(self) -> float:
+        """Integral of occupancy over time (for utilization accounting)."""
+        if len(self.occupancy) < 2:
+            return 0.0
+        total = 0.0
+        for (t0, gpus), (t1, _) in zip(self.occupancy, self.occupancy[1:]):
+            total += gpus * (t1 - t0)
+        return total

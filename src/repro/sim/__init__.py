@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+The paper's characterization is built on a real datacenter; we replay the
+same logic on a deterministic discrete-event engine.  Everything in the
+repository that involves time — the cluster scheduler, the evaluation
+coordinator, failure injection, checkpointing — runs on :class:`Engine`.
+"""
+
+from repro.sim.engine import Engine, Event, Process, Resource
+from repro.sim.distributions import (
+    Distribution,
+    Constant,
+    Uniform,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Empirical,
+    Mixture,
+    Choice,
+    lognormal_from_median_mean,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "Pareto",
+    "Empirical",
+    "Mixture",
+    "Choice",
+    "lognormal_from_median_mean",
+]

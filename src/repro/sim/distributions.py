@@ -1,0 +1,201 @@
+"""Seedable random distributions used by the trace generators.
+
+The paper reports distributional statistics (medians, means, CDF anchors).
+We fit simple parametric families to those anchors; every distribution here
+draws from a caller-supplied :class:`numpy.random.Generator` so that a
+single seed reproduces an entire synthetic trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class Distribution:
+    """Base class: a distribution over floats."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.value)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, float(self.value))
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform distribution over [low, high]."""
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (not rate)."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean, size=n)
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal parameterized by the underlying normal's mu/sigma."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+
+def lognormal_from_median_mean(median: float, mean: float) -> LogNormal:
+    """Fit a log-normal to a reported (median, mean) pair.
+
+    The paper's Table 3 reports both the median and the average of
+    time-to-failure per category; a log-normal is the natural heavy-tailed
+    family fitting both moments: ``mu = ln(median)`` and
+    ``sigma = sqrt(2 * ln(mean / median))``.
+    """
+    if median <= 0 or mean <= 0:
+        raise ValueError("median and mean must be positive")
+    if mean < median:
+        # Degenerate reporting (possible with tiny samples); fall back to a
+        # narrow distribution centred on the median.
+        return LogNormal(math.log(median), 0.05)
+    sigma = math.sqrt(2.0 * math.log(mean / median))
+    return LogNormal(math.log(median), sigma)
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto (Lomax-shifted) with scale ``xm`` and shape ``alpha``."""
+
+    xm: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.xm <= 0 or self.alpha <= 0:
+            raise ValueError("xm and alpha must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.xm * (1.0 + rng.pareto(self.alpha)))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=n))
+
+
+class Empirical(Distribution):
+    """Samples uniformly from a fixed pool of observed values."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        if len(values) == 0:
+            raise ValueError("values must be non-empty")
+        self.values = np.asarray(values, dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, size=n)
+
+
+class Mixture(Distribution):
+    """A weighted mixture of component distributions."""
+
+    def __init__(self, components: Sequence[Distribution],
+                 weights: Sequence[float]) -> None:
+        if len(components) != len(weights):
+            raise ValueError("components and weights must align")
+        if len(components) == 0:
+            raise ValueError("mixture must have at least one component")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = np.asarray(weights, dtype=float) / total
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = int(rng.choice(len(self.components), p=self.weights))
+        return self.components[index].sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        counts = rng.multinomial(n, self.weights)
+        parts = [component.sample_many(rng, int(count))
+                 for component, count in zip(self.components, counts)
+                 if count > 0]
+        samples = np.concatenate(parts) if parts else np.empty(0)
+        rng.shuffle(samples)
+        return samples
+
+
+class Choice:
+    """A weighted categorical choice over arbitrary objects."""
+
+    def __init__(self, options: Sequence, weights: Sequence[float]) -> None:
+        if len(options) != len(weights):
+            raise ValueError("options and weights must align")
+        if len(options) == 0:
+            raise ValueError("at least one option required")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.options = list(options)
+        self.weights = np.asarray(weights, dtype=float) / total
+
+    def sample(self, rng: np.random.Generator):
+        index = int(rng.choice(len(self.options), p=self.weights))
+        return self.options[index]
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list:
+        indices = rng.choice(len(self.options), size=n, p=self.weights)
+        return [self.options[int(i)] for i in indices]

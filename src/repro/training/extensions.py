@@ -1,0 +1,198 @@
+"""Future-work training modes (§7, "Continuous System Enhancement").
+
+The paper closes by naming the workloads InternEvo is being extended
+for: **long-sequence pretraining**, **MoE pretraining** (see
+``repro.training.moe``), and **efficient RLHF**.  This module models the
+first and last, so their resource behaviour can be studied with the
+same machinery as the dense-pretraining figures:
+
+* ``LongSequencePlan`` — context parallelism: activation memory grows
+  linearly and attention FLOPs quadratically with sequence length, so
+  long contexts need sequence sharding to fit (the motivation behind
+  InternEvo's long-sequence paper the authors cite [25]).
+* ``RlhfStageModel`` — PPO-style RLHF holds four models (actor, critic,
+  reward, reference) and alternates a generation phase (low SM
+  activity, memory-bound decoding) with a training phase (high SM) —
+  structurally similar to the evaluation workload's utilization problem
+  (Fig. 13), which is why the paper groups them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.training.model import TransformerConfig
+from repro.training.profiler import (UtilizationTimeline,
+                                     _segments_to_timeline)
+
+GIB = 1024 ** 3
+
+
+# -- long-sequence pretraining ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LongSequencePlan:
+    """Context parallelism for sequences beyond one GPU's memory."""
+
+    base_model: TransformerConfig
+    seq_len: int
+    #: GPUs a single sequence's activations are sharded across
+    context_parallel: int = 1
+    recompute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.seq_len <= 0 or self.context_parallel <= 0:
+            raise ValueError("seq_len and context_parallel must be "
+                             "positive")
+        if self.seq_len % self.context_parallel != 0:
+            raise ValueError("seq_len must divide across the context-"
+                             "parallel group")
+
+    @property
+    def model(self) -> TransformerConfig:
+        """The base architecture at this sequence length."""
+        return replace(self.base_model, seq_len=self.seq_len)
+
+    def activation_bytes_per_gpu(self) -> float:
+        """Per-GPU activation memory for one sequence (all layers)."""
+        per_layer = self.model.activation_bytes_per_layer(
+            1, recompute=self.recompute)
+        return per_layer * self.model.layers / self.context_parallel
+
+    def attention_flops_per_sequence(self) -> float:
+        """Quadratic attention term: 12 * L * h * s^2 (fwd+bwd)."""
+        model = self.model
+        return 12.0 * model.layers * model.hidden * self.seq_len ** 2
+
+    def linear_flops_per_sequence(self) -> float:
+        """The parameter-proportional term (6N per token)."""
+        return self.model.flops_per_sequence(recompute=self.recompute)
+
+    def attention_flops_fraction(self) -> float:
+        """Share of total FLOPs spent in attention — grows with s."""
+        attention = self.attention_flops_per_sequence()
+        return attention / (attention
+                            + self.linear_flops_per_sequence())
+
+    def fits(self, budget_bytes: float = 70 * GIB) -> bool:
+        """Whether one sequence's activations fit per GPU (activations
+        only — the static states are handled by ZeRO as usual)."""
+        return self.activation_bytes_per_gpu() <= budget_bytes
+
+    def min_context_parallel(self, budget_bytes: float = 70 * GIB) -> int:
+        """Smallest power-of-two context-parallel degree that fits."""
+        degree = 1
+        while degree <= self.seq_len:
+            candidate = replace(self, context_parallel=degree)
+            if (self.seq_len % degree == 0) and candidate.fits(
+                    budget_bytes):
+                return degree
+            degree *= 2
+        raise ValueError("sequence cannot fit at any sharding degree")
+
+
+# -- RLHF --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RlhfConfig:
+    """PPO-style RLHF over a policy model."""
+
+    actor: TransformerConfig
+    #: critic/reward models are often smaller; scale relative to actor
+    critic_scale: float = 1.0
+    world_size: int = 256
+    #: generated tokens per prompt during rollout
+    rollout_tokens: int = 512
+    prompts_per_batch: int = 512
+    #: decode throughput per GPU, tokens/s — memory-bound generation,
+    #: further squeezed by the co-resident critic/reward/reference
+    #: models competing for HBM.  None derives it from model size
+    #: (decoding streams weights from HBM, so rate scales ~1/params).
+    decode_tokens_per_second: float | None = None
+    #: training-phase efficiency (PPO update, compute-bound)
+    train_efficiency: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if self.critic_scale <= 0:
+            raise ValueError("critic_scale must be positive")
+
+
+class RlhfStageModel:
+    """Memory and phase-time accounting for one PPO iteration."""
+
+    def __init__(self, config: RlhfConfig) -> None:
+        self.config = config
+
+    # -- memory ------------------------------------------------------------
+
+    def resident_model_bytes(self) -> float:
+        """All four models' states, before sharding.
+
+        Actor trains (16Ψ); critic trains (16Ψ * scale); reward and
+        reference only infer (2Ψ each, fp16).
+        """
+        cfg = self.config
+        actor = 16.0 * cfg.actor.param_count
+        critic = 16.0 * cfg.actor.param_count * cfg.critic_scale
+        frozen = 2.0 * 2.0 * cfg.actor.param_count
+        return actor + critic + frozen
+
+    def memory_multiple_of_pretraining(self) -> float:
+        """How much more state RLHF holds than plain pretraining."""
+        return self.resident_model_bytes() / (
+            16.0 * self.config.actor.param_count)
+
+    # -- phases ---------------------------------------------------------------
+
+    def generation_seconds(self) -> float:
+        """Rollout phase: autoregressive decoding (low SM activity).
+
+        ``decode_tokens_per_second`` is the per-GPU aggregate across its
+        concurrent decoding streams, so phase time is simply the GPU's
+        token share over that rate.
+        """
+        cfg = self.config
+        total_tokens = cfg.prompts_per_batch * cfg.rollout_tokens
+        per_gpu = total_tokens / cfg.world_size
+        return per_gpu / self.decode_rate()
+
+    def decode_rate(self) -> float:
+        """Per-GPU decode throughput, tokens/s (explicit or derived)."""
+        cfg = self.config
+        if cfg.decode_tokens_per_second is not None:
+            return cfg.decode_tokens_per_second
+        reference_params = 6.9e9  # 600 tok/s calibrated at 7B
+        return 600.0 * reference_params / cfg.actor.param_count
+
+    def training_seconds(self) -> float:
+        """PPO update on the rollout batch (actor + critic)."""
+        cfg = self.config
+        tokens = cfg.prompts_per_batch * cfg.rollout_tokens
+        flops = tokens * (cfg.actor.flops_per_token()
+                          * (1.0 + cfg.critic_scale))
+        per_gpu = flops / cfg.world_size
+        return per_gpu / (312e12 * cfg.train_efficiency)
+
+    def iteration_seconds(self) -> float:
+        """One PPO iteration: rollout + update."""
+        return self.generation_seconds() + self.training_seconds()
+
+    def generation_fraction(self) -> float:
+        """Share of the iteration spent decoding — the §7 efficiency
+        problem: it dominates, at low SM activity."""
+        return self.generation_seconds() / self.iteration_seconds()
+
+    def utilization_timeline(self, iterations: int = 2,
+                             resolution: float = 0.05
+                             ) -> UtilizationTimeline:
+        """DCGM-style SM trace: long low plateau, short high burst."""
+        segments = [
+            (self.generation_seconds(), 0.18, 0.05),   # decoding
+            (self.training_seconds(), 0.88, 0.70),     # PPO update
+        ]
+        return _segments_to_timeline(segments * iterations, resolution,
+                                     rng=None)

@@ -1,0 +1,118 @@
+"""Garbage-collection tuning (Appendix B, "Lessons of Troubleshooting").
+
+The paper reports that untimed Python garbage collection caused irregular
+2–3x slowdowns of training steps (``list_traverse`` consuming ~30% of step
+time), fixed in InternEvo V2 by disabling automatic GC and collecting at a
+fixed step interval on every rank simultaneously.
+
+``GcController`` is the production-style utility (usable around a real
+training loop); ``simulate_gc_impact`` quantifies the throughput effect the
+appendix describes.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class GcController:
+    """Fixed-interval garbage collection for training loops.
+
+    Usage::
+
+        controller = GcController(interval_steps=500)
+        controller.start()
+        for step in range(total):
+            train_step()
+            controller.on_step(step)
+        controller.stop()
+
+    While active, automatic collection is disabled so no rank pauses at a
+    random point; ``on_step`` collects synchronously every
+    ``interval_steps`` steps (all ranks use the same interval, so pauses
+    align instead of cascading through collectives).
+    """
+
+    def __init__(self, interval_steps: int = 500) -> None:
+        if interval_steps <= 0:
+            raise ValueError("interval_steps must be positive")
+        self.interval_steps = interval_steps
+        self.collections = 0
+        self._was_enabled: bool | None = None
+
+    def start(self) -> None:
+        """Disable automatic GC (remember the prior state)."""
+        self._was_enabled = gc.isenabled()
+        gc.disable()
+
+    def stop(self) -> None:
+        """Restore the pre-``start`` GC state."""
+        if self._was_enabled:
+            gc.enable()
+        self._was_enabled = None
+
+    def on_step(self, step: int) -> bool:
+        """Collect if the step index hits the interval; returns True if so."""
+        if step > 0 and step % self.interval_steps == 0:
+            gc.collect()
+            self.collections += 1
+            return True
+        return False
+
+    def __enter__(self) -> "GcController":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass(frozen=True)
+class GcImpactSummary:
+    """Throughput comparison: automatic vs fixed-interval GC."""
+
+    baseline_mean_step: float
+    controlled_mean_step: float
+    baseline_p99_step: float
+    controlled_p99_step: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_mean_step / self.controlled_mean_step
+
+
+def simulate_gc_impact(steps: int = 2000, base_step_time: float = 1.0,
+                       gc_probability: float = 0.02,
+                       gc_pause_factor: float = 2.5,
+                       controlled_interval: int = 500,
+                       controlled_pause: float = 0.15,
+                       seed: int = 0) -> GcImpactSummary:
+    """Monte-Carlo model of the Appendix B slowdown.
+
+    Baseline: each step independently suffers a GC pause with probability
+    ``gc_probability``; because ranks pause at *different* steps and every
+    step synchronizes on collectives, the whole job stalls whenever any of
+    the (many) ranks collects — modeled by inflating the per-step pause
+    probability.  A pause multiplies the step by ``gc_pause_factor``
+    (the observed 2–3x).
+
+    Controlled: a small synchronized pause every ``controlled_interval``
+    steps on all ranks at once.
+    """
+    rng = np.random.default_rng(seed)
+    baseline = np.full(steps, base_step_time)
+    hit = rng.uniform(size=steps) < min(1.0, gc_probability * 8.0)
+    baseline[hit] *= gc_pause_factor
+
+    controlled = np.full(steps, base_step_time)
+    controlled[controlled_interval::controlled_interval] += controlled_pause
+
+    return GcImpactSummary(
+        baseline_mean_step=float(baseline.mean()),
+        controlled_mean_step=float(controlled.mean()),
+        baseline_p99_step=float(np.percentile(baseline, 99)),
+        controlled_p99_step=float(np.percentile(controlled, 99)),
+    )

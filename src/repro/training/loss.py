@@ -1,0 +1,169 @@
+"""Training-loss curve simulation with spikes (§5.3, §6.1).
+
+A pretraining loss follows a power-law descent; occasionally it *spikes*
+— jumping well above trend — and either recovers on its own or stays
+elevated, in which case the framework must roll back to an earlier
+healthy checkpoint and skip the offending data batches (§6.1).
+
+``LossSimulator`` produces such curves; ``train_with_spike_recovery``
+closes the loop with :class:`~repro.core.recovery.LossSpikeDetector` and
+a checkpoint catalog, reproducing the §5.3 restart-on-spike behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.recovery.detector import LossSpikeDetector
+
+
+@dataclass(frozen=True)
+class SpikeSpec:
+    """One injected loss spike."""
+
+    step: int
+    #: multiplicative jump over the healthy trend
+    magnitude: float = 3.0
+    #: whether the loss decays back to trend on its own
+    recovers: bool = False
+    #: steps to decay back when it does recover
+    recovery_steps: int = 8
+
+
+@dataclass(frozen=True)
+class LossCurveConfig:
+    """Power-law descent: L(t) = floor + amplitude * (t + offset)^-alpha."""
+
+    floor: float = 1.7
+    amplitude: float = 9.0
+    offset: float = 40.0
+    alpha: float = 0.35
+    noise_sigma: float = 0.01
+
+    def trend(self, step: int | np.ndarray) -> np.ndarray:
+        """Noise-free loss at the given step(s)."""
+        return self.floor + self.amplitude * np.power(
+            np.asarray(step, dtype=float) + self.offset, -self.alpha)
+
+
+class LossSimulator:
+    """Generates loss samples, healthy or spiked."""
+
+    def __init__(self, config: LossCurveConfig | None = None,
+                 seed: int = 0) -> None:
+        self.config = config or LossCurveConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self, step: int,
+               active_spike: SpikeSpec | None = None,
+               steps_since_spike: int = 0) -> float:
+        """One loss sample, optionally under an active spike."""
+        trend = float(self.config.trend(step))
+        value = trend + float(self.rng.normal(0.0,
+                                              self.config.noise_sigma))
+        if active_spike is None:
+            return value
+        jump = (active_spike.magnitude - 1.0) * trend
+        if active_spike.recovers:
+            decay = max(0.0, 1.0 - steps_since_spike
+                        / active_spike.recovery_steps)
+            return value + jump * decay
+        return value + jump
+
+    def generate(self, n_steps: int,
+                 spikes: list[SpikeSpec] | None = None) -> np.ndarray:
+        """A full curve with the given spikes injected."""
+        if n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        spikes = sorted(spikes or [], key=lambda s: s.step)
+        curve = np.empty(n_steps)
+        active: SpikeSpec | None = None
+        since = 0
+        spike_index = 0
+        for step in range(n_steps):
+            if (spike_index < len(spikes)
+                    and step == spikes[spike_index].step):
+                active = spikes[spike_index]
+                since = 0
+                spike_index += 1
+            curve[step] = self.sample(step, active, since)
+            if active is not None:
+                since += 1
+                if active.recovers and since > active.recovery_steps:
+                    active = None
+        return curve
+
+
+@dataclass
+class SpikeRecoveryResult:
+    """Outcome of a spike-aware training replay."""
+
+    losses: list[float] = field(default_factory=list)
+    steps: list[int] = field(default_factory=list)
+    rollbacks: list[dict] = field(default_factory=list)
+    final_step: int = 0
+
+    @property
+    def rollback_count(self) -> int:
+        return len(self.rollbacks)
+
+
+def train_with_spike_recovery(
+        total_steps: int,
+        spike_steps: list[int],
+        checkpoint_interval: int = 200,
+        detector: LossSpikeDetector | None = None,
+        rollback_checkpoints: int = 2,
+        seed: int = 0,
+        max_rollbacks: int = 20) -> SpikeRecoveryResult:
+    """Run a training loop where non-recovering spikes trigger rollback.
+
+    On a detector event the run reverts ``rollback_checkpoints`` saves
+    before the spike and — because the offending data batches are
+    skipped (§6.1) — the spike does not reoccur on the retried range.
+    """
+    simulator = LossSimulator(seed=seed)
+    detector = detector or LossSpikeDetector(window=40, patience=6,
+                                             relative_floor=0.25)
+    result = SpikeRecoveryResult()
+    checkpoints = [0]
+    pending_spikes = sorted(set(spike_steps))
+    skipped: set[int] = set()
+    step = 0
+    active: SpikeSpec | None = None
+    since = 0
+    while step < total_steps:
+        if step in pending_spikes and step not in skipped:
+            active = SpikeSpec(step=step, recovers=False)
+            since = 0
+        loss = simulator.sample(step, active, since)
+        if active is not None:
+            since += 1
+        result.losses.append(loss)
+        result.steps.append(step)
+        event = detector.observe(step, loss)
+        if event is not None and active is not None:
+            if result.rollback_count >= max_rollbacks:
+                break
+            index = max(len(checkpoints) - rollback_checkpoints, 0)
+            target = checkpoints[index]
+            result.rollbacks.append({
+                "spike_step": active.step,
+                "detected_at": step,
+                "restart_from": target,
+            })
+            skipped.add(active.step)  # data batches bypassed on retry
+            checkpoints = [c for c in checkpoints if c <= target]
+            step = target
+            active = None
+            detector = LossSpikeDetector(
+                window=detector.window, patience=detector.patience,
+                relative_floor=detector.relative_floor)
+            continue
+        step += 1
+        if step % checkpoint_interval == 0 and active is None:
+            checkpoints.append(step)
+    result.final_step = step
+    return result

@@ -1,0 +1,138 @@
+"""Per-GPU memory footprint model (Figs. 11, 12, 20).
+
+Splits GPU memory into the *static* part (parameters + gradients +
+optimizer states, sharded by the parallelism plan) and the *dynamic* part
+(activations that grow during forward passes and shrink during backward).
+
+For a model of Ψ parameters under mixed-precision Adam (§4.1):
+fp16 params 2Ψ, fp16 grads 2Ψ, fp32 optimizer states 12Ψ.
+
+* 3D parallelism divides params/grads by tp*pp and optimizer states by
+  tp*pp*dp (ZeRO-1 over the data-parallel group, as InternEvo V1 does);
+* hierarchical ZeRO divides all 16Ψ by the shard-group size (redundant
+  copies across groups are the "selective redundancy" of §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.training.model import TransformerConfig
+from repro.training.parallelism import ParallelismPlan
+
+GIB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """One sampled point of per-GPU memory state, in bytes."""
+
+    time: float
+    static_bytes: float
+    activation_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.static_bytes + self.activation_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / GIB
+
+
+class MemoryModel:
+    """Computes static and peak-activation footprints for a plan."""
+
+    def __init__(self, model: TransformerConfig,
+                 plan: ParallelismPlan) -> None:
+        self.model = model
+        self.plan = plan
+
+    # -- static ------------------------------------------------------------
+
+    def static_bytes(self) -> float:
+        """Parameters + gradients + optimizer states per GPU."""
+        psi = self.model.param_count
+        plan = self.plan
+        if plan.zero_shard_group > 1:
+            return 16.0 * psi / plan.zero_shard_group
+        model_parallel = plan.tensor_parallel * plan.pipeline_parallel
+        params_and_grads = 4.0 * psi / model_parallel
+        optimizer = 12.0 * psi / (model_parallel * plan.data_parallel)
+        return params_and_grads + optimizer
+
+    # -- activations ----------------------------------------------------------
+
+    def activation_bytes_per_microbatch(self) -> float:
+        """Activations one in-flight micro-batch pins on one GPU."""
+        plan = self.plan
+        per_layer = self.model.activation_bytes_per_layer(
+            plan.micro_batch_size, recompute=plan.recompute)
+        layers_here = self.model.layers / plan.pipeline_parallel
+        return per_layer * layers_here / plan.tensor_parallel
+
+    def peak_activation_bytes(self, pipeline_rank: int = 0) -> float:
+        """Peak dynamic memory on a pipeline rank (1F1B in-flight count)."""
+        in_flight = self.plan.in_flight_microbatches(pipeline_rank)
+        return self.activation_bytes_per_microbatch() * in_flight
+
+    def peak_total_bytes(self, pipeline_rank: int = 0) -> float:
+        """Static + peak-activation bytes on a pipeline rank."""
+        return self.static_bytes() + self.peak_activation_bytes(pipeline_rank)
+
+    def per_rank_peaks(self) -> list[float]:
+        """Peak total bytes for every pipeline rank (Fig. 12)."""
+        return [self.peak_total_bytes(rank)
+                for rank in range(self.plan.pipeline_parallel)]
+
+    def fits(self, budget_bytes: float | None = None) -> bool:
+        """Whether the peak footprint fits the GPU (default 80 GiB)."""
+        budget = budget_bytes or 80 * GIB
+        return self.peak_total_bytes(0) <= budget
+
+    # -- time series (Fig. 11 / 20) -------------------------------------------
+
+    def snapshot_timeline(self, steps: int = 2, points_per_step: int = 200,
+                          step_time: float = 1.0,
+                          pipeline_rank: int = 0) -> list[MemorySnapshot]:
+        """Synthesize the sawtooth memory profile over ``steps`` steps.
+
+        Activations ramp up during the forward phase (micro-batches enter
+        the pipeline), plateau through steady 1F1B, and drain during the
+        final backward passes; static memory is flat.  This mirrors the
+        PyTorch memory-snapshot traces of Fig. 11.
+        """
+        static = self.static_bytes()
+        peak = self.peak_activation_bytes(pipeline_rank)
+        snapshots = []
+        # Warm-up / drain each take roughly the in-flight fraction of a
+        # step; the plateau covers the rest.
+        plan = self.plan
+        in_flight = plan.in_flight_microbatches(pipeline_rank)
+        ramp_fraction = min(0.45, in_flight / max(plan.micro_batches, 1))
+        for step in range(steps):
+            for i in range(points_per_step):
+                phase = i / points_per_step
+                if phase < ramp_fraction:
+                    level = peak * (phase / ramp_fraction)
+                elif phase > 1.0 - ramp_fraction:
+                    level = peak * ((1.0 - phase) / ramp_fraction)
+                else:
+                    level = peak
+                snapshots.append(MemorySnapshot(
+                    time=(step + phase) * step_time,
+                    static_bytes=static,
+                    activation_bytes=level,
+                ))
+        return snapshots
+
+    def timeline_arrays(self, **kwargs) -> tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+        """(times, static, activations) arrays for plotting/analysis."""
+        snaps = self.snapshot_timeline(**kwargs)
+        times = np.array([snap.time for snap in snaps])
+        static = np.array([snap.static_bytes for snap in snaps])
+        acts = np.array([snap.activation_bytes for snap in snaps])
+        return times, static, acts

@@ -1,0 +1,153 @@
+"""Transformer model configurations and FLOP/parameter accounting.
+
+Acme develops decoder-only transformers from 7B to over 123B parameters
+(§2.2).  The arithmetic here follows the standard accounting used by
+Megatron-LM and the activation-recomputation paper [Korthikanti et al.]:
+
+* parameters        ~ 12 * L * h^2 * (1 + 13/(12h) + (v+s)/(12Lh))
+* training FLOPs    ~ 6 * N per token (8 * N with full recomputation)
+* mixed-precision Adam state = 2Ψ (fp16 params) + 2Ψ (fp16 grads)
+  + 12Ψ (fp32 master params, momentum, variance)  — §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """A decoder-only transformer architecture."""
+
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    vocab: int = 103_168  # InternLM tokenizer scale
+    seq_len: int = 4096
+    ffn_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads != 0:
+            raise ValueError("hidden must be divisible by heads")
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        # QKV projection + output projection.
+        return 4 * self.hidden * self.hidden + 4 * self.hidden
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        intermediate = int(self.ffn_multiplier * self.hidden)
+        return (2 * self.hidden * intermediate
+                + self.hidden + intermediate)
+
+    @property
+    def params_per_layer(self) -> int:
+        layer_norms = 4 * self.hidden
+        return (self.attention_params_per_layer
+                + self.ffn_params_per_layer + layer_norms)
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab * self.hidden
+
+    @property
+    def param_count(self) -> int:
+        """Total parameters (embedding shared with the LM head)."""
+        return self.layers * self.params_per_layer + self.embedding_params
+
+    # -- compute -------------------------------------------------------------
+
+    def flops_per_token(self, recompute: bool = False) -> float:
+        """Training FLOPs per token: 6N, or 8N with full recomputation."""
+        factor = 8.0 if recompute else 6.0
+        return factor * self.param_count
+
+    def flops_per_sequence(self, recompute: bool = False) -> float:
+        """Training FLOPs for one full sequence."""
+        return self.flops_per_token(recompute) * self.seq_len
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def model_state_bytes(self) -> int:
+        """Params + grads + Adam states for mixed-precision training: 16Ψ."""
+        return 16 * self.param_count
+
+    def activation_bytes_per_layer(self, micro_batch: int,
+                                   recompute: bool = False,
+                                   flash_attention: bool = True) -> float:
+        """Activation memory for one layer, one micro-batch (bytes).
+
+        Without recomputation: ~ s*b*h*(34 + 5*a*s/h) bytes per layer
+        (fp16 activations); FlashAttention — which InternEvo uses (§2.2) —
+        removes the quadratic 5*a*s/h attention-matrix term.  With
+        selective recomputation only the layer-boundary input
+        (2*s*b*h bytes) is kept.
+        """
+        sbh = self.seq_len * micro_batch * self.hidden
+        if recompute:
+            return 2.0 * sbh
+        if flash_attention:
+            return 34.0 * sbh
+        attn_quadratic = 5.0 * self.heads * self.seq_len / self.hidden
+        return sbh * (34.0 + attn_quadratic)
+
+    def describe(self) -> str:
+        """Human-readable one-line architecture summary."""
+        billions = self.param_count / 1e9
+        return (f"{self.name}: {billions:.1f}B params, "
+                f"{self.layers}L x {self.hidden}h x {self.heads}a, "
+                f"seq {self.seq_len}")
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """A sparsely-activated Mixture-of-Experts transformer (Appendix A.6)."""
+
+    base: TransformerConfig
+    num_experts: int
+    experts_per_token: int
+
+    @property
+    def param_count(self) -> int:
+        """Total (mostly inactive) parameters."""
+        extra_ffn = ((self.num_experts - 1)
+                     * self.base.ffn_params_per_layer * self.base.layers)
+        return self.base.param_count + extra_ffn
+
+    @property
+    def active_param_count(self) -> int:
+        """Parameters touched per token (top-k routing)."""
+        active_ffn = ((self.experts_per_token - 1)
+                      * self.base.ffn_params_per_layer * self.base.layers)
+        return self.base.param_count + active_ffn
+
+    def flops_per_token(self) -> float:
+        """Active-parameter FLOPs per token (6N on the routed path)."""
+        return 6.0 * self.active_param_count
+
+    def alltoall_bytes_per_layer(self, micro_batch: int) -> float:
+        """Token dispatch volume per MoE layer (fp16, top-k routed)."""
+        tokens = self.base.seq_len * micro_batch
+        return 2.0 * tokens * self.base.hidden * self.experts_per_token
+
+
+# -- the model family Acme develops (7B .. >123B, §2.2) -----------------------
+
+MODEL_7B = TransformerConfig("llm-7b", layers=32, hidden=4096, heads=32)
+MODEL_13B = TransformerConfig("llm-13b", layers=40, hidden=5120, heads=40)
+MODEL_30B = TransformerConfig("llm-30b", layers=60, hidden=6656, heads=52)
+MODEL_104B = TransformerConfig("llm-104b", layers=88, hidden=9984, heads=78)
+MODEL_123B = TransformerConfig("llm-123b", layers=96, hidden=10240, heads=80)
+
+#: Mistral-7B-style MoE (8 experts, top-2) used in Appendix A.6.
+MISTRAL_7B_MOE = MoEConfig(
+    base=TransformerConfig("mistral-7b", layers=32, hidden=4096, heads=32,
+                           seq_len=4096),
+    num_experts=8,
+    experts_per_token=2,
+)

@@ -1,0 +1,78 @@
+"""Mixture-of-Experts pretraining model (Appendix A.6, Fig. 22).
+
+The paper profiles Mistral-7B-style MoE pretraining on 1024 Seren GPUs and
+observes much lower SM utilization than dense models: MoE layers require
+an all-to-all dispatch and combine per layer, and Seren's single 200 Gb/s
+NIC per node (≈3.1 GB/s per GPU) cannot keep up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import A100_SXM_80GB, GpuSpec
+from repro.cluster.network import alltoall_time
+from repro.training.model import MoEConfig
+from repro.training.profiler import UtilizationTimeline, _segments_to_timeline
+
+#: Seren: one 200 Gb/s HDR NIC shared by 8 GPUs.
+SEREN_PER_GPU_BANDWIDTH = 200e9 / 8.0 / 8.0
+
+
+@dataclass(frozen=True)
+class MoEStepBreakdown:
+    """One MoE optimizer step: compute vs exposed all-to-all."""
+
+    compute: float
+    alltoall: float
+    optimizer: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.alltoall + self.optimizer
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.compute / self.total if self.total else 0.0
+
+
+def moe_step_model(config: MoEConfig, world_size: int = 1024,
+                   micro_batches: int = 4, micro_batch_size: int = 2,
+                   per_gpu_bandwidth: float = SEREN_PER_GPU_BANDWIDTH,
+                   gpu: GpuSpec = A100_SXM_80GB,
+                   compute_efficiency: float = 0.6,
+                   expert_parallel: int = 8) -> MoEStepBreakdown:
+    """Step breakdown for expert-parallel MoE training.
+
+    All-to-all runs 4 times per MoE layer per micro-batch (dispatch +
+    combine, forward and backward) across the ``expert_parallel`` group,
+    which spans nodes — so it rides the per-GPU NIC share.
+    """
+    tokens = (micro_batches * micro_batch_size * config.base.seq_len)
+    flops = tokens * config.flops_per_token()
+    compute = flops / (gpu.peak_flops * compute_efficiency)
+
+    per_layer_bytes = config.alltoall_bytes_per_layer(micro_batch_size)
+    per_exchange = alltoall_time(per_layer_bytes, expert_parallel,
+                                 per_gpu_bandwidth)
+    exchanges = 4 * config.base.layers * micro_batches
+    alltoall = per_exchange * exchanges
+
+    optimizer = 2.0 * 16.0 * (config.param_count / world_size) / 1.5e12
+    return MoEStepBreakdown(compute=compute, alltoall=alltoall,
+                            optimizer=optimizer)
+
+
+def moe_utilization_timeline(config: MoEConfig, steps: int = 3,
+                             resolution: float = 0.02,
+                             **model_kwargs) -> UtilizationTimeline:
+    """DCGM-style SM trace for MoE pretraining (Fig. 22)."""
+    breakdown = moe_step_model(config, **model_kwargs)
+    interleave = 16
+    segments = []
+    for _ in range(interleave):
+        segments.append((breakdown.compute / interleave, 0.85, 0.65))
+        segments.append((breakdown.alltoall / interleave, 0.06, 0.0))
+    segments.append((breakdown.optimizer, 0.55, 0.10))
+    return _segments_to_timeline(segments * steps, resolution,
+                                 rng=None)

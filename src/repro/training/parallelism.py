@@ -1,0 +1,117 @@
+"""Parallelization strategies: 3D parallelism and hierarchical ZeRO.
+
+Two strategies are profiled in §4.1 (Fig. 10):
+
+* **InternEvo V1** — Megatron-style 3D parallelism.  For the 123B model on
+  2048 GPUs the paper uses pipeline parallelism 4 and tensor parallelism 8
+  (data parallelism fills the rest: 2048 / (4*8) = 64).
+* **InternEvo V2** — hierarchical ZeRO: pure data parallelism with model
+  states redundantly sharded inside subgroups of 64 GPUs, plus activation
+  recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """How a training job maps onto the GPU fleet."""
+
+    name: str
+    world_size: int
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    #: micro-batches in flight per pipeline (1F1B schedule)
+    micro_batches: int = 8
+    micro_batch_size: int = 1
+    #: ZeRO shard-group size; 1 disables sharding, ``world_size``/``dp``
+    #: is classic global ZeRO, 64 is the paper's hierarchical setting
+    zero_shard_group: int = 1
+    recompute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        model_parallel = self.tensor_parallel * self.pipeline_parallel
+        if self.world_size % model_parallel != 0:
+            raise ValueError(
+                f"world_size {self.world_size} not divisible by "
+                f"tp*pp={model_parallel}")
+        if self.micro_batches < 1:
+            raise ValueError("micro_batches must be >= 1")
+        if self.zero_shard_group < 1:
+            raise ValueError("zero_shard_group must be >= 1")
+        if self.data_parallel % self.zero_shard_group != 0:
+            raise ValueError(
+                f"data parallel degree {self.data_parallel} not divisible "
+                f"by shard group {self.zero_shard_group}")
+
+    @property
+    def data_parallel(self) -> int:
+        return self.world_size // (self.tensor_parallel
+                                   * self.pipeline_parallel)
+
+    @property
+    def global_batch_size(self) -> int:
+        """Sequences per optimizer step."""
+        return (self.data_parallel * self.micro_batches
+                * self.micro_batch_size)
+
+    @property
+    def pipeline_bubble_fraction(self) -> float:
+        """Idle fraction of the 1F1B pipeline: (p-1)/(m+p-1)."""
+        p = self.pipeline_parallel
+        m = self.micro_batches
+        return (p - 1) / (m + p - 1)
+
+    def layers_per_stage(self, total_layers: int) -> int:
+        """Transformer layers per pipeline stage."""
+        if total_layers % self.pipeline_parallel != 0:
+            raise ValueError(
+                f"{total_layers} layers not divisible by pp="
+                f"{self.pipeline_parallel}")
+        return total_layers // self.pipeline_parallel
+
+    def in_flight_microbatches(self, pipeline_rank: int) -> int:
+        """Micro-batches whose activations rank ``r`` holds under 1F1B.
+
+        Rank 0 warms up the deepest and holds p micro-batches; the last
+        rank holds 1.  This is the imbalance behind Fig. 12.
+        """
+        if not 0 <= pipeline_rank < self.pipeline_parallel:
+            raise IndexError("pipeline_rank out of range")
+        return min(self.pipeline_parallel - pipeline_rank,
+                   self.micro_batches)
+
+
+def internevo_v1(world_size: int = 2048, micro_batches: int = 32,
+                 micro_batch_size: int = 1) -> ParallelismPlan:
+    """InternEvo V1: 3D parallelism, pp=4 / tp=8 (§4.1)."""
+    return ParallelismPlan(
+        name="internevo-v1-3d",
+        world_size=world_size,
+        tensor_parallel=8,
+        pipeline_parallel=4,
+        micro_batches=micro_batches,
+        micro_batch_size=micro_batch_size,
+        zero_shard_group=1,
+        recompute=False,
+    )
+
+
+def internevo_v2(world_size: int = 2048, micro_batches: int = 1,
+                 micro_batch_size: int = 1,
+                 shard_group: int = 64) -> ParallelismPlan:
+    """InternEvo V2: hierarchical ZeRO, shard subgroups of 64, recompute."""
+    return ParallelismPlan(
+        name="internevo-v2-hzero",
+        world_size=world_size,
+        tensor_parallel=1,
+        pipeline_parallel=1,
+        micro_batches=micro_batches,
+        micro_batch_size=micro_batch_size,
+        zero_shard_group=shard_group,
+        recompute=True,
+    )

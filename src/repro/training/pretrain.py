@@ -1,0 +1,224 @@
+"""Long-horizon pretraining simulation with failures (Fig. 14).
+
+Simulates the wall-clock progress of a multi-week pretraining job under
+failure injection, checkpoint policies, and a recovery mode:
+
+* ``RecoveryMode.MANUAL`` — the paper's early regime: a developer notices
+  the failure and restarts the job.  At night the response is slow (the
+  Fig. 14 annotation: manual recovery at night loses hours).
+* ``RecoveryMode.AUTOMATIC`` — the §6.1 system: detection + diagnosis +
+  restart within minutes.
+
+On every restart the job reverts to the last persisted checkpoint, so the
+iterations since then are lost; with graceful termination (added for the
+123B run) a cancel-style interruption still saves the current state first.
+Loss spikes trigger a rollback to an *earlier* healthy checkpoint plus
+data skipping (§6.1 "Fast Fault Detection and Recovery").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class RecoveryMode(Enum):
+    """Manual (on-call developer) vs automatic (§6.1) recovery."""
+    MANUAL = "manual"
+    AUTOMATIC = "automatic"
+
+
+@dataclass(frozen=True)
+class PretrainJobConfig:
+    """Parameters of one long pretraining campaign."""
+
+    name: str
+    step_time: float                     # seconds per iteration
+    total_iterations: int
+    checkpoint_interval: float           # seconds between checkpoints
+    mtbf: float                          # mean time between failures, s
+    recovery: RecoveryMode
+    #: probability that a failure is a graceful interruption that still
+    #: saves state before dying (the 123B framework feature)
+    graceful_save_probability: float = 0.0
+    #: probability a failure is a loss spike needing a deeper rollback
+    loss_spike_probability: float = 0.08
+    #: how many extra checkpoints a loss-spike rollback discards
+    loss_spike_rollback_checkpoints: int = 2
+    #: fixed overhead to reload data/model state on restart, seconds
+    cold_start: float = 10.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if self.step_time <= 0 or self.mtbf <= 0:
+            raise ValueError("step_time and mtbf must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+
+
+@dataclass
+class Submission:
+    """One contiguous run between restarts (a Fig. 14 segment)."""
+
+    start_time: float
+    end_time: float
+    start_iteration: int
+    end_iteration: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def iterations(self) -> int:
+        return self.end_iteration - self.start_iteration
+
+
+@dataclass
+class PretrainRun:
+    """Result of one simulated campaign."""
+
+    config: PretrainJobConfig
+    submissions: list[Submission] = field(default_factory=list)
+    failures: int = 0
+    loss_spikes: int = 0
+    lost_iterations: int = 0
+    total_time: float = 0.0
+
+    @property
+    def final_iteration(self) -> int:
+        return (self.submissions[-1].end_iteration
+                if self.submissions else 0)
+
+    @property
+    def useful_fraction(self) -> float:
+        """Fraction of wall-clock time converted into retained progress."""
+        if self.total_time <= 0:
+            return 0.0
+        useful = self.final_iteration * self.config.step_time
+        return useful / self.total_time
+
+    def progress_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(time, iteration) staircase including rollbacks, for plotting."""
+        times: list[float] = []
+        iterations: list[float] = []
+        for sub in self.submissions:
+            times.extend([sub.start_time, sub.end_time])
+            iterations.extend([sub.start_iteration, sub.end_iteration])
+        return np.array(times), np.array(iterations)
+
+
+def _is_night(time_seconds: float) -> bool:
+    """True between 00:00 and 08:00 of the simulated day."""
+    hour = (time_seconds % 86400.0) / 3600.0
+    return hour < 8.0
+
+
+class PretrainSimulator:
+    """Runs a :class:`PretrainJobConfig` to completion or a deadline."""
+
+    def __init__(self, config: PretrainJobConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+
+    def _restart_delay(self, failure_time: float) -> float:
+        if self.config.recovery is RecoveryMode.AUTOMATIC:
+            # detection + two-round NCCL test + reschedule: minutes
+            return float(self.rng.uniform(3.0 * 60.0, 12.0 * 60.0))
+        if _is_night(failure_time):
+            # nobody is watching: hours until the on-call wakes up
+            return float(self.rng.uniform(1.0 * 3600.0, 5.0 * 3600.0))
+        return float(self.rng.uniform(10.0 * 60.0, 60.0 * 60.0))
+
+    def run(self, deadline: float | None = None) -> PretrainRun:
+        """Simulate the campaign to completion or a deadline."""
+        cfg = self.config
+        run = PretrainRun(config=cfg)
+        now = 0.0
+        iteration = 0            # retained progress (checkpointed)
+        steps_per_checkpoint = max(
+            1, int(round(cfg.checkpoint_interval / cfg.step_time)))
+        while iteration < cfg.total_iterations:
+            if deadline is not None and now >= deadline:
+                break
+            segment_start_time = now + cfg.cold_start
+            time_to_failure = float(self.rng.exponential(cfg.mtbf))
+            remaining = cfg.total_iterations - iteration
+            steps_until_failure = int(time_to_failure / cfg.step_time)
+            deadline_steps = remaining
+            if deadline is not None:
+                budget = max(0.0, deadline - segment_start_time)
+                deadline_steps = min(remaining, int(budget / cfg.step_time))
+            steps_run = min(steps_until_failure, deadline_steps)
+            failed = steps_run == steps_until_failure and steps_run < remaining
+            hit_deadline = (steps_run == deadline_steps
+                            and deadline_steps < remaining and not failed)
+            segment_end_time = segment_start_time + steps_run * cfg.step_time
+            end_iteration = iteration + steps_run
+
+            if not failed or hit_deadline:
+                run.submissions.append(Submission(
+                    segment_start_time, segment_end_time,
+                    iteration, end_iteration))
+                iteration = end_iteration
+                now = segment_end_time
+                break
+
+            run.failures += 1
+            is_spike = self.rng.uniform() < cfg.loss_spike_probability
+            graceful = (not is_spike and self.rng.uniform()
+                        < cfg.graceful_save_probability)
+            if graceful:
+                retained = end_iteration
+            else:
+                checkpoints_done = end_iteration // steps_per_checkpoint
+                if is_spike:
+                    run.loss_spikes += 1
+                    checkpoints_done = max(
+                        0, checkpoints_done
+                        - cfg.loss_spike_rollback_checkpoints)
+                retained = max(checkpoints_done * steps_per_checkpoint, 0)
+            run.lost_iterations += max(end_iteration - retained, 0)
+            run.submissions.append(Submission(
+                segment_start_time, segment_end_time,
+                iteration, end_iteration))
+            iteration = retained
+            now = segment_end_time + self._restart_delay(segment_end_time)
+        run.total_time = now
+        return run
+
+
+def fig14_campaigns(seed: int = 7) -> dict[str, PretrainRun]:
+    """The two Fig. 14 campaigns.
+
+    * 104B (early framework): sparse checkpoints (5 h), purely manual
+      recovery, no graceful termination — large rollbacks, unstable slope.
+    * 123B (one month later): 30-minute checkpoints, graceful termination,
+      faster manual response — near-linear progress.
+    """
+    week = 7 * 86400.0
+    runs = {}
+    cfg_104b = PretrainJobConfig(
+        name="104B",
+        step_time=12.0,
+        total_iterations=80_000,
+        checkpoint_interval=5.0 * 3600.0,
+        mtbf=0.8 * 86400.0,
+        recovery=RecoveryMode.MANUAL,
+        graceful_save_probability=0.0,
+    )
+    runs["104B"] = PretrainSimulator(cfg_104b, seed).run(deadline=2 * week)
+    cfg_123b = PretrainJobConfig(
+        name="123B",
+        step_time=14.0,
+        total_iterations=80_000,
+        checkpoint_interval=0.5 * 3600.0,
+        mtbf=0.8 * 86400.0,
+        recovery=RecoveryMode.MANUAL,
+        graceful_save_probability=0.5,
+    )
+    runs["123B"] = PretrainSimulator(cfg_123b, seed + 1).run(
+        deadline=2 * week)
+    return runs

@@ -1,0 +1,142 @@
+"""Data-preparation stage model (§2.1, stage 1).
+
+The first stage of the development pipeline: gathering raw corpora,
+curating them (deduplication, detoxification), and tokenizing everything
+for the model.  These are the CPU jobs of the trace (§2.3 counts 368K
+CPU jobs on Seren), and their output size determines how long the
+pretraining stage must run for a target token budget.
+
+The yields and throughputs are order-of-magnitude constants from the
+public data-curation literature (RefinedWeb/SlimPajama-style pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TB = 10 ** 12
+
+
+@dataclass(frozen=True)
+class CorpusSource:
+    """One raw data source entering the pipeline."""
+
+    name: str
+    raw_bytes: float
+    #: fraction surviving exact+fuzzy deduplication
+    dedup_yield: float = 0.55
+    #: fraction surviving quality/toxicity filtering
+    filter_yield: float = 0.80
+    #: average bytes per token after tokenization (≈4 for English BPE,
+    #: lower for CJK-heavy corpora)
+    bytes_per_token: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.raw_bytes <= 0:
+            raise ValueError("raw_bytes must be positive")
+        for rate in (self.dedup_yield, self.filter_yield):
+            if not 0.0 < rate <= 1.0:
+                raise ValueError("yields must be in (0, 1]")
+        if self.bytes_per_token <= 0:
+            raise ValueError("bytes_per_token must be positive")
+
+    @property
+    def curated_bytes(self) -> float:
+        return self.raw_bytes * self.dedup_yield * self.filter_yield
+
+    @property
+    def tokens(self) -> float:
+        return self.curated_bytes / self.bytes_per_token
+
+
+#: A plausible pretraining mixture for an InternLM-scale run (~1.6T
+#: tokens after curation, matching the log banner in
+#: ``repro.failures.logs``).
+DEFAULT_MIXTURE: list[CorpusSource] = [
+    CorpusSource("web-en", raw_bytes=30 * TB, dedup_yield=0.30,
+                 filter_yield=0.45),
+    CorpusSource("web-zh", raw_bytes=9 * TB, dedup_yield=0.32,
+                 filter_yield=0.45, bytes_per_token=3.0),
+    CorpusSource("code", raw_bytes=4 * TB, dedup_yield=0.45,
+                 filter_yield=0.70, bytes_per_token=3.2),
+    CorpusSource("books", raw_bytes=0.6 * TB, dedup_yield=0.85,
+                 filter_yield=0.95),
+    CorpusSource("papers", raw_bytes=0.9 * TB, dedup_yield=0.80,
+                 filter_yield=0.90),
+    CorpusSource("wiki", raw_bytes=0.04 * TB, dedup_yield=0.95,
+                 filter_yield=0.98),
+]
+
+
+@dataclass
+class DataPrepPipeline:
+    """End-to-end curation + tokenization accounting."""
+
+    sources: list[CorpusSource] = field(
+        default_factory=lambda: list(DEFAULT_MIXTURE))
+    #: curation throughput per CPU core, bytes/s (dedup hashing + filters)
+    curation_bytes_per_core_second: float = 15e6
+    #: tokenizer throughput per CPU core, bytes/s
+    tokenize_bytes_per_core_second: float = 4e6
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ValueError("pipeline needs at least one source")
+
+    # -- outputs -----------------------------------------------------------
+
+    @property
+    def raw_bytes(self) -> float:
+        return sum(source.raw_bytes for source in self.sources)
+
+    @property
+    def curated_bytes(self) -> float:
+        return sum(source.curated_bytes for source in self.sources)
+
+    @property
+    def total_tokens(self) -> float:
+        return sum(source.tokens for source in self.sources)
+
+    @property
+    def overall_yield(self) -> float:
+        """Curated bytes / raw bytes — how much curation throws away."""
+        return self.curated_bytes / self.raw_bytes
+
+    # -- compute cost ---------------------------------------------------------
+
+    def curation_core_hours(self) -> float:
+        return self.raw_bytes / self.curation_bytes_per_core_second \
+            / 3600.0
+
+    def tokenization_core_hours(self) -> float:
+        return (self.curated_bytes
+                / self.tokenize_bytes_per_core_second / 3600.0)
+
+    def total_core_hours(self) -> float:
+        return self.curation_core_hours() + self.tokenization_core_hours()
+
+    def wall_days(self, cpu_cores: int) -> float:
+        """Wall-clock with ``cpu_cores`` working in parallel."""
+        if cpu_cores <= 0:
+            raise ValueError("cpu_cores must be positive")
+        return self.total_core_hours() / cpu_cores / 24.0
+
+    # -- connection to pretraining --------------------------------------------
+
+    def pretraining_steps(self, tokens_per_step: float,
+                          epochs: float = 1.0) -> int:
+        """Optimizer steps to consume the curated tokens."""
+        if tokens_per_step <= 0:
+            raise ValueError("tokens_per_step must be positive")
+        return int(self.total_tokens * epochs / tokens_per_step)
+
+    def summary(self) -> dict:
+        """The pipeline at a glance (for reports/examples)."""
+        return {
+            "raw_tb": self.raw_bytes / TB,
+            "curated_tb": self.curated_bytes / TB,
+            "overall_yield": self.overall_yield,
+            "total_tokens_T": self.total_tokens / 1e12,
+            "curation_core_hours": self.curation_core_hours(),
+            "tokenization_core_hours": self.tokenization_core_hours(),
+        }

@@ -1,0 +1,148 @@
+"""Trace calibration validation.
+
+Checks a trace — synthetic or externally supplied in the AcmeTrace CSV
+schema — against the paper's published anchors, producing a pass/fail
+calibration report.  Useful both as a regression gate for the generator
+and as a comparison tool for real trace data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.scheduler.job import FinalStatus, JobType
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One published statistic with an acceptance band."""
+
+    name: str
+    paper_value: float
+    low: float
+    high: float
+    measure: Callable[[Trace], float]
+    #: anchors that only apply to one cluster
+    cluster: str | None = None
+
+    def applies_to(self, trace: Trace) -> bool:
+        """Whether this anchor applies to the trace's cluster."""
+        return self.cluster is None or self.cluster == trace.cluster
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """One anchor's measured value and pass/fail status."""
+    anchor: Anchor
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return self.anchor.low <= self.measured <= self.anchor.high
+
+    def as_row(self) -> dict:
+        """Render as a report-table row."""
+        return {
+            "anchor": self.anchor.name,
+            "paper": self.anchor.paper_value,
+            "measured": self.measured,
+            "band": f"[{self.anchor.low:g}, {self.anchor.high:g}]",
+            "status": "PASS" if self.passed else "FAIL",
+        }
+
+
+def _median_duration(trace: Trace) -> float:
+    return float(np.median(trace.durations()))
+
+
+def _failed_count_share(trace: Trace) -> float:
+    counts = trace.status_counts()
+    return counts.get(FinalStatus.FAILED, 0) / max(
+        sum(counts.values()), 1)
+
+
+def _canceled_time_share(trace: Trace) -> float:
+    times = trace.status_gpu_time()
+    total = sum(times.values())
+    return times.get(FinalStatus.CANCELED, 0.0) / total if total else 0.0
+
+
+def _completed_time_share(trace: Trace) -> float:
+    times = trace.status_gpu_time()
+    total = sum(times.values())
+    return times.get(FinalStatus.COMPLETED, 0.0) / total if total else 0.0
+
+
+def _median_utilization(trace: Trace) -> float:
+    return float(np.median(trace.utilizations()))
+
+
+def _pretrain_time_share(trace: Trace) -> float:
+    return trace.gpu_time_share_by_type().get(JobType.PRETRAIN, 0.0)
+
+
+def _eval_count_share(trace: Trace) -> float:
+    return trace.count_share_by_type().get(JobType.EVALUATION, 0.0)
+
+
+def _eval_median_demand(trace: Trace) -> float:
+    demands = trace.gpu_demands(JobType.EVALUATION)
+    return float(np.median(demands)) if demands.size else 0.0
+
+
+def _pretrain_median_demand(trace: Trace) -> float:
+    demands = trace.gpu_demands(JobType.PRETRAIN)
+    return float(np.median(demands)) if demands.size else 0.0
+
+
+#: The paper's §3 anchors with generous sampling bands.
+PAPER_ANCHORS: list[Anchor] = [
+    Anchor("median job duration (s)", 120.0, 60.0, 240.0,
+           _median_duration),
+    Anchor("failed job count share", 0.40, 0.28, 0.52,
+           _failed_count_share),
+    Anchor("canceled GPU-time share", 0.62, 0.45, 0.92,
+           _canceled_time_share),
+    Anchor("completed GPU-time share", 0.25, 0.04, 0.45,
+           _completed_time_share),
+    Anchor("median GPU utilization", 0.98, 0.90, 1.0,
+           _median_utilization),
+    Anchor("evaluation median GPU demand", 1.0, 1.0, 4.0,
+           _eval_median_demand),
+    Anchor("pretraining median GPU demand", 512.0, 96.0, 2048.0,
+           _pretrain_median_demand),
+    Anchor("kalos evaluation count share", 0.929, 0.90, 0.95,
+           _eval_count_share, cluster="kalos"),
+    Anchor("kalos pretraining GPU-time share", 0.94, 0.85, 0.995,
+           _pretrain_time_share, cluster="kalos"),
+    Anchor("seren pretraining GPU-time share", 0.695, 0.45, 0.90,
+           _pretrain_time_share, cluster="seren"),
+]
+
+
+def validate_trace(trace: Trace,
+                   anchors: list[Anchor] | None = None
+                   ) -> list[AnchorResult]:
+    """Evaluate every applicable anchor against the trace."""
+    if not trace.gpu_jobs():
+        raise ValueError("trace has no GPU jobs")
+    anchors = anchors if anchors is not None else PAPER_ANCHORS
+    return [AnchorResult(anchor, anchor.measure(trace))
+            for anchor in anchors if anchor.applies_to(trace)]
+
+
+def calibration_report(trace: Trace) -> tuple[str, bool]:
+    """(rendered report, all_passed) for a trace."""
+    from repro.analysis.report import render_table
+
+    results = validate_trace(trace)
+    rows = [result.as_row() for result in results]
+    all_passed = all(result.passed for result in results)
+    title = (f"calibration of {trace.cluster} trace "
+             f"({len(trace)} jobs): "
+             f"{'PASS' if all_passed else 'FAIL'}")
+    return render_table(rows, title=title), all_passed

@@ -1,0 +1,28 @@
+"""Shared fixtures: small synthetic traces and common objects.
+
+Trace generation is the most expensive setup, so the traces are
+session-scoped and sized for test speed (the calibration tests use
+tolerances appropriate for these sample sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.generator import TraceGenerator
+from repro.workload.spec import KALOS_SPEC, SEREN_SPEC
+
+
+@pytest.fixture(scope="session")
+def seren_trace():
+    return TraceGenerator(SEREN_SPEC, seed=11).generate(8000)
+
+
+@pytest.fixture(scope="session")
+def kalos_trace():
+    return TraceGenerator(KALOS_SPEC, seed=12).generate(8000)
+
+
+@pytest.fixture(scope="session")
+def small_seren_trace():
+    return TraceGenerator(SEREN_SPEC, seed=13).generate(600)

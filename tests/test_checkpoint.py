@@ -1,0 +1,208 @@
+"""Tests for async checkpointing (§6.1, design 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.storage import SharedStorage
+from repro.core.checkpoint import (AsyncCheckpointer, CheckpointCostModel,
+                                   DirectoryStorage, InMemoryStorage,
+                                   SyncCheckpointer)
+from repro.training.model import MODEL_7B, MODEL_123B
+
+
+def state(seed=0, size=2048):
+    rng = np.random.default_rng(seed)
+    return {"weights": rng.normal(size=size),
+            "optimizer": rng.normal(size=size)}
+
+
+class TestSyncCheckpointer:
+    def test_round_trip(self):
+        ckpt = SyncCheckpointer(InMemoryStorage())
+        original = state(1)
+        ckpt.save(100, original)
+        step, restored = ckpt.load_latest()
+        assert step == 100
+        assert np.allclose(restored["weights"], original["weights"])
+
+    def test_load_latest_of_many(self):
+        ckpt = SyncCheckpointer(InMemoryStorage())
+        for step in (10, 30, 20):
+            ckpt.save(step, state(step))
+        step, _ = ckpt.load_latest()
+        assert step == 30
+
+    def test_empty_storage_returns_none(self):
+        assert SyncCheckpointer(InMemoryStorage()).load_latest() is None
+
+    def test_blocking_time_includes_persist(self):
+        slow = InMemoryStorage(bandwidth=2e6)  # ~16 KB payload -> ~8 ms
+        fast = InMemoryStorage()
+        t_slow = SyncCheckpointer(slow).save(1, state())
+        t_fast = SyncCheckpointer(fast).save(1, state())
+        assert t_slow > t_fast
+
+
+class TestAsyncCheckpointer:
+    def test_round_trip_after_flush(self):
+        with AsyncCheckpointer(InMemoryStorage()) as ckpt:
+            original = state(2)
+            ckpt.save(7, original)
+            ckpt.flush()
+            step, restored = ckpt.load_latest()
+            assert step == 7
+            assert np.allclose(restored["optimizer"],
+                               original["optimizer"])
+
+    def test_save_does_not_block_on_slow_storage(self):
+        """The headline §6.1 property: blocking time ~ snapshot only."""
+        slow = InMemoryStorage(bandwidth=1e6)
+        sync_time = SyncCheckpointer(
+            InMemoryStorage(bandwidth=1e6)).save(1, state())
+        with AsyncCheckpointer(slow) as ckpt:
+            async_time = ckpt.save(1, state())
+            assert async_time < sync_time / 2
+            ckpt.flush()
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        """Training may mutate tensors right after save() returns."""
+        storage = InMemoryStorage(bandwidth=5e6)
+        with AsyncCheckpointer(storage) as ckpt:
+            tensors = state(3)
+            ckpt.save(1, tensors)
+            tensors["weights"] += 999.0  # mutate before persist completes
+            ckpt.flush()
+            _, restored = ckpt.load_latest()
+            assert restored["weights"].max() < 900.0
+
+    def test_buffer_drops_oldest_when_full(self):
+        storage = InMemoryStorage(bandwidth=2e5)  # very slow persist
+        with AsyncCheckpointer(storage, buffer_slots=1) as ckpt:
+            for step in range(5):
+                ckpt.save(step, state(step, size=256))
+            ckpt.flush()
+            assert ckpt.dropped > 0
+            step, _ = ckpt.load_latest()
+            assert step == 4  # latest always survives
+
+    def test_sequential_saves_all_persisted_when_buffer_ample(self):
+        storage = InMemoryStorage()
+        with AsyncCheckpointer(storage, buffer_slots=8) as ckpt:
+            for step in range(5):
+                ckpt.save(step, state(step, size=64))
+            ckpt.flush()
+        assert storage.write_count == 5
+
+    def test_invalid_buffer_slots(self):
+        with pytest.raises(ValueError):
+            AsyncCheckpointer(InMemoryStorage(), buffer_slots=0)
+
+    def test_directory_storage_round_trip(self, tmp_path):
+        with AsyncCheckpointer(DirectoryStorage(tmp_path)) as ckpt:
+            ckpt.save(42, state(4))
+            ckpt.flush()
+            step, restored = ckpt.load_latest()
+        assert step == 42
+        assert np.allclose(restored["weights"], state(4)["weights"])
+
+    def test_directory_storage_no_torn_files(self, tmp_path):
+        storage = DirectoryStorage(tmp_path)
+        storage.write("ckpt-000000000001", b"payload")
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCostModel:
+    def model(self):
+        # Kalos-style: 25 GB/s storage HCA per node, 800 GB/s backend.
+        storage = SharedStorage(backend_bandwidth=800e9,
+                                node_nic_bandwidth=25e9)
+        return CheckpointCostModel(storage)
+
+    def test_async_blocking_is_snapshot_only(self):
+        cost = self.model().cost(MODEL_7B, world_size=8)
+        assert cost.async_blocking == cost.snapshot
+        assert cost.sync_blocking > cost.async_blocking
+
+    def test_reduction_grows_with_scale(self):
+        """§6.1: 3.6x (7B) to 58.7x (123B) blocking-time reduction."""
+        small = self.model().cost(MODEL_7B, world_size=8)
+        large = self.model().cost(MODEL_123B, world_size=2048)
+        assert large.reduction > small.reduction
+        assert 3.0 < small.reduction < 15.0
+        assert 30.0 < large.reduction < 120.0
+
+    def test_overhead_fraction_at_30min_interval(self):
+        cost = self.model().cost(MODEL_123B, world_size=2048)
+        sync = cost.overhead_fraction(1800.0, asynchronous=False)
+        asynchronous = cost.overhead_fraction(1800.0, asynchronous=True)
+        assert asynchronous < sync
+        assert asynchronous < 0.001
+
+    def test_world_size_must_align_to_nodes(self):
+        with pytest.raises(ValueError):
+            self.model().cost(MODEL_7B, world_size=12)
+
+
+class TestShardedCheckpointer:
+    def shards(self, world, step, seed=0):
+        rng = np.random.default_rng(seed + step)
+        return [{"weights": rng.normal(size=128),
+                 "step": np.array([step])} for _ in range(world)]
+
+    def test_complete_round_trip(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with ShardedCheckpointer(world_size=4) as ckpt:
+            ckpt.save(100, self.shards(4, 100))
+            ckpt.flush()
+            step, shards = ckpt.load_complete()
+        assert step == 100
+        assert len(shards) == 4
+
+    def test_partial_save_falls_back_to_last_complete(self):
+        """The recovery-consistency rule: a crash mid-flush must not
+        yield a checkpoint some ranks never wrote."""
+        from repro.core.sharded import demo_inconsistent_save
+
+        result = demo_inconsistent_save(world_size=4)
+        assert result["latest_complete_step"] == 100
+        assert result["loaded_step"] == 100
+
+    def test_no_complete_checkpoint_returns_none(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with ShardedCheckpointer(world_size=2) as ckpt:
+            ckpt.save(50, self.shards(2, 50), fail_after_rank=0)
+            ckpt.flush()
+            assert ckpt.latest_complete_step() is None
+            assert ckpt.load_complete() is None
+
+    def test_latest_of_several_complete_steps(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with ShardedCheckpointer(world_size=3) as ckpt:
+            for step in (10, 20, 30):
+                ckpt.save(step, self.shards(3, step))
+            ckpt.flush()
+            assert ckpt.latest_complete_step() == 30
+
+    def test_wrong_shard_count_rejected(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with ShardedCheckpointer(world_size=3) as ckpt:
+            with pytest.raises(ValueError):
+                ckpt.save(1, self.shards(2, 1))
+
+    def test_total_state_accounting(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with ShardedCheckpointer(world_size=2) as ckpt:
+            ckpt.save(5, self.shards(2, 5))
+            ckpt.flush()
+            assert ckpt.total_state_bytes() > 2 * 128 * 8
+
+    def test_invalid_world_size(self):
+        from repro.core.sharded import ShardedCheckpointer
+
+        with pytest.raises(ValueError):
+            ShardedCheckpointer(world_size=0)

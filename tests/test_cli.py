@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.failures.logs import generate_job_log
+from repro.workload.trace import Trace
+
+
+class TestGenerateAndAnalyze:
+    def test_generate_csv(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        code = main(["generate-trace", "--cluster", "kalos",
+                     "--jobs", "300", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert len(Trace.from_csv(out)) == 300
+
+    def test_generate_jsonl(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["generate-trace", "--jobs", "100",
+                     "--out", str(out)]) == 0
+        assert len(Trace.from_jsonl(out)) == 100
+
+    def test_generate_with_cpu_jobs(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        main(["generate-trace", "--cluster", "kalos", "--jobs", "100",
+              "--cpu-jobs", "--out", str(out)])
+        trace = Trace.from_csv(out)
+        assert len(trace.cpu_jobs()) > 0
+
+    def test_analyze_prints_mix(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate-trace", "--jobs", "400", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "workload mix" in output
+        assert "evaluation" in output
+        assert "median duration" in output
+
+
+class TestDiagnose:
+    def test_diagnose_known_failure(self, tmp_path, capsys):
+        log = tmp_path / "job.log"
+        log.write_text(generate_job_log("NVLinkError", seed=2).text)
+        assert main(["diagnose", str(log)]) == 0
+        output = capsys.readouterr().out
+        assert "NVLinkError" in output
+        assert "infrastructure" in output
+
+    def test_diagnose_script_error_not_recoverable(self, tmp_path,
+                                                   capsys):
+        log = tmp_path / "job.log"
+        log.write_text(generate_job_log("TypeError", seed=3).text)
+        main(["diagnose", str(log)])
+        output = capsys.readouterr().out
+        assert "script" in output
+        assert "False" in output
+
+    def test_diagnose_unintelligible_log_exits_nonzero(self, tmp_path):
+        log = tmp_path / "noise.log"
+        log.write_text("hello\nworld\n")
+        assert main(["diagnose", str(log)]) == 1
+
+
+class TestModelCommands:
+    def test_checkpoint_cost(self, capsys):
+        assert main(["checkpoint", "--model", "123b",
+                     "--gpus", "2048"]) == 0
+        output = capsys.readouterr().out
+        assert "blocking reduction" in output
+
+    def test_evalsched(self, capsys):
+        assert main(["evalsched", "--nodes", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestValidateAndExport:
+    def test_validate_passes_on_generated_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate-trace", "--cluster", "kalos", "--jobs", "1500",
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["validate", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "PASS" in output
+
+    def test_validate_fails_on_corrupted_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate-trace", "--jobs", "500", "--out", str(out)])
+        trace = Trace.from_csv(out)
+        for job in trace.gpu_jobs():
+            job.gpu_utilization = 0.1
+        trace.to_csv(out)
+        assert main(["validate", str(out)]) == 1
+
+    def test_export_figures(self, tmp_path, capsys):
+        outdir = tmp_path / "figs"
+        assert main(["export-figures", "--outdir", str(outdir),
+                     "--jobs", "1200"]) == 0
+        svgs = list(outdir.glob("*.svg"))
+        assert len(svgs) >= 10

@@ -1,0 +1,107 @@
+"""Tests for node/GPU hardware models."""
+
+import pytest
+
+from repro.cluster.machine import (A100_SXM_80GB, Gpu, Node, NodeHealth,
+                                   kalos_node_spec, seren_node_spec)
+
+
+class TestSpecs:
+    def test_a100_has_80gb(self):
+        assert A100_SXM_80GB.memory_bytes == 80 * 1024 ** 3
+
+    def test_a100_tdp_is_400w(self):
+        assert A100_SXM_80GB.tdp_watts == 400.0
+
+    def test_seren_node_matches_table1(self):
+        spec = seren_node_spec()
+        assert spec.cpus == 128
+        assert spec.gpus_per_node == 8
+        assert spec.host_memory_bytes == 1024 * 1024 ** 3
+        assert spec.compute_nics == 1
+
+    def test_kalos_node_matches_table1(self):
+        spec = kalos_node_spec()
+        assert spec.host_memory_bytes == 2048 * 1024 ** 3
+        assert spec.compute_nics == 4
+
+    def test_kalos_has_more_network_bandwidth(self):
+        assert (kalos_node_spec().total_network_bandwidth
+                > seren_node_spec().total_network_bandwidth)
+
+    def test_seren_storage_nic_is_25gbps(self):
+        # §6.2: the storage NIC bandwidth limitation is 25 Gb/s.
+        assert seren_node_spec().storage_bandwidth == pytest.approx(
+            25e9 / 8.0)
+
+
+class TestGpu:
+    def test_assign_and_free(self):
+        gpu = Gpu(index=0, spec=A100_SXM_80GB)
+        gpu.assign("job-1")
+        assert gpu.busy
+        gpu.free()
+        assert not gpu.busy
+        assert gpu.sm_activity == 0.0
+
+    def test_double_assign_raises(self):
+        gpu = Gpu(index=0, spec=A100_SXM_80GB)
+        gpu.assign("job-1")
+        with pytest.raises(RuntimeError):
+            gpu.assign("job-2")
+
+    def test_memory_fraction(self):
+        gpu = Gpu(index=0, spec=A100_SXM_80GB)
+        gpu.memory_used = A100_SXM_80GB.memory_bytes // 2
+        assert gpu.memory_fraction() == pytest.approx(0.5)
+
+
+class TestNode:
+    def make_node(self):
+        return Node(name="n0", spec=seren_node_spec())
+
+    def test_node_creates_eight_gpus(self):
+        assert self.make_node().gpu_count == 8
+
+    def test_allocate_and_release(self):
+        node = self.make_node()
+        gpus = node.allocate_gpus(3, "job-a")
+        assert len(gpus) == 3
+        assert node.free_gpu_count == 5
+        assert node.release_job("job-a") == 3
+        assert node.free_gpu_count == 8
+
+    def test_allocate_beyond_free_raises(self):
+        node = self.make_node()
+        node.allocate_gpus(8, "job-a")
+        with pytest.raises(RuntimeError):
+            node.allocate_gpus(1, "job-b")
+
+    def test_release_unknown_job_is_noop(self):
+        node = self.make_node()
+        assert node.release_job("ghost") == 0
+
+    def test_host_memory_accounting(self):
+        node = self.make_node()
+        node.allocate_host_memory(10 * 1024 ** 3)
+        assert node.host_memory_free == (1024 - 10) * 1024 ** 3
+        node.release_host_memory(10 * 1024 ** 3)
+        assert node.host_memory_used == 0
+
+    def test_host_memory_overflow_raises(self):
+        node = self.make_node()
+        with pytest.raises(RuntimeError):
+            node.allocate_host_memory(2 * 1024 ** 4)
+
+    def test_host_memory_over_release_raises(self):
+        node = self.make_node()
+        with pytest.raises(RuntimeError):
+            node.release_host_memory(1)
+
+    def test_cordon_makes_unschedulable(self):
+        node = self.make_node()
+        node.cordon()
+        assert not node.schedulable
+        assert node.health is NodeHealth.CORDONED
+        node.uncordon()
+        assert node.schedulable

@@ -1,0 +1,79 @@
+"""Tests for the data-preparation stage model (§2.1)."""
+
+import pytest
+
+from repro.workload.dataprep import (DEFAULT_MIXTURE, CorpusSource,
+                                     DataPrepPipeline)
+
+
+class TestCorpusSource:
+    def test_curation_applies_both_yields(self):
+        source = CorpusSource("x", raw_bytes=100.0, dedup_yield=0.5,
+                              filter_yield=0.5)
+        assert source.curated_bytes == pytest.approx(25.0)
+
+    def test_tokens_from_bytes(self):
+        source = CorpusSource("x", raw_bytes=400.0, dedup_yield=1.0,
+                              filter_yield=1.0, bytes_per_token=4.0)
+        assert source.tokens == pytest.approx(100.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CorpusSource("x", raw_bytes=0.0)
+        with pytest.raises(ValueError):
+            CorpusSource("x", raw_bytes=1.0, dedup_yield=0.0)
+        with pytest.raises(ValueError):
+            CorpusSource("x", raw_bytes=1.0, bytes_per_token=0.0)
+
+
+class TestPipeline:
+    def test_default_mixture_near_internlm_scale(self):
+        """§2.2's models train on ~trillions of tokens; the default
+        mixture lands in that regime (the log banner says 1.6T)."""
+        pipeline = DataPrepPipeline()
+        assert 1e12 < pipeline.total_tokens < 3e12
+
+    def test_curation_discards_most_raw_web(self):
+        pipeline = DataPrepPipeline()
+        assert pipeline.overall_yield < 0.3
+
+    def test_wiki_survives_mostly_intact(self):
+        by_name = {s.name: s for s in DEFAULT_MIXTURE}
+        wiki = by_name["wiki"]
+        assert wiki.curated_bytes / wiki.raw_bytes > 0.9
+
+    def test_core_hours_positive_and_curation_dominates(self):
+        pipeline = DataPrepPipeline()
+        assert pipeline.curation_core_hours() > \
+            pipeline.tokenization_core_hours() * 0.5
+        assert pipeline.total_core_hours() > 0
+
+    def test_wall_days_scale_inverse_with_cores(self):
+        pipeline = DataPrepPipeline()
+        assert pipeline.wall_days(1000) == pytest.approx(
+            10 * pipeline.wall_days(10000))
+
+    def test_pretraining_steps(self):
+        pipeline = DataPrepPipeline([CorpusSource(
+            "x", raw_bytes=4e12, dedup_yield=1.0, filter_yield=1.0)])
+        # 1e12 tokens at 1e9 tokens/step -> 1000 steps.
+        assert pipeline.pretraining_steps(1e9) == 1000
+
+    def test_epochs_multiply_steps(self):
+        pipeline = DataPrepPipeline()
+        single = pipeline.pretraining_steps(1e9, epochs=1.0)
+        double = pipeline.pretraining_steps(1e9, epochs=2.0)
+        assert double == pytest.approx(2 * single, abs=1)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            DataPrepPipeline(sources=[])
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            DataPrepPipeline().wall_days(0)
+
+    def test_summary_keys(self):
+        summary = DataPrepPipeline().summary()
+        assert {"raw_tb", "curated_tb", "overall_yield",
+                "total_tokens_T"} <= set(summary)

@@ -1,0 +1,219 @@
+"""Tests for decoupled evaluation scheduling (§6.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.storage import SharedStorage
+from repro.core.evalsched import (CoordinatorConfig, ModelStager,
+                                  TrialCoordinator, elastic_decompose,
+                                  loading_stress_test, lpt_pack,
+                                  pack_makespan)
+from repro.evaluation.datasets import (EvalDataset, dataset_by_name,
+                                       standard_catalog)
+
+
+def storage():
+    return SharedStorage(backend_bandwidth=400e9,
+                         node_nic_bandwidth=25e9 / 8.0)
+
+
+class TestLoading:
+    def test_stress_test_collapse_then_flat(self):
+        """Fig. 16 left."""
+        results = dict(loading_stress_test(storage(), 14e9))
+        assert results[1] / results[8] == pytest.approx(8.0, rel=0.02)
+        assert results[8] == pytest.approx(results[256], rel=0.05)
+
+    def test_staged_load_beats_contended_remote(self):
+        stager = ModelStager(storage(), model_bytes=14e9)
+        baseline = stager.trial_load_seconds_baseline(trials_per_node=8)
+        staged = stager.trial_load_seconds_staged()
+        assert staged < baseline / 2
+
+    def test_precursor_runs_at_full_nic(self):
+        stager = ModelStager(storage(), model_bytes=14e9)
+        assert stager.precursor_seconds(1) == pytest.approx(
+            14e9 / (25e9 / 8.0))
+
+    def test_stage_marks_and_clear_releases(self):
+        stager = ModelStager(storage(), model_bytes=14e9)
+        stager.stage(["n0", "n1"])
+        assert stager.staged_nodes == {"n0", "n1"}
+        stager.clear()
+        assert stager.staged_nodes == set()
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ModelStager(storage(), 14e9).precursor_seconds(0)
+
+
+class TestPacking:
+    def datasets(self):
+        return [EvalDataset(f"d{i}", 100, float(t), 1.0, 0.0)
+                for i, t in enumerate([100, 90, 40, 40, 30, 20, 10])]
+
+    def test_lpt_balances_two_gpus(self):
+        assignments = lpt_pack(self.datasets(), gpus=2)
+        loads = [a.gpu_seconds() for a in assignments]
+        assert max(loads) / min(loads) < 1.25
+
+    def test_makespan_never_below_ideal(self):
+        datasets = self.datasets()
+        total = sum(d.inference_seconds + d.preprocess_seconds
+                    for d in datasets)
+        makespan = pack_makespan(lpt_pack(datasets, 3))
+        assert makespan >= total / 3 - 1e-9
+
+    def test_heavy_metric_datasets_run_first(self):
+        datasets = [
+            EvalDataset("light", 10, 50.0, 1.0, 0.0),
+            EvalDataset("heavy-metric", 10, 50.0, 1.0, 1000.0),
+        ]
+        assignments = lpt_pack(datasets, gpus=1,
+                               prioritize_cpu_metrics=True)
+        assert assignments[0].datasets[0].name == "heavy-metric"
+
+    def test_elastic_decompose_splits_stragglers(self):
+        datasets = [EvalDataset("huge", 10, 1000.0, 1.0, 0.0),
+                    EvalDataset("tiny", 10, 10.0, 1.0, 0.0)]
+        shards = elastic_decompose(datasets, gpus=4)
+        assert len(shards) > 2
+        assert pack_makespan(lpt_pack(shards, 4)) < 1000.0
+
+    def test_decompose_respects_unsplittable(self):
+        datasets = [EvalDataset("big", 10, 1000.0, 1.0, 0.0,
+                                splittable=False)]
+        assert elastic_decompose(datasets, gpus=4) == datasets
+
+    def test_empty_inputs(self):
+        assert elastic_decompose([], 4) == []
+        assert pack_makespan([]) == 0.0
+
+    def test_invalid_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_pack(self.datasets(), gpus=0)
+
+    @given(st.lists(st.floats(1.0, 500.0), min_size=1, max_size=30),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_lpt_within_greedy_guarantee(self, times, gpus):
+        """List-scheduling guarantee: makespan <= sum/m + max job."""
+        datasets = [EvalDataset(f"d{i}", 1, t, 0.0, 0.0)
+                    for i, t in enumerate(times)]
+        makespan = pack_makespan(lpt_pack(datasets, gpus))
+        assert makespan <= sum(times) / gpus + max(times) + 1e-6
+        assert makespan >= max(sum(times) / gpus, max(times)) - 1e-6
+
+
+class TestCoordinator:
+    def test_decoupled_beats_baseline_one_node(self):
+        """§6.2: makespan reduced 1.3x on a single node."""
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=1))
+        outcome = coordinator.compare(standard_catalog())
+        assert 1.15 < outcome["speedup"] < 2.2
+
+    def test_decoupled_beats_baseline_four_nodes(self):
+        """§6.2: makespan reduced 1.8x on four nodes."""
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=4))
+        outcome = coordinator.compare(standard_catalog())
+        assert 1.4 < outcome["speedup"] < 3.2
+
+    def test_more_resources_bigger_relative_win(self):
+        one = TrialCoordinator(CoordinatorConfig(n_nodes=1)).compare(
+            standard_catalog())["speedup"]
+        four = TrialCoordinator(CoordinatorConfig(n_nodes=4)).compare(
+            standard_catalog())["speedup"]
+        assert four > one
+
+    def test_decoupled_gpu_efficiency_higher(self):
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=1))
+        outcome = coordinator.compare(standard_catalog())
+        assert (outcome["decoupled"].gpu_efficiency
+                > outcome["baseline"].gpu_efficiency)
+
+    def test_all_datasets_executed_in_both_strategies(self):
+        catalog = standard_catalog()
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=2))
+        outcome = coordinator.compare(catalog)
+        baseline_names = {name for name, _, _ in
+                          outcome["baseline"].events}
+        decoupled_names = {name.split("#")[0] for name, _, _ in
+                           outcome["decoupled"].events}
+        expected = {d.name for d in catalog}
+        assert baseline_names == expected
+        assert decoupled_names == expected
+
+    def test_metric_tail_can_bind_decoupled_makespan(self):
+        heavy = [EvalDataset("slow-metric", 10, 10.0, 1.0, 50000.0,
+                             splittable=False)]
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=1))
+        result = coordinator.run_decoupled(heavy)
+        assert result.makespan > 50000.0 / 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatorConfig(n_nodes=0)
+
+    def test_single_dataset_round(self):
+        coordinator = TrialCoordinator(CoordinatorConfig(n_nodes=1))
+        outcome = coordinator.compare([dataset_by_name("wic")])
+        assert outcome["baseline"].makespan > 0
+        assert outcome["decoupled"].makespan > 0
+
+
+class TestEventDrivenSimulation:
+    """Cross-validation of the analytic coordinator against an
+    event-driven replay with explicit contention."""
+
+    def _pair(self, nodes):
+        from repro.core.evalsched import EventDrivenEvalRound
+
+        catalog = standard_catalog()
+        config = CoordinatorConfig(n_nodes=nodes)
+        analytic = TrialCoordinator(config).compare(catalog)
+        event = EventDrivenEvalRound(config).compare(catalog)
+        return analytic, event
+
+    def test_event_driven_matches_analytic_one_node(self):
+        analytic, event = self._pair(1)
+        assert event["baseline"].makespan == pytest.approx(
+            analytic["baseline"].makespan, rel=0.25)
+        assert event["decoupled"].makespan == pytest.approx(
+            analytic["decoupled"].makespan, rel=0.25)
+
+    def test_event_driven_matches_analytic_four_nodes(self):
+        analytic, event = self._pair(4)
+        assert event["speedup"] == pytest.approx(analytic["speedup"],
+                                                 rel=0.25)
+
+    def test_event_driven_preserves_ordering(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+
+        catalog = standard_catalog()
+        one = EventDrivenEvalRound(
+            CoordinatorConfig(n_nodes=1)).compare(catalog)["speedup"]
+        four = EventDrivenEvalRound(
+            CoordinatorConfig(n_nodes=4)).compare(catalog)["speedup"]
+        assert four > one > 1.1
+
+    def test_all_trials_complete(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+
+        catalog = standard_catalog()
+        outcome = EventDrivenEvalRound(
+            CoordinatorConfig(n_nodes=2)).compare(catalog)
+        base_names = {name for name, _ in
+                      outcome["baseline"].trial_completions}
+        assert base_names == {d.name for d in catalog}
+
+    def test_precursor_staging_before_any_inference(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+
+        config = CoordinatorConfig(n_nodes=1)
+        round_ = EventDrivenEvalRound(config)
+        result = round_.run_decoupled(standard_catalog()[:4])
+        stage_time = (config.model_bytes
+                      / round_.node_nic_bandwidth)
+        assert all(t > stage_time
+                   for _, t in result.trial_completions)

@@ -1,0 +1,142 @@
+"""Tests for the evaluation substrate (§4.2)."""
+
+import pytest
+
+from repro.evaluation.datasets import (DATASET_CATALOG, EvalDataset,
+                                       dataset_by_name, standard_catalog)
+from repro.evaluation.harness import (EvalStage, EvalTrial,
+                                      humaneval_profile)
+
+
+class TestCatalog:
+    def test_sixty_three_datasets(self):
+        """§6.2's round covers 63 datasets."""
+        assert len(DATASET_CATALOG) == 63
+
+    def test_names_unique(self):
+        names = [d.name for d in DATASET_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_code_benchmarks_have_heavy_metrics(self):
+        """§4.2: correctness tests take up to ~30 CPU minutes."""
+        for name in ("humaneval", "mbpp", "chatbot-arena"):
+            assert dataset_by_name(name).metric_cpu_seconds > 15 * 60
+
+    def test_loglikelihood_benchmarks_have_light_metrics(self):
+        assert dataset_by_name("hellaswag").metric_cpu_seconds < 60
+
+    def test_scaled_runtime(self):
+        base = dataset_by_name("mmlu")
+        scaled = base.scaled(4.0)
+        assert scaled.inference_seconds == pytest.approx(
+            4 * base.inference_seconds)
+        assert scaled.metric_cpu_seconds == base.metric_cpu_seconds
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("mmlu").scaled(0.0)
+
+    def test_split_partitions_work(self):
+        dataset = dataset_by_name("mmlu")
+        shards = dataset.split(4)
+        assert len(shards) == 4
+        total = sum(s.inference_seconds for s in shards)
+        assert total == pytest.approx(dataset.inference_seconds)
+        assert all(not s.splittable for s in shards)
+
+    def test_unsplittable_dataset_returns_itself(self):
+        arena = dataset_by_name("chatbot-arena")
+        assert arena.split(4) == [arena]
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_by_name("nonexistent")
+
+    def test_standard_catalog_scaling(self):
+        catalog = standard_catalog(model_scale=2.0)
+        assert catalog[0].inference_seconds == pytest.approx(
+            2 * DATASET_CATALOG[0].inference_seconds)
+
+
+class TestTrial:
+    def trial(self, **overrides):
+        defaults = dict(datasets=[dataset_by_name("humaneval")])
+        defaults.update(overrides)
+        return EvalTrial(**defaults)
+
+    def test_staged_load_much_faster(self):
+        """§6.2: PCIe from shared memory beats remote storage."""
+        remote = self.trial()
+        staged = self.trial(model_staged=True)
+        assert staged.load_seconds() < remote.load_seconds() / 10
+
+    def test_preprocess_cache_shrinks_stage(self):
+        cached = self.trial(preprocess_cached=True)
+        cold = self.trial()
+        assert cached.preprocess_seconds() < cold.preprocess_seconds()
+
+    def test_profile_orders_stages(self):
+        profile = self.trial().profile()
+        stages = [segment.stage for segment in profile.segments]
+        assert stages == [EvalStage.MODEL_LOAD, EvalStage.PREPROCESS,
+                          EvalStage.INFERENCE, EvalStage.METRIC]
+
+    def test_decoupled_metric_drops_gpu_tail(self):
+        coupled = self.trial().profile()
+        decoupled = self.trial().profile(decoupled_metric=True)
+        assert (coupled.total - decoupled.total) == pytest.approx(
+            dataset_by_name("humaneval").metric_cpu_seconds)
+
+    def test_multi_dataset_trial_sums_stages(self):
+        trial = self.trial(datasets=[dataset_by_name("wic"),
+                                     dataset_by_name("wsc")])
+        assert trial.inference_seconds() == pytest.approx(50.0 + 25.0)
+
+    def test_empty_trial_rejected(self):
+        with pytest.raises(ValueError):
+            EvalTrial(datasets=[])
+
+
+class TestHumanEvalProfile:
+    """The Fig. 13 anchors."""
+
+    def test_load_preprocess_near_29_5_pct(self):
+        profile = humaneval_profile()
+        fraction = (profile.stage_fraction(EvalStage.MODEL_LOAD)
+                    + profile.stage_fraction(EvalStage.PREPROCESS))
+        assert fraction == pytest.approx(0.295, abs=0.03)
+
+    def test_metric_tail_near_19_pct(self):
+        profile = humaneval_profile()
+        assert profile.stage_fraction(EvalStage.METRIC) == pytest.approx(
+            0.19, abs=0.02)
+
+    def test_gpu_busy_about_half(self):
+        assert humaneval_profile().gpu_busy_fraction == pytest.approx(
+            0.5, abs=0.05)
+
+    def test_pre_inference_exceeds_one_minute(self):
+        """§4.2: over 1 minute passes before GPU inference starts."""
+        profile = humaneval_profile()
+        pre = (profile.stage_seconds(EvalStage.MODEL_LOAD)
+               + profile.stage_seconds(EvalStage.PREPROCESS))
+        assert pre > 60.0
+
+    def test_metric_tail_is_42_seconds(self):
+        assert humaneval_profile().stage_seconds(
+            EvalStage.METRIC) == pytest.approx(42.0)
+
+    def test_timeline_idle_during_metric_tail(self):
+        profile = humaneval_profile()
+        timeline = profile.utilization_timeline(resolution=1.0)
+        tail = timeline.sm[timeline.times > profile.total - 30.0]
+        assert tail.mean() < 0.1
+
+    def test_timeline_busy_during_inference(self):
+        profile = humaneval_profile()
+        timeline = profile.utilization_timeline(resolution=1.0)
+        start = profile.segments[2].start
+        end = profile.segments[2].end
+        window = timeline.sm[(timeline.times > start + 5)
+                             & (timeline.times < end - 5)]
+        assert window.mean() > 0.3

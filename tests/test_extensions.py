@@ -1,0 +1,99 @@
+"""Tests for the §7 future-work modes: long sequences and RLHF."""
+
+import pytest
+
+from repro.training.extensions import (LongSequencePlan, RlhfConfig,
+                                       RlhfStageModel)
+from repro.training.model import MODEL_7B, MODEL_123B
+
+GIB = 1024 ** 3
+
+
+class TestLongSequence:
+    def plan(self, seq_len, cp=1, **kwargs):
+        return LongSequencePlan(base_model=MODEL_7B, seq_len=seq_len,
+                                context_parallel=cp, **kwargs)
+
+    def test_activation_memory_linear_in_sequence(self):
+        short = self.plan(4096).activation_bytes_per_gpu()
+        long = self.plan(32768).activation_bytes_per_gpu()
+        assert long == pytest.approx(8 * short)
+
+    def test_context_parallel_shards_activations(self):
+        solo = self.plan(32768)
+        sharded = self.plan(32768, cp=8)
+        assert sharded.activation_bytes_per_gpu() == pytest.approx(
+            solo.activation_bytes_per_gpu() / 8)
+
+    def test_attention_fraction_grows_with_sequence(self):
+        assert (self.plan(131072).attention_flops_fraction()
+                > self.plan(4096).attention_flops_fraction())
+
+    def test_very_long_context_needs_sharding(self):
+        """The §7 motivation: 256k tokens cannot fit one GPU."""
+        plan = LongSequencePlan(base_model=MODEL_123B, seq_len=262144,
+                                recompute=False)
+        assert not plan.fits()
+        degree = plan.min_context_parallel()
+        assert degree > 1
+        import dataclasses
+
+        assert dataclasses.replace(plan,
+                                   context_parallel=degree).fits()
+
+    def test_recompute_lets_longer_contexts_fit(self):
+        dense = LongSequencePlan(base_model=MODEL_7B, seq_len=131072,
+                                 recompute=False)
+        recomputed = LongSequencePlan(base_model=MODEL_7B,
+                                      seq_len=131072, recompute=True)
+        assert (recomputed.activation_bytes_per_gpu()
+                < dense.activation_bytes_per_gpu())
+
+    def test_seq_must_divide_group(self):
+        with pytest.raises(ValueError):
+            self.plan(4097, cp=8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self.plan(0)
+
+
+class TestRlhf:
+    def model(self, **overrides):
+        defaults = dict(actor=MODEL_7B, world_size=256)
+        defaults.update(overrides)
+        return RlhfStageModel(RlhfConfig(**defaults))
+
+    def test_four_models_resident(self):
+        """Actor+critic train (16 psi each), reward+reference infer."""
+        model = self.model(critic_scale=1.0)
+        assert model.memory_multiple_of_pretraining() == pytest.approx(
+            (16 + 16 + 4) / 16)
+
+    def test_smaller_critic_reduces_memory(self):
+        big = self.model(critic_scale=1.0)
+        small = self.model(critic_scale=0.25)
+        assert (small.resident_model_bytes()
+                < big.resident_model_bytes())
+
+    def test_generation_dominates_iteration(self):
+        """The §7 efficiency problem: rollout decoding (low SM) takes
+        most of each PPO iteration."""
+        model = self.model()
+        assert model.generation_fraction() > 0.5
+
+    def test_timeline_shows_low_plateau_high_burst(self):
+        timeline = self.model().utilization_timeline(iterations=1)
+        assert timeline.mean_sm() < 0.5       # decode plateau dominates
+        assert timeline.peak_sm() > 0.8       # PPO update burst
+
+    def test_faster_decoding_shrinks_generation_share(self):
+        slow = self.model(decode_tokens_per_second=800.0)
+        fast = self.model(decode_tokens_per_second=5000.0)
+        assert fast.generation_fraction() < slow.generation_fraction()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RlhfConfig(actor=MODEL_7B, world_size=0)
+        with pytest.raises(ValueError):
+            RlhfConfig(actor=MODEL_7B, critic_scale=0.0)

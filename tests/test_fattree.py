@@ -1,0 +1,99 @@
+"""Tests for the leaf-spine fabric model."""
+
+import pytest
+
+from repro.cluster.fattree import FatTree, FatTreeConfig, factor_table
+
+
+def tree(nodes=256, **overrides):
+    return FatTree(FatTreeConfig(nodes=nodes, **overrides))
+
+
+class TestStructure:
+    def test_leaf_and_pod_mapping(self):
+        fabric = tree()
+        assert fabric.leaf_of(0) == 0
+        assert fabric.leaf_of(7) == 0
+        assert fabric.leaf_of(8) == 1
+        assert fabric.pod_of(63) == 0
+        assert fabric.pod_of(64) == 1
+
+    def test_counts(self):
+        config = FatTreeConfig(nodes=256)
+        assert config.leaf_count == 32
+        assert config.pod_count == 4
+        assert config.nodes_per_pod == 64
+
+    def test_ceil_division_for_partial_leaves(self):
+        assert FatTreeConfig(nodes=9).leaf_count == 2
+
+    def test_node_out_of_range(self):
+        with pytest.raises(IndexError):
+            tree(16).leaf_of(16)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FatTreeConfig(nodes=0)
+        with pytest.raises(ValueError):
+            FatTreeConfig(nodes=8, leaf_oversubscription=0.5)
+
+
+class TestLocality:
+    def test_tiers_crossed(self):
+        fabric = tree()
+        assert fabric.tiers_crossed([0, 1, 7]) == 0       # one leaf
+        assert fabric.tiers_crossed([0, 8]) == 1          # one pod
+        assert fabric.tiers_crossed([0, 64]) == 2         # cross-pod
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            tree().tiers_crossed([])
+
+    def test_bandwidth_factor_degrades_with_tiers(self):
+        fabric = tree()
+        leaf = fabric.group_bandwidth_factor([0, 1])
+        pod = fabric.group_bandwidth_factor([0, 8])
+        fabric_wide = fabric.group_bandwidth_factor([0, 64])
+        assert leaf == 1.0
+        assert fabric_wide < pod < leaf
+
+    def test_intra_leaf_full_nic(self):
+        fabric = tree()
+        assert fabric.group_bandwidth([0, 1]) == pytest.approx(
+            fabric.config.nic_bandwidth)
+
+    def test_nonblocking_fabric_has_no_penalty(self):
+        fabric = tree(leaf_oversubscription=1.0,
+                      pod_oversubscription=1.0)
+        assert fabric.group_bandwidth_factor([0, 200]) == 1.0
+
+
+class TestFactorTable:
+    def test_eight_node_group_is_largest_at_full_bandwidth(self):
+        """The paper's 64-GPU (8-node) ZeRO subgroup = one leaf."""
+        rows = factor_table(FatTreeConfig(nodes=256))
+        by_nodes = {row["nodes"]: row for row in rows}
+        assert by_nodes[8]["bandwidth_factor"] == 1.0
+        assert by_nodes[16]["bandwidth_factor"] < 1.0
+
+    def test_table_truncates_at_fabric_size(self):
+        rows = factor_table(FatTreeConfig(nodes=16))
+        assert rows[-1]["nodes"] <= 16
+
+    def test_gpu_column(self):
+        rows = factor_table(FatTreeConfig(nodes=64))
+        assert all(row["gpus"] == row["nodes"] * 8 for row in rows)
+
+
+class TestBisection:
+    def test_oversubscription_reduces_bisection(self):
+        fat = tree(leaf_oversubscription=1.0, pod_oversubscription=1.0)
+        thin = tree(leaf_oversubscription=2.0, pod_oversubscription=2.0)
+        assert thin.bisection_bandwidth() < fat.bisection_bandwidth()
+
+    def test_single_pod_skips_pod_penalty(self):
+        small = tree(nodes=64, pod_oversubscription=4.0)
+        # 64 nodes = exactly one pod: pod oversubscription never applies.
+        expected = (32 * small.config.nic_bandwidth
+                    / small.config.leaf_oversubscription)
+        assert small.bisection_bandwidth() == pytest.approx(expected)

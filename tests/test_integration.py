@@ -1,0 +1,153 @@
+"""Cross-subsystem integration tests.
+
+Each test wires several packages together the way the deployed systems
+do — trace -> scheduler -> analysis; failure -> log -> diagnosis ->
+recovery -> checkpoint; spikes -> detector -> rollback; datasets ->
+coordinator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Node, kalos_node_spec
+from repro.core.checkpoint import AsyncCheckpointer, InMemoryStorage
+from repro.core.diagnosis import DiagnosisSystem
+from repro.core.recovery import (CheckpointCatalog, CollectiveTester,
+                                 LossSpikeDetector, RecoveryController)
+from repro.failures.injector import FailureInjector
+from repro.failures.logs import LogGenerator
+from repro.failures.taxonomy import FailureCategory, taxonomy_by_reason
+from repro.scheduler.job import FinalStatus, JobType
+from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
+from repro.training.loss import train_with_spike_recovery
+from repro.workload.generator import TraceGenerator
+from repro.workload.spec import KALOS_SPEC
+
+
+class TestTraceThroughScheduler:
+    """The Fig. 6 pipeline: generator -> scheduler -> delay statistics."""
+
+    @pytest.fixture(scope="class")
+    def scheduled_trace(self):
+        from dataclasses import replace
+
+        spec = replace(KALOS_SPEC,
+                       span=KALOS_SPEC.span * 2000 / KALOS_SPEC.
+                       real_gpu_jobs)
+        trace = TraceGenerator(spec, seed=31).generate(2000)
+        simulator = SchedulerSimulator(SchedulerConfig(
+            total_gpus=KALOS_SPEC.total_gpus, reserved_fraction=0.98))
+        simulator.simulate(list(trace.gpu_jobs()))
+        return trace, simulator
+
+    def test_every_job_ran(self, scheduled_trace):
+        trace, simulator = scheduled_trace
+        assert all(job.end_time is not None
+                   for job in trace.gpu_jobs())
+
+    def test_occupancy_never_exceeds_cluster(self, scheduled_trace):
+        _, simulator = scheduled_trace
+        peak = max(gpus for _, gpus in simulator.occupancy)
+        assert peak <= KALOS_SPEC.total_gpus
+
+    def test_gpu_seconds_match_job_accounting(self, scheduled_trace):
+        trace, simulator = scheduled_trace
+        expected = sum(job.gpu_time for job in trace.gpu_jobs())
+        # Preempted jobs rerun, so the simulator may burn extra
+        # GPU-seconds, never fewer.
+        assert simulator.gpu_seconds_used() >= expected * 0.999
+
+    def test_delay_inversion_emerges(self, scheduled_trace):
+        trace, _ = scheduled_trace
+        eval_delay = np.median(trace.queueing_delays(JobType.EVALUATION))
+        pretrain_delay = np.median(
+            trace.queueing_delays(JobType.PRETRAIN))
+        assert eval_delay >= pretrain_delay
+
+
+class TestFailureToRecoveryLoop:
+    """Injected failure -> synthetic log -> diagnosis -> recovery plan."""
+
+    def test_sampled_failures_get_correct_plans(self):
+        injector = FailureInjector(seed=41)
+        logs = LogGenerator(seed=41)
+        nodes = [Node(name=f"n{i}", spec=kalos_node_spec())
+                 for i in range(8)]
+        controller = RecoveryController(
+            DiagnosisSystem(), CheckpointCatalog([100, 200, 300]), nodes)
+        taxonomy = taxonomy_by_reason()
+        for _ in range(10):
+            event = injector.sample_pretraining_failure("kalos")
+            log = logs.failed_log(event.reason, n_steps=40)
+            plan = controller.handle_failure(
+                log.lines, CollectiveTester({"n1"}))
+            spec = taxonomy[plan.diagnosis.reason]
+            if spec.category is FailureCategory.SCRIPT:
+                assert not plan.restart
+            else:
+                assert plan.restart
+                assert plan.restart_checkpoint_step == 300
+            for name in plan.cordoned_nodes:
+                controller.nodes[name].uncordon()
+        assert controller.automation_rate() == 1.0
+
+    def test_trace_level_failure_attribution_round_trip(self,
+                                                        kalos_trace):
+        """Reasons assigned to a trace are diagnosable from their logs."""
+        injector = FailureInjector(seed=42)
+        injector.assign_to_trace(kalos_trace)
+        logs = LogGenerator(seed=42)
+        system = DiagnosisSystem()
+        failed = [job for job in kalos_trace.gpu_jobs()
+                  if job.final_status is FinalStatus.FAILED][:12]
+        for job in failed:
+            log = logs.failed_log(job.failure_reason, n_steps=40)
+            assert system.diagnose(log.lines).reason == \
+                job.failure_reason
+
+
+class TestCheckpointRecoveryRoundTrip:
+    def test_state_survives_failure_and_restart(self):
+        """Async checkpoint -> crash -> load-latest -> resume."""
+        storage = InMemoryStorage()
+        rng = np.random.default_rng(0)
+        catalog = CheckpointCatalog()
+        with AsyncCheckpointer(storage, buffer_slots=4) as ckpt:
+            state = {}
+            for step in (100, 200, 300):
+                state = {"weights": rng.normal(size=4096),
+                         "step": np.array([step])}
+                ckpt.save(step, state)
+                catalog.add(step)
+            ckpt.flush()
+        # "Crash" — reopen storage cold.
+        with AsyncCheckpointer(storage) as recovered:
+            step, restored = recovered.load_latest()
+        assert step == catalog.latest() == 300
+        assert np.allclose(restored["weights"], state["weights"])
+
+    def test_loss_spike_rollback_targets_existing_checkpoint(self):
+        catalog = CheckpointCatalog([100, 200, 300, 400])
+        nodes = [Node(name="n0", spec=kalos_node_spec())]
+        controller = RecoveryController(DiagnosisSystem(), catalog, nodes)
+        detector = LossSpikeDetector(window=20, patience=3,
+                                     relative_floor=0.2)
+        event = None
+        for step in range(430):
+            loss = 2.0 if step < 410 else 9.0
+            event = detector.observe(step, loss) or event
+        assert event is not None
+        plan = controller.handle_anomaly(event)
+        assert plan.restart_checkpoint_step in (100, 200)
+        assert plan.skip_batches
+
+
+class TestSpikeRecoveryEndToEnd:
+    def test_campaign_completes_despite_spikes(self):
+        result = train_with_spike_recovery(
+            total_steps=2500, spike_steps=[600, 1700],
+            checkpoint_interval=250, seed=50)
+        assert result.final_step == 2500
+        assert result.rollback_count == 2
+        # Total work exceeds 2500 steps (rolled-back ranges reran).
+        assert len(result.steps) > 2500

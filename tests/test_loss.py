@@ -1,0 +1,101 @@
+"""Tests for the loss-curve simulator and spike recovery (§5.3/§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery.detector import LossSpikeDetector
+from repro.training.loss import (LossCurveConfig, LossSimulator, SpikeSpec,
+                                 train_with_spike_recovery)
+
+
+class TestLossSimulator:
+    def test_trend_decreases(self):
+        config = LossCurveConfig()
+        trend = config.trend(np.arange(0, 5000, 100))
+        assert (np.diff(trend) < 0).all()
+
+    def test_trend_approaches_floor(self):
+        config = LossCurveConfig()
+        assert config.trend(10 ** 9) == pytest.approx(config.floor,
+                                                      abs=0.01)
+
+    def test_healthy_curve_tracks_trend(self):
+        simulator = LossSimulator(seed=1)
+        curve = simulator.generate(2000)
+        trend = simulator.config.trend(np.arange(2000))
+        assert np.abs(curve - trend).max() < 0.1
+
+    def test_non_recovering_spike_stays_elevated(self):
+        simulator = LossSimulator(seed=2)
+        curve = simulator.generate(
+            500, [SpikeSpec(step=100, magnitude=3.0, recovers=False)])
+        trend = simulator.config.trend(np.arange(500))
+        assert curve[120] > 2.0 * trend[120]
+        assert curve[499] > 2.0 * trend[499]
+
+    def test_recovering_spike_decays(self):
+        simulator = LossSimulator(seed=3)
+        curve = simulator.generate(
+            500, [SpikeSpec(step=100, magnitude=3.0, recovers=True,
+                            recovery_steps=10)])
+        trend = simulator.config.trend(np.arange(500))
+        assert curve[100] > 2.0 * trend[100]
+        assert curve[150] == pytest.approx(trend[150], abs=0.1)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ValueError):
+            LossSimulator().generate(0)
+
+    def test_deterministic(self):
+        a = LossSimulator(seed=9).generate(300)
+        b = LossSimulator(seed=9).generate(300)
+        assert np.allclose(a, b)
+
+
+class TestSpikeRecovery:
+    def test_spike_triggers_rollback(self):
+        result = train_with_spike_recovery(
+            total_steps=2000, spike_steps=[900],
+            checkpoint_interval=200, seed=4)
+        assert result.rollback_count == 1
+        rollback = result.rollbacks[0]
+        assert rollback["restart_from"] <= 800
+        assert rollback["detected_at"] >= 900
+        assert result.final_step == 2000
+
+    def test_skipped_data_prevents_reoccurrence(self):
+        result = train_with_spike_recovery(
+            total_steps=2000, spike_steps=[900],
+            checkpoint_interval=200, seed=5)
+        revisits = [step for step in result.steps if step == 900]
+        # step 900 is executed twice (original + retry) but spikes once.
+        assert len(revisits) == 2
+        assert result.rollback_count == 1
+
+    def test_final_losses_healthy(self):
+        result = train_with_spike_recovery(
+            total_steps=1500, spike_steps=[700], seed=6)
+        config = LossCurveConfig()
+        tail = result.losses[-50:]
+        trend = config.trend(result.final_step)
+        assert max(tail) < 1.5 * trend
+
+    def test_multiple_spikes_all_handled(self):
+        result = train_with_spike_recovery(
+            total_steps=3000, spike_steps=[700, 1800],
+            checkpoint_interval=200, seed=7)
+        assert result.rollback_count == 2
+        assert result.final_step == 3000
+
+    def test_no_spikes_no_rollbacks(self):
+        result = train_with_spike_recovery(
+            total_steps=1000, spike_steps=[], seed=8)
+        assert result.rollback_count == 0
+
+    def test_detector_integration_with_custom_detector(self):
+        detector = LossSpikeDetector(window=30, patience=4,
+                                     relative_floor=0.2)
+        result = train_with_spike_recovery(
+            total_steps=1500, spike_steps=[600], detector=detector,
+            seed=9)
+        assert result.rollback_count == 1

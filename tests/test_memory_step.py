@@ -1,0 +1,142 @@
+"""Tests for the memory and step-time models (Figs. 10-12)."""
+
+import pytest
+
+from repro.training.memory import MemoryModel
+from repro.training.model import MODEL_123B, MODEL_7B
+from repro.training.parallelism import internevo_v1, internevo_v2
+from repro.training.step import StepTimeModel
+
+GIB = 1024 ** 3
+
+
+class TestMemoryModel:
+    def test_both_strategies_fit_in_80gb(self):
+        for plan in (internevo_v1(2048), internevo_v2(2048)):
+            assert MemoryModel(MODEL_123B, plan).fits()
+
+    def test_v1_activations_substantially_higher_than_v2(self):
+        # Fig. 11's headline observation.
+        v1 = MemoryModel(MODEL_123B, internevo_v1(2048))
+        v2 = MemoryModel(MODEL_123B, internevo_v2(2048))
+        assert (v1.peak_activation_bytes(0)
+                > 1.5 * v2.peak_activation_bytes(0))
+
+    def test_hierarchical_zero_static_is_16psi_over_group(self):
+        plan = internevo_v2(2048, shard_group=64)
+        model = MemoryModel(MODEL_123B, plan)
+        assert model.static_bytes() == pytest.approx(
+            16 * MODEL_123B.param_count / 64)
+
+    def test_fig12_rank_memory_decreases(self):
+        model = MemoryModel(MODEL_123B, internevo_v1(2048))
+        peaks = model.per_rank_peaks()
+        assert peaks == sorted(peaks, reverse=True)
+        assert peaks[0] > peaks[-1]
+
+    def test_rank_imbalance_matches_in_flight_ratio(self):
+        model = MemoryModel(MODEL_123B, internevo_v1(2048))
+        act0 = model.peak_activation_bytes(0)
+        act3 = model.peak_activation_bytes(3)
+        assert act0 / act3 == pytest.approx(4.0)
+
+    def test_snapshot_timeline_sawtooth(self):
+        model = MemoryModel(MODEL_123B, internevo_v1(2048))
+        times, static, acts = model.timeline_arrays(steps=2,
+                                                    points_per_step=100)
+        assert (static == static[0]).all()       # static part flat
+        assert acts.max() == pytest.approx(
+            model.peak_activation_bytes(0))
+        assert acts.min() < 0.2 * acts.max()      # drains between steps
+
+    def test_larger_shard_group_uses_less_static_memory(self):
+        small = MemoryModel(MODEL_123B, internevo_v2(2048, shard_group=32))
+        large = MemoryModel(MODEL_123B,
+                            internevo_v2(2048, shard_group=128))
+        assert large.static_bytes() < small.static_bytes()
+
+
+class TestStepTimeModel:
+    def test_v2_approximately_16pct_faster(self):
+        """The Fig. 10 headline: hierarchical ZeRO ~16% faster."""
+        v1 = StepTimeModel(MODEL_123B, internevo_v1(2048))
+        v2 = StepTimeModel(MODEL_123B, internevo_v2(2048))
+        tokens = internevo_v1(2048).global_batch_size * MODEL_123B.seq_len
+        per_token_v1 = v1.step_time() / tokens
+        per_token_v2 = v2.step_time() / tokens
+        speedup = per_token_v1 / per_token_v2
+        assert 1.05 < speedup < 1.35
+
+    def test_v1_has_bubbles_and_tp_comm(self):
+        breakdown = StepTimeModel(MODEL_123B, internevo_v1(2048)
+                                  ).breakdown()
+        assert breakdown.pipeline_bubble > 0
+        assert breakdown.tensor_parallel_comm > 0
+
+    def test_v2_has_neither(self):
+        breakdown = StepTimeModel(MODEL_123B, internevo_v2(2048)
+                                  ).breakdown()
+        assert breakdown.pipeline_bubble == 0
+        assert breakdown.tensor_parallel_comm == 0
+
+    def test_v2_busy_fraction_higher(self):
+        v1 = StepTimeModel(MODEL_123B, internevo_v1(2048)).breakdown()
+        v2 = StepTimeModel(MODEL_123B, internevo_v2(2048)).breakdown()
+        assert v2.busy_fraction > v1.busy_fraction
+
+    def test_same_pattern_at_1024_gpus(self):
+        """Appendix A.4: the comparison generalizes across scales."""
+        v1 = StepTimeModel(MODEL_123B, internevo_v1(1024))
+        v2 = StepTimeModel(MODEL_123B, internevo_v2(1024))
+        tokens = internevo_v1(1024).global_batch_size * MODEL_123B.seq_len
+        assert (v1.step_time() / tokens) > (v2.step_time() / tokens)
+
+    def test_mfu_within_physical_bounds(self):
+        for plan in (internevo_v1(2048), internevo_v2(2048)):
+            mfu = StepTimeModel(MODEL_123B, plan).model_flops_utilization()
+            assert 0.1 < mfu < 0.7
+
+    def test_breakdown_total_is_sum(self):
+        breakdown = StepTimeModel(MODEL_123B, internevo_v1(2048)
+                                  ).breakdown()
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.as_dict().values()))
+
+    def test_small_model_much_faster(self):
+        big = StepTimeModel(MODEL_123B, internevo_v2(2048)).step_time()
+        small = StepTimeModel(MODEL_7B, internevo_v2(2048)).step_time()
+        assert small < big / 5
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            StepTimeModel(MODEL_7B, internevo_v2(64),
+                          compute_efficiency=1.5)
+
+    def test_overlap_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            StepTimeModel(MODEL_7B, internevo_v2(64), overlap=-0.1)
+
+
+class TestFabricIntegration:
+    def test_fabric_overrides_tier_constants(self):
+        from repro.cluster.fattree import FatTree, FatTreeConfig
+
+        fabric = FatTree(FatTreeConfig(nodes=256,
+                                       leaf_oversubscription=1.0,
+                                       pod_oversubscription=1.0))
+        plan = internevo_v2(2048, shard_group=2048)
+        derated = StepTimeModel(MODEL_123B, plan)
+        nonblocking = StepTimeModel(MODEL_123B, plan, fabric=fabric)
+        # A non-blocking fabric removes the cross-pod penalty the tier
+        # constants would apply to global ZeRO.
+        assert nonblocking.step_time() < derated.step_time()
+
+    def test_fabric_agrees_within_one_leaf(self):
+        from repro.cluster.fattree import FatTree, FatTreeConfig
+
+        fabric = FatTree(FatTreeConfig(nodes=256))
+        plan = internevo_v2(2048, shard_group=64)  # 8 nodes = one leaf
+        plain = StepTimeModel(MODEL_123B, plan)
+        with_fabric = StepTimeModel(MODEL_123B, plan, fabric=fabric)
+        assert with_fabric.step_time() == pytest.approx(
+            plain.step_time())

@@ -1,0 +1,212 @@
+"""Tests for the telemetry simulators (Figs. 7/8/9/18/21, A.3)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.carbon import (ACME_CARBON, CarbonModel,
+                                  SEREN_MAY_2023_EMISSIONS_TCO2E,
+                                  SEREN_MAY_2023_ENERGY_MWH)
+from repro.monitor.dcgm import DcgmSampler
+from repro.monitor.hostmem import (HostMemoryBreakdown,
+                                   pretraining_host_memory)
+from repro.monitor.ipmi import IpmiSampler
+from repro.monitor.power import GpuPowerModel, ServerPowerModel
+from repro.monitor.prometheus import PrometheusSampler
+from repro.monitor.temperature import TemperatureModel
+
+
+class TestDcgm:
+    def test_idle_fraction_observed(self, kalos_trace):
+        sampler = DcgmSampler(kalos_trace, idle_fraction=0.3, seed=1)
+        samples = sampler.sample_many(3000)
+        idle = sum(1 for s in samples if s.job_type is None)
+        assert idle / len(samples) == pytest.approx(0.3, abs=0.03)
+
+    def test_median_sm_activity_near_40pct(self, kalos_trace):
+        """Fig. 7a: median SM activity ~40% (2x PAI's 20%)."""
+        arrays = DcgmSampler(kalos_trace, seed=2).metric_arrays(4000)
+        assert 0.30 < np.median(arrays["sm_activity"]) < 0.50
+
+    def test_kalos_memory_over_75pct_near_half(self, kalos_trace):
+        """Fig. 7b: 50% of Kalos GPUs consume > 75% of memory (60 GB)."""
+        arrays = DcgmSampler(kalos_trace, seed=3).metric_arrays(4000)
+        over = (arrays["memory_fraction"] > 0.75).mean()
+        assert 0.35 < over < 0.60
+
+    def test_tc_activity_below_sm(self, kalos_trace):
+        arrays = DcgmSampler(kalos_trace, seed=4).metric_arrays(2000)
+        assert arrays["tc_activity"].mean() < arrays["sm_activity"].mean()
+
+    def test_invalid_idle_fraction(self, kalos_trace):
+        with pytest.raises(ValueError):
+            DcgmSampler(kalos_trace, idle_fraction=1.0)
+
+    def test_zero_samples_rejected(self, kalos_trace):
+        with pytest.raises(ValueError):
+            DcgmSampler(kalos_trace).sample_many(0)
+
+
+class TestPower:
+    def test_idle_gpus_near_60w(self, kalos_trace):
+        """Fig. 8a: ~30% of GPUs idle at ~60 W."""
+        draws = GpuPowerModel().sample_cluster(
+            DcgmSampler(kalos_trace, seed=5), 4000, seed=5)
+        assert 0.20 < (draws < 75.0).mean() < 0.40
+
+    def test_over_tdp_fraction(self, seren_trace):
+        """Fig. 8a: a double-digit share of GPUs exceeds the 400 W TDP."""
+        draws = GpuPowerModel().sample_cluster(
+            DcgmSampler(seren_trace, seed=6), 4000, seed=6)
+        assert 0.05 < (draws > 400.0).mean() < 0.40
+
+    def test_never_exceeds_600w(self, seren_trace):
+        draws = GpuPowerModel().sample_cluster(
+            DcgmSampler(seren_trace, seed=7), 2000, seed=7)
+        assert draws.max() <= 600.0
+
+    def test_gpu_server_about_5x_cpu_server(self, seren_trace):
+        """Fig. 8b: GPU servers draw ~5x CPU-server power."""
+        model = ServerPowerModel()
+        servers = model.sample_servers(
+            DcgmSampler(seren_trace, seed=8), 100, seed=8)
+        ratio = servers.mean() / model.cpu_server_watts()
+        assert 3.0 < ratio < 6.5
+
+    def test_breakdown_shares_sum_to_one(self, seren_trace):
+        model = ServerPowerModel()
+        rng = np.random.default_rng(0)
+        draws = np.array([GpuPowerModel().draw(s, rng) for s in
+                          DcgmSampler(seren_trace, seed=9).sample_many(8)])
+        shares = model.breakdown(draws)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_wrong_gpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel().total(np.ones(3))
+
+
+class TestIpmi:
+    def test_gpus_take_about_two_thirds(self, seren_trace):
+        """Fig. 9: GPUs ~2/3 of server power, CPUs ~11%, PSU ~9.6%."""
+        sampler = IpmiSampler(DcgmSampler(seren_trace, seed=10), seed=10)
+        shares = sampler.average_breakdown(n_servers=80).shares()
+        assert 0.55 < shares["gpu"] < 0.75
+        assert 0.08 < shares["cpu"] < 0.18
+        assert shares["psu_loss"] == pytest.approx(0.096, abs=0.01)
+
+    def test_monthly_energy_positive(self, seren_trace):
+        sampler = IpmiSampler(DcgmSampler(seren_trace, seed=11), seed=11)
+        energy = sampler.monthly_energy_mwh(n_servers=286, samples=50)
+        # Seren consumed ~673 MWh in May 2023 (A.3).
+        assert 300 < energy < 1200
+
+
+class TestPrometheus:
+    def test_cpu_utilization_low(self):
+        """Fig. 7c: 16 CPUs per GPU leave most threads idle."""
+        arrays = PrometheusSampler(seed=1).metric_arrays(4000)
+        assert np.median(arrays["cpu_utilization"]) < 0.30
+
+    def test_host_memory_below_half(self):
+        """Fig. 7b: host memory utilization stays below 50%."""
+        arrays = PrometheusSampler(seed=2).metric_arrays(4000)
+        assert np.median(arrays["host_memory_fraction"]) < 0.50
+
+    def test_kalos_memory_fraction_lower(self):
+        seren = PrometheusSampler(host_memory_gb=1024, seed=3)
+        kalos = PrometheusSampler(host_memory_gb=2048, seed=3)
+        m_seren = np.median(seren.metric_arrays(3000)
+                            ["host_memory_fraction"])
+        m_kalos = np.median(kalos.metric_arrays(3000)
+                            ["host_memory_fraction"])
+        assert m_kalos < m_seren
+
+    def test_nic_idle_over_60pct(self):
+        """Fig. 7d: NICs idle > 60% of the time."""
+        arrays = PrometheusSampler(seed=4).metric_arrays(4000)
+        assert (arrays["ib_send_fraction"] < 0.01).mean() > 0.55
+
+    def test_bandwidth_rarely_over_25pct(self):
+        arrays = PrometheusSampler(seed=5).metric_arrays(4000)
+        assert (arrays["ib_send_fraction"] > 0.25).mean() < 0.10
+
+    def test_send_recv_symmetric(self):
+        """Fig. 7d: the send/receive curves overlap (symmetric comm)."""
+        arrays = PrometheusSampler(seed=6).metric_arrays(4000)
+        delta = np.abs(arrays["ib_send_fraction"]
+                       - arrays["ib_recv_fraction"])
+        assert delta.mean() < 0.01
+
+
+class TestTemperature:
+    def test_memory_hotter_than_core(self):
+        model = TemperatureModel()
+        core, memory = model.sample_fleet(np.full(500, 350.0), seed=1)
+        assert memory.mean() > core.mean()
+
+    def test_loaded_gpus_exceed_65c(self):
+        model = TemperatureModel()
+        risk = model.overheating_risk_fraction(np.full(500, 550.0))
+        assert risk > 0.5
+
+    def test_july_heat_event_raises_risk(self):
+        """§5.2: a ~5°C room rise increased NVLink/ECC failures."""
+        normal = TemperatureModel()
+        july = TemperatureModel(ambient_offset=5.0)
+        draws = np.full(2000, 430.0)
+        assert (july.overheating_risk_fraction(draws)
+                > normal.overheating_risk_fraction(draws))
+
+
+class TestCarbon:
+    def test_paper_worked_example(self):
+        emissions = ACME_CARBON.effective_emissions_tco2e(
+            SEREN_MAY_2023_ENERGY_MWH)
+        assert emissions == pytest.approx(
+            SEREN_MAY_2023_EMISSIONS_TCO2E, abs=0.5)
+
+    def test_pue_multiplies_facility_energy(self):
+        assert ACME_CARBON.facility_energy_mwh(100.0) == pytest.approx(
+            125.0)
+
+    def test_invalid_pue_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonModel(pue=0.9, carbon_free_fraction=0.3,
+                        emission_rate=0.5)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            ACME_CARBON.effective_emissions_tco2e(-1.0)
+
+    def test_grid_accounting_same_order(self):
+        grid = ACME_CARBON.grid_emissions_tco2e(673.0)
+        effective = ACME_CARBON.effective_emissions_tco2e(673.0)
+        assert 0.5 < grid / effective < 2.0
+
+
+class TestHostMemory:
+    def test_fig18_totals(self):
+        breakdown = pretraining_host_memory()
+        assert breakdown.total_used / 1e9 == pytest.approx(123.0,
+                                                           rel=0.01)
+        assert breakdown.components["filesystem_client"] / 1e9 == \
+            pytest.approx(45.3, rel=0.01)
+
+    def test_used_fraction_small(self):
+        assert pretraining_host_memory().used_fraction < 0.15
+
+    def test_checkpoint_buffers_fit_in_idle_memory(self):
+        """§6.1: spare host memory holds several checkpoints."""
+        breakdown = pretraining_host_memory()
+        per_node_7b = int(16 * 7e9 / 8)
+        assert breakdown.checkpoint_buffers_that_fit(per_node_7b) >= 2
+
+    def test_overflow_rejected(self):
+        breakdown = HostMemoryBreakdown(capacity=100)
+        with pytest.raises(ValueError):
+            breakdown.add("too-big", 101)
+
+    def test_async_buffer_component(self):
+        breakdown = pretraining_host_memory(
+            model_state_bytes_per_node=50 * 10 ** 9)
+        assert "async_checkpoint_buffer" in breakdown.components

@@ -1,0 +1,132 @@
+"""Tests for the bandwidth-sharing network model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import (FairShareLink, Flow, Link, NetworkFabric,
+                                   allreduce_time, alltoall_time,
+                                   max_min_fair_rates)
+
+
+class TestFairShareLink:
+    def test_single_flow_gets_full_bandwidth(self):
+        link = FairShareLink(100.0)
+        assert link.rate_for(1) == 100.0
+
+    def test_equal_split(self):
+        assert FairShareLink(100.0).rate_for(4) == 25.0
+
+    def test_per_flow_cap_binds(self):
+        assert FairShareLink(100.0).rate_for(2, per_flow_cap=10.0) == 10.0
+
+    def test_transfer_time(self):
+        assert FairShareLink(10.0).transfer_time(100.0, concurrent=2) == 20.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            FairShareLink(0.0)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(ValueError):
+            FairShareLink(10.0).rate_for(0)
+
+
+class TestMaxMinFairness:
+    def test_single_bottleneck_equal_share(self):
+        links = {"l": 90.0}
+        flows = [Flow("a", ("l",)), Flow("b", ("l",)), Flow("c", ("l",))]
+        rates = max_min_fair_rates(links, flows)
+        assert all(rate == pytest.approx(30.0) for rate in rates.values())
+
+    def test_uncontended_flow_gets_its_link(self):
+        links = {"x": 10.0, "y": 100.0}
+        flows = [Flow("a", ("x",)), Flow("b", ("y",))]
+        rates = max_min_fair_rates(links, flows)
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(100.0)
+
+    def test_multi_hop_takes_worst_link(self):
+        links = {"fast": 100.0, "slow": 10.0}
+        flows = [Flow("a", ("fast", "slow"))]
+        rates = max_min_fair_rates(links, flows)
+        assert rates["a"] == pytest.approx(10.0)
+
+    def test_rate_cap_frees_bandwidth_for_others(self):
+        links = {"l": 100.0}
+        flows = [Flow("capped", ("l",), rate_cap=10.0),
+                 Flow("greedy", ("l",))]
+        rates = max_min_fair_rates(links, flows)
+        assert rates["capped"] == pytest.approx(10.0)
+        assert rates["greedy"] == pytest.approx(90.0)
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError):
+            max_min_fair_rates({"l": 1.0}, [Flow("a", ("ghost",))])
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=8),
+           st.floats(10.0, 1000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_no_link_oversubscribed(self, paths, bandwidth):
+        """Property: total allocated rate on any link <= its capacity."""
+        links = {f"l{i}": bandwidth for i in range(5)}
+        flows = [Flow(f"f{j}", tuple(f"l{i % 5}"
+                                     for i in range(path)))
+                 for j, path in enumerate(paths)]
+        rates = max_min_fair_rates(links, flows)
+        usage: dict[str, float] = {}
+        for flow in flows:
+            for link in flow.links:
+                usage[link] = usage.get(link, 0.0) + rates[flow.flow_id]
+        for link, used in usage.items():
+            assert used <= links[link] * (1 + 1e-9)
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_equal_flows_get_equal_rates(self, n_flows):
+        links = {"l": 100.0}
+        flows = [Flow(f"f{i}", ("l",)) for i in range(n_flows)]
+        rates = max_min_fair_rates(links, flows)
+        values = list(rates.values())
+        assert max(values) - min(values) < 1e-9
+
+
+class TestFabric:
+    def test_duplicate_link_rejected(self):
+        fabric = NetworkFabric()
+        fabric.add_link(Link("a", 1.0))
+        with pytest.raises(ValueError):
+            fabric.add_link(Link("a", 2.0))
+
+    def test_transfer_times(self):
+        fabric = NetworkFabric()
+        fabric.add_link(Link("nic", 10.0))
+        flows = [Flow("a", ("nic",)), Flow("b", ("nic",))]
+        times = fabric.transfer_times(flows, {"a": 10.0, "b": 5.0})
+        assert times["a"] == pytest.approx(2.0)
+        assert times["b"] == pytest.approx(1.0)
+
+    def test_link_lookup(self):
+        fabric = NetworkFabric()
+        fabric.add_link(Link("nic", 10.0))
+        assert fabric.has_link("nic")
+        assert fabric.link("nic").bandwidth == 10.0
+
+
+class TestCollectiveModels:
+    def test_allreduce_zero_for_single_worker(self):
+        assert allreduce_time(1e9, 1, 1e9) == 0.0
+
+    def test_allreduce_volume_scales_with_world(self):
+        # 2*(w-1)/w converges to 2x the buffer over the link.
+        small = allreduce_time(1e9, 2, 1e9, latency=0.0)
+        large = allreduce_time(1e9, 64, 1e9, latency=0.0)
+        assert small == pytest.approx(1.0)
+        assert large == pytest.approx(2 * 63 / 64)
+
+    def test_alltoall_zero_for_single_worker(self):
+        assert alltoall_time(1e9, 1, 1e9) == 0.0
+
+    def test_alltoall_grows_with_world(self):
+        assert (alltoall_time(1e9, 16, 1e9)
+                > alltoall_time(1e9, 2, 1e9))

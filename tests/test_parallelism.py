@@ -1,0 +1,80 @@
+"""Tests for parallelism plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.parallelism import (ParallelismPlan, internevo_v1,
+                                        internevo_v2)
+
+
+class TestValidation:
+    def test_world_must_divide_model_parallel(self):
+        with pytest.raises(ValueError):
+            ParallelismPlan("bad", world_size=100, tensor_parallel=8,
+                            pipeline_parallel=4)
+
+    def test_shard_group_must_divide_dp(self):
+        with pytest.raises(ValueError):
+            ParallelismPlan("bad", world_size=128, zero_shard_group=48)
+
+    def test_zero_micro_batches_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelismPlan("bad", world_size=8, micro_batches=0)
+
+
+class TestDerived:
+    def test_v1_data_parallel_is_64(self):
+        assert internevo_v1(2048).data_parallel == 64
+
+    def test_v2_is_pure_data_parallel(self):
+        plan = internevo_v2(2048)
+        assert plan.data_parallel == 2048
+        assert plan.tensor_parallel == 1
+        assert plan.recompute
+
+    def test_both_strategies_share_global_batch(self):
+        # §4.1: "Both versions maintain the same global batch size."
+        assert (internevo_v1(2048).global_batch_size
+                == internevo_v2(2048).global_batch_size)
+
+    def test_bubble_fraction_formula(self):
+        plan = ParallelismPlan("p", world_size=32, pipeline_parallel=4,
+                               micro_batches=8)
+        assert plan.pipeline_bubble_fraction == pytest.approx(3 / 11)
+
+    def test_no_pipeline_no_bubble(self):
+        assert internevo_v2(64).pipeline_bubble_fraction == 0.0
+
+    def test_layers_per_stage(self):
+        assert internevo_v1(2048).layers_per_stage(96) == 24
+
+    def test_layers_must_divide_stages(self):
+        with pytest.raises(ValueError):
+            internevo_v1(2048).layers_per_stage(97)
+
+
+class TestOneFOneB:
+    def test_rank0_holds_most_microbatches(self):
+        plan = internevo_v1(2048)
+        in_flight = [plan.in_flight_microbatches(r) for r in range(4)]
+        assert in_flight == [4, 3, 2, 1]
+
+    def test_in_flight_capped_by_micro_batches(self):
+        plan = ParallelismPlan("p", world_size=8, pipeline_parallel=4,
+                               micro_batches=2)
+        assert plan.in_flight_microbatches(0) == 2
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(IndexError):
+            internevo_v1(2048).in_flight_microbatches(4)
+
+    @given(pp=st.integers(1, 16), m=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_in_flight_monotonically_decreasing(self, pp, m):
+        world = pp * 8
+        plan = ParallelismPlan("p", world_size=world,
+                               pipeline_parallel=pp, micro_batches=m)
+        counts = [plan.in_flight_microbatches(r) for r in range(pp)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] >= 1

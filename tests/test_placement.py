@@ -1,0 +1,92 @@
+"""Tests for node-level gang placement."""
+
+import pytest
+
+from repro.cluster.cluster import make_seren
+from repro.scheduler.placement import GangPlacer, PlacementError
+
+
+class TestGangPlacer:
+    def test_place_and_release(self):
+        cluster = make_seren(4)
+        placer = GangPlacer(cluster)
+        placement = placer.place("job-a", 16)
+        assert placement.gpu_count == 16
+        assert cluster.free_gpus == 16
+        assert placer.release("job-a") == 16
+        assert cluster.free_gpus == 32
+
+    def test_whole_node_requirement(self):
+        cluster = make_seren(4)
+        placer = GangPlacer(cluster)
+        placement = placer.place("pretrain", 24, require_whole_nodes=True)
+        assert placement.is_node_aligned
+        assert len(placement.node_names) == 3
+
+    def test_whole_node_demand_must_align(self):
+        placer = GangPlacer(make_seren(4))
+        with pytest.raises(PlacementError):
+            placer.place("bad", 12, require_whole_nodes=True)
+
+    def test_fragmented_cluster_blocks_gang_jobs(self):
+        cluster = make_seren(2)
+        placer = GangPlacer(cluster)
+        # Fragment every node with a 1-GPU job.
+        for index, node in enumerate(cluster.nodes):
+            node.allocate_gpus(1, f"frag-{index}")
+        with pytest.raises(PlacementError):
+            placer.place("gang", 8, require_whole_nodes=True)
+        # Non-gang placement still fits.
+        assert placer.place("loose", 8).gpu_count == 8
+
+    def test_capacity_exhaustion(self):
+        placer = GangPlacer(make_seren(1))
+        placer.place("a", 8)
+        with pytest.raises(PlacementError):
+            placer.place("b", 1)
+
+    def test_duplicate_job_rejected(self):
+        placer = GangPlacer(make_seren(2))
+        placer.place("a", 4)
+        with pytest.raises(PlacementError):
+            placer.place("a", 4)
+
+    def test_release_unknown_job_rejected(self):
+        with pytest.raises(PlacementError):
+            GangPlacer(make_seren(1)).release("ghost")
+
+    def test_cordoned_nodes_avoided(self):
+        cluster = make_seren(3)
+        cluster.nodes[0].cordon()
+        placer = GangPlacer(cluster)
+        placement = placer.place("a", 16, require_whole_nodes=True)
+        assert cluster.nodes[0].name not in placement.node_names
+
+    def test_migrate_off_faulty_nodes(self):
+        """The §6.1 restart flow: cordon + re-place on healthy nodes."""
+        cluster = make_seren(4)
+        placer = GangPlacer(cluster)
+        original = placer.place("pretrain", 16,
+                                require_whole_nodes=True)
+        bad = {original.node_names[0]}
+        replacement = placer.migrate_off("pretrain", bad)
+        assert replacement.gpu_count == 16
+        assert not bad & set(replacement.node_names)
+        assert not cluster.nodes[
+            [n.name for n in cluster.nodes].index(next(iter(bad)))
+        ].schedulable
+
+    def test_migrate_fails_without_healthy_capacity(self):
+        cluster = make_seren(2)
+        placer = GangPlacer(cluster)
+        placement = placer.place("pretrain", 16,
+                                 require_whole_nodes=True)
+        with pytest.raises(PlacementError):
+            placer.migrate_off("pretrain", set(placement.node_names))
+
+    def test_placement_tracking(self):
+        placer = GangPlacer(make_seren(2))
+        placer.place("a", 4)
+        assert placer.placed_jobs == ["a"]
+        assert placer.placement_of("a").gpu_count == 4
+        assert placer.placement_of("ghost") is None

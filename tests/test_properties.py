@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on cross-cutting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.checkpoint import (AsyncCheckpointer, InMemoryStorage,
+                                   SyncCheckpointer)
+from repro.core.diagnosis.compression import FilterRules, LogCompressor
+from repro.core.diagnosis.templates import mask_line, template_to_regex
+from repro.core.diagnosis.vector_store import VectorStore, embed_text
+from repro.scheduler.job import FinalStatus, Job, JobType
+from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
+from repro.sim.engine import Engine
+from repro.workload.trace import Trace
+
+# -- strategies ------------------------------------------------------------
+
+job_strategy = st.builds(
+    Job,
+    job_id=st.uuids().map(str),
+    cluster=st.just("prop"),
+    job_type=st.sampled_from(list(JobType)),
+    submit_time=st.floats(0.0, 1e6, allow_nan=False),
+    duration=st.floats(1.0, 1e5, allow_nan=False),
+    gpu_demand=st.integers(0, 64),
+    final_status=st.sampled_from(list(FinalStatus)),
+    gpu_utilization=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestSchedulerInvariants:
+    @given(st.lists(job_strategy, min_size=1, max_size=25),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_completion(self, jobs, reserved):
+        """GPUs never oversubscribed; every job eventually finishes."""
+        # Deduplicate ids (hypothesis may build clashing UUIDs? no, but
+        # defensive) and cap demand to the cluster.
+        seen = set()
+        unique = []
+        for job in jobs:
+            if job.job_id not in seen:
+                seen.add(job.job_id)
+                unique.append(job)
+        config = SchedulerConfig(total_gpus=64,
+                                 reserved_fraction=reserved)
+        simulator = SchedulerSimulator(config)
+        simulator.simulate(unique)
+        assert all(job.end_time is not None for job in unique)
+        for _, in_use in simulator.occupancy:
+            assert 0 <= in_use <= 64
+
+    @given(st.lists(job_strategy, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_no_job_starts_before_submission(self, jobs):
+        seen = set()
+        unique = [job for job in jobs
+                  if job.job_id not in seen and not seen.add(job.job_id)]
+        simulator = SchedulerSimulator(SchedulerConfig(total_gpus=64))
+        simulator.simulate(unique)
+        for job in unique:
+            assert job.start_time >= job.submit_time - 1e-9
+            assert job.end_time >= job.start_time
+
+
+class TestTraceRoundTrip:
+    @given(st.lists(job_strategy, min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_csv_round_trip_any_jobs(self, jobs):
+        import tempfile
+        from pathlib import Path
+
+        seen = set()
+        unique = [job for job in jobs
+                  if job.job_id not in seen and not seen.add(job.job_id)]
+        trace = Trace("prop", unique)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.csv"
+            trace.to_csv(path)
+            loaded = Trace.from_csv(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(loaded, trace):
+            assert a.job_id == b.job_id
+            assert a.duration == pytest.approx(b.duration)
+            assert a.final_status is b.final_status
+
+
+class TestCheckpointIntegrity:
+    @given(arrays(np.float64, st.integers(1, 256),
+                  elements=st.floats(-1e6, 1e6, allow_nan=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_async_round_trip_any_state(self, weights):
+        with AsyncCheckpointer(InMemoryStorage()) as ckpt:
+            ckpt.save(1, {"w": weights})
+            ckpt.flush()
+            _, restored = ckpt.load_latest()
+        assert np.array_equal(restored["w"], weights)
+
+    @given(arrays(np.float32, st.integers(1, 128),
+                  elements=st.floats(-1e3, 1e3, allow_nan=False,
+                                     width=32)))
+    @settings(max_examples=25, deadline=None)
+    def test_sync_round_trip_preserves_dtype(self, weights):
+        ckpt = SyncCheckpointer(InMemoryStorage())
+        ckpt.save(5, {"w": weights})
+        _, restored = ckpt.load_latest()
+        assert restored["w"].dtype == weights.dtype
+        assert np.array_equal(restored["w"], weights)
+
+
+class TestCompressionInvariants:
+    @given(st.lists(st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=80), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_error_lines_always_survive(self, lines):
+        """Whatever the filter rules, error evidence is never dropped."""
+        rules = FilterRules([r".*"])
+        result = LogCompressor(rules).compress(lines)
+        for line in lines:
+            if "error" in line.lower() or "Traceback" in line:
+                assert line in result.kept_lines
+
+    @given(st.text(alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+        whitelist_characters="=/.:-_[]"), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_template_regex_matches_its_source(self, line):
+        """mask -> regex -> must match the original line."""
+        import re
+
+        masked = mask_line(line)
+        pattern = template_to_regex(masked)
+        normalized = " ".join(line.split())
+        if normalized:
+            assert re.search(pattern, normalized) is not None
+
+    @given(st.lists(st.text(min_size=0, max_size=60), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_compression_never_grows_output(self, lines):
+        result = LogCompressor(FilterRules([r"\d+"])).compress(lines)
+        assert result.output_bytes <= result.input_bytes
+        assert 0 <= result.filtered_fraction <= 1
+
+
+class TestVectorStoreInvariants:
+    @given(st.text(min_size=4, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_self_similarity_is_one(self, text):
+        vector = embed_text(text)
+        assert float(vector @ vector) == pytest.approx(1.0)
+
+    @given(st.lists(st.text(min_size=4, max_size=80), min_size=2,
+                    max_size=8, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_document_retrieved_first(self, texts):
+        store = VectorStore()
+        for index, text in enumerate(texts):
+            store.add(f"d{index}", text, {})
+        hits = store.query(texts[0], top_k=len(texts))
+        assert hits[0].similarity == pytest.approx(1.0)
+        assert hits[0].document.text == texts[0] or \
+            hits[0].similarity == pytest.approx(hits[1].similarity)
+
+
+class TestEngineInvariants:
+    @given(st.lists(st.floats(0.0, 1000.0, allow_nan=False), min_size=1,
+                    max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_events_observed_in_sorted_order(self, times):
+        engine = Engine()
+        observed = []
+        for time in times:
+            engine.call_at(time, lambda t=time: observed.append(t))
+        engine.run()
+        assert observed == sorted(times)
+        assert engine.now == max(times)

@@ -1,0 +1,129 @@
+"""Tests for model-quality curves and checkpoint selection (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.datasets import standard_catalog
+from repro.evaluation.quality import (CheckpointScore, QualityCurveConfig,
+                                      QualityModel, default_curve_for,
+                                      feedback_delay_cost,
+                                      select_best_checkpoint)
+
+
+class TestCurves:
+    def test_expected_score_monotone(self):
+        curve = QualityCurveConfig(floor=0.25, ceiling=0.8,
+                                   half_life_steps=10_000)
+        steps = np.arange(0, 100_000, 5000)
+        scores = [curve.expected_score(s) for s in steps]
+        assert scores == sorted(scores)
+
+    def test_starts_at_floor_ends_at_ceiling(self):
+        curve = QualityCurveConfig(floor=0.25, ceiling=0.8,
+                                   half_life_steps=1000)
+        assert curve.expected_score(0) == pytest.approx(0.25)
+        assert curve.expected_score(10 ** 8) == pytest.approx(0.8)
+
+    def test_half_life_semantics(self):
+        curve = QualityCurveConfig(floor=0.0, ceiling=1.0,
+                                   half_life_steps=500)
+        assert curve.expected_score(500) == pytest.approx(0.5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            QualityCurveConfig(floor=0.9, ceiling=0.5,
+                               half_life_steps=100)
+
+    def test_default_curves_deterministic(self):
+        dataset = standard_catalog()[0]
+        assert default_curve_for(dataset, 3) == default_curve_for(
+            dataset, 3)
+
+    def test_harder_benchmarks_get_lower_ceilings(self):
+        catalog = standard_catalog()
+        by_name = {d.name: d for d in catalog}
+        easy = default_curve_for(by_name["copa"], 0)
+        hard = default_curve_for(by_name["mbpp"], 0)
+        assert hard.ceiling < easy.ceiling
+
+
+class TestQualityModel:
+    def model(self, **kwargs):
+        return QualityModel(standard_catalog()[:12], seed=5, **kwargs)
+
+    def test_scores_cover_all_datasets(self):
+        score = self.model().evaluate_checkpoint(10_000)
+        assert len(score.scores) == 12
+        assert all(0.0 <= v <= 1.0 for v in score.scores.values())
+
+    def test_later_checkpoints_score_higher(self):
+        model = self.model()
+        early = model.evaluate_checkpoint(1_000).mean_score()
+        late = model.evaluate_checkpoint(80_000).mean_score()
+        assert late > early
+
+    def test_regression_lowers_scores(self):
+        model = self.model()
+        baseline = model.evaluate_checkpoint(50_000).mean_score()
+        model.add_regression(40_000, penalty=0.1)
+        degraded = model.evaluate_checkpoint(50_000).mean_score()
+        assert degraded < baseline - 0.05
+
+    def test_regression_only_applies_after_its_step(self):
+        model = self.model()
+        model.add_regression(40_000, penalty=0.2)
+        before = model.evaluate_checkpoint(30_000).mean_score()
+        curve_before = np.mean([
+            model.curves[d.name].expected_score(30_000)
+            for d in model.datasets])
+        assert before == pytest.approx(float(curve_before), abs=0.05)
+
+    def test_best_checkpoint_selection(self):
+        model = self.model()
+        scores = model.evaluate_schedule([10_000, 30_000, 60_000])
+        best = select_best_checkpoint(scores)
+        assert best.step == 60_000
+
+    def test_best_checkpoint_before_regression(self):
+        """The §5.3/§6.2 scenario: quality regresses mid-run, and the
+        evaluation loop identifies the best (earlier) checkpoint."""
+        model = self.model()
+        model.add_regression(45_000, penalty=0.25)
+        scores = model.evaluate_schedule([20_000, 40_000, 60_000,
+                                          80_000])
+        best = select_best_checkpoint(scores)
+        assert best.step == 40_000
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            QualityModel([])
+        with pytest.raises(ValueError):
+            select_best_checkpoint([])
+        with pytest.raises(ValueError):
+            CheckpointScore(step=1).mean_score()
+
+
+class TestFeedbackDelay:
+    def test_delay_wastes_training_steps(self):
+        catalog = standard_catalog()[:8]
+        prompt_model = QualityModel(catalog, seed=7)
+        delayed_model = QualityModel(catalog, seed=7)
+        checkpoints = list(range(0, 100_000, 5_000))
+        prompt = feedback_delay_cost(
+            prompt_model, checkpoints, regression_step=42_000,
+            eval_delay_checkpoints=0, checkpoint_interval_steps=5_000)
+        delayed = feedback_delay_cost(
+            delayed_model, checkpoints, regression_step=42_000,
+            eval_delay_checkpoints=6, checkpoint_interval_steps=5_000)
+        assert delayed["wasted_steps"] > prompt["wasted_steps"]
+        assert delayed["wasted_steps"] - prompt["wasted_steps"] == 30_000
+
+    def test_regression_after_last_checkpoint(self):
+        model = QualityModel(standard_catalog()[:4], seed=8)
+        result = feedback_delay_cost(model, [1000], 5000, 2, 1000)
+        assert result["wasted_steps"] == 0
+
+    def test_negative_delay_rejected(self):
+        model = QualityModel(standard_catalog()[:4], seed=9)
+        with pytest.raises(ValueError):
+            feedback_delay_cost(model, [0], 0, -1, 100)

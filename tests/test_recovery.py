@@ -1,0 +1,234 @@
+"""Tests for fault detection and recovery (§6.1, design 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Node, seren_node_spec
+from repro.core.diagnosis import DiagnosisSystem
+from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
+                                 CollectiveTester, HangDetector,
+                                 LossSpikeDetector, RecoveryController,
+                                 two_round_nccl_test, World)
+from repro.failures.logs import LogGenerator
+
+
+class TestNcclTest:
+    def test_single_faulty_node_identified(self):
+        nodes = [f"n{i}" for i in range(8)]
+        tester = CollectiveTester({"n3"})
+        result = two_round_nccl_test(nodes, tester)
+        assert result.faulty == {"n3"}
+        assert "n3" not in result.cleared
+
+    def test_faulty_pair_in_same_world(self):
+        nodes = [f"n{i}" for i in range(8)]
+        tester = CollectiveTester({"n0", "n1"})  # paired together
+        result = two_round_nccl_test(nodes, tester)
+        assert result.faulty == {"n0", "n1"}
+
+    def test_odd_node_count_uses_world_of_three(self):
+        nodes = [f"n{i}" for i in range(7)]
+        tester = CollectiveTester({"n6"})
+        result = two_round_nccl_test(nodes, tester)
+        assert result.faulty == {"n6"}
+        assert result.cleared == set(nodes) - {"n6"}
+
+    def test_no_faults_clears_everyone_in_one_round(self):
+        nodes = [f"n{i}" for i in range(10)]
+        tester = CollectiveTester(set())
+        result = two_round_nccl_test(nodes, tester)
+        assert result.faulty == set()
+        assert result.cleared == set(nodes)
+        assert tester.tests_run == 5  # round 1 only
+
+    def test_all_faulty_convicts_all(self):
+        nodes = ["a", "b", "c", "d"]
+        tester = CollectiveTester(set(nodes))
+        result = two_round_nccl_test(nodes, tester)
+        assert result.faulty == set(nodes)
+
+    def test_empty_input(self):
+        result = two_round_nccl_test([], CollectiveTester(set()))
+        assert result.faulty == set()
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            two_round_nccl_test(["a", "a"], CollectiveTester(set()))
+
+    def test_far_fewer_tests_than_pairwise(self):
+        nodes = [f"n{i}" for i in range(64)]
+        tester = CollectiveTester({"n10", "n40"})
+        two_round_nccl_test(nodes, tester)
+        assert tester.tests_run < 64  # vs 64*63/2 exhaustive pairs
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveTester(set()).run_allgather(World(()))
+
+    @given(n=st.integers(2, 40), faulty=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_identification_property(self, n, faulty):
+        """Whenever a healthy world survives round 1, the procedure
+        convicts exactly the faulty set."""
+        nodes = [f"n{i}" for i in range(n)]
+        k = faulty.draw(st.integers(0, n - 2))
+        faulty_set = set(faulty.draw(st.permutations(nodes))[:k])
+        tester = CollectiveTester(faulty_set)
+        result = two_round_nccl_test(nodes, tester)
+        if result.suspects_after_round1 and not (
+                set(nodes) - result.suspects_after_round1):
+            # no trusted partner existed: conservative conviction
+            assert faulty_set <= result.faulty
+        else:
+            assert result.faulty == faulty_set
+
+
+class TestDetectors:
+    def test_persistent_spike_detected(self):
+        detector = LossSpikeDetector(window=20, patience=3)
+        step = 0
+        for step in range(30):
+            assert detector.observe(step, 2.0) is None
+        event = None
+        for offset in range(1, 6):
+            event = detector.observe(step + offset, 8.0)
+            if event:
+                break
+        assert event is not None
+        assert event.kind == "loss_spike"
+
+    def test_transient_spike_ignored(self):
+        detector = LossSpikeDetector(window=20, patience=5)
+        for step in range(30):
+            detector.observe(step, 2.0)
+        assert detector.observe(30, 8.0) is None  # single blip
+        assert detector.observe(31, 2.0) is None  # recovered
+        for step in range(32, 40):
+            assert detector.observe(step, 2.0) is None
+
+    def test_gradual_descent_never_flags(self):
+        detector = LossSpikeDetector()
+        events = [detector.observe(step, 5.0 - step * 0.01)
+                  for step in range(200)]
+        assert not any(events)
+
+    def test_spike_stats_not_polluted_by_spikes(self):
+        detector = LossSpikeDetector(window=20, patience=2)
+        for step in range(30):
+            detector.observe(step, 2.0)
+        detector.observe(30, 50.0)
+        event = detector.observe(31, 50.0)
+        assert event is not None
+
+    def test_hang_detected_after_timeout(self):
+        detector = HangDetector(timeout=100.0)
+        assert detector.heartbeat(0.0, step=10) is None
+        assert detector.heartbeat(50.0, step=10) is None
+        event = detector.heartbeat(150.0, step=10)
+        assert event is not None
+        assert event.kind == "hang"
+
+    def test_progress_resets_hang_timer(self):
+        detector = HangDetector(timeout=100.0)
+        detector.heartbeat(0.0, step=1)
+        detector.heartbeat(90.0, step=2)
+        assert detector.heartbeat(150.0, step=2) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LossSpikeDetector(window=1)
+        with pytest.raises(ValueError):
+            HangDetector(timeout=0)
+
+
+class TestCheckpointCatalog:
+    def test_latest(self):
+        catalog = CheckpointCatalog([100, 300, 200])
+        assert catalog.latest() == 300
+
+    def test_earlier_healthy_rolls_back(self):
+        catalog = CheckpointCatalog([100, 200, 300, 400, 500])
+        assert catalog.earlier_healthy(before_step=520, back=2) == 300
+
+    def test_earlier_healthy_clamps_at_first(self):
+        catalog = CheckpointCatalog([100])
+        assert catalog.earlier_healthy(before_step=150, back=5) == 100
+
+    def test_empty_catalog(self):
+        assert CheckpointCatalog().latest() is None
+        assert CheckpointCatalog().earlier_healthy(100) is None
+
+
+class TestRecoveryController:
+    def make_controller(self, steps=(100, 200, 300)):
+        nodes = [Node(name=f"n{i}", spec=seren_node_spec())
+                 for i in range(6)]
+        controller = RecoveryController(
+            DiagnosisSystem(), CheckpointCatalog(list(steps)), nodes)
+        return controller, nodes
+
+    def test_infrastructure_failure_cordons_and_restarts(self):
+        controller, nodes = self.make_controller()
+        log = LogGenerator(seed=1).failed_log("NVLinkError", n_steps=30)
+        tester = CollectiveTester({"n2"})
+        plan = controller.handle_failure(log.lines, tester)
+        assert plan.restart
+        assert plan.restart_checkpoint_step == 300
+        assert plan.cordoned_nodes == {"n2"}
+        assert not nodes[2].schedulable
+
+    def test_script_failure_never_restarts(self):
+        controller, _ = self.make_controller()
+        log = LogGenerator(seed=2).failed_log("TypeError", n_steps=20)
+        plan = controller.handle_failure(log.lines)
+        assert not plan.restart
+        assert any(action.kind == "notify" for action in plan.actions)
+
+    def test_framework_failure_restarts_and_notifies(self):
+        controller, _ = self.make_controller()
+        log = LogGenerator(seed=3).failed_log("OutOfMemoryError",
+                                              n_steps=20)
+        plan = controller.handle_failure(log.lines)
+        assert plan.restart
+        assert any(action.kind == "notify" for action in plan.actions)
+
+    def test_loss_spike_rolls_back_and_skips_data(self):
+        controller, _ = self.make_controller()
+        event = AnomalyEvent(kind="loss_spike", step=310, detail="")
+        plan = controller.handle_anomaly(event)
+        assert plan.restart
+        assert plan.skip_batches
+        assert plan.restart_checkpoint_step == 100  # two saves earlier
+
+    def test_hang_treated_as_infrastructure(self):
+        controller, _ = self.make_controller()
+        event = AnomalyEvent(kind="hang", step=42, detail="")
+        plan = controller.handle_anomaly(event,
+                                         CollectiveTester({"n1"}))
+        assert plan.restart
+        assert plan.cordoned_nodes == {"n1"}
+
+    def test_unknown_anomaly_rejected(self):
+        controller, _ = self.make_controller()
+        with pytest.raises(ValueError):
+            controller.handle_anomaly(AnomalyEvent("alien", 1, ""))
+
+    def test_automation_rate_tracks_script_errors(self):
+        controller, _ = self.make_controller()
+        generator = LogGenerator(seed=4)
+        controller.handle_failure(
+            generator.failed_log("CUDAError", n_steps=20).lines)
+        controller.handle_failure(
+            generator.failed_log("TypeError", n_steps=20).lines)
+        assert controller.manual_interventions() == 1
+        assert controller.automation_rate() == pytest.approx(0.5)
+
+    def test_no_checkpoint_restarts_from_scratch(self):
+        nodes = [Node(name="n0", spec=seren_node_spec())]
+        controller = RecoveryController(DiagnosisSystem(),
+                                        CheckpointCatalog(), nodes)
+        log = LogGenerator(seed=5).failed_log("ECCError", n_steps=20)
+        plan = controller.handle_failure(log.lines)
+        assert plan.restart
+        assert plan.restart_checkpoint_step == 0

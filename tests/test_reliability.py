@@ -1,0 +1,109 @@
+"""Tests for MTBF/goodput analysis and optimal checkpoint intervals."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures.injector import FailureInjector
+from repro.failures.reliability import (GoodputModel, interval_sweep,
+                                        mtbf_from_events)
+from repro.failures.taxonomy import FailureCategory
+
+
+class TestMtbf:
+    def test_job_level_mtbf_is_mean_ttf(self):
+        events = FailureInjector(seed=1).generate_events()
+        mtbf = mtbf_from_events(events)
+        mean_ttf = sum(e.time_to_failure_min for e in events) / len(events)
+        assert mtbf == pytest.approx(mean_ttf)
+
+    def test_category_filter(self):
+        events = FailureInjector(seed=2).generate_events()
+        infra = mtbf_from_events(events,
+                                 category=FailureCategory.INFRASTRUCTURE)
+        script = mtbf_from_events(events,
+                                  category=FailureCategory.SCRIPT)
+        # Infrastructure failures hit long-running jobs (§5.2); script
+        # errors die at startup.
+        assert infra > script
+
+    def test_fleet_normalized(self):
+        events = FailureInjector(seed=3).generate_events()
+        mtbf = mtbf_from_events(events, fleet_gpu_time_min=1e9)
+        assert mtbf == pytest.approx(1e9 / len(events))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            mtbf_from_events([])
+
+
+class TestGoodputModel:
+    def model(self, **overrides):
+        defaults = dict(mtbf=12 * 3600.0, checkpoint_cost=2.5,
+                        restart_cost=600.0)
+        defaults.update(overrides)
+        return GoodputModel(**defaults)
+
+    def test_young_daly_formula(self):
+        model = self.model()
+        expected = math.sqrt(2 * 2.5 * 12 * 3600.0)
+        assert model.young_daly_interval() == pytest.approx(expected)
+
+    def test_optimal_matches_young_daly_when_first_order_holds(self):
+        model = self.model()
+        optimal = model.optimal_interval()
+        assert optimal == pytest.approx(model.young_daly_interval(),
+                                        rel=0.05)
+
+    def test_goodput_peaks_at_optimum(self):
+        model = self.model()
+        optimum = model.optimal_interval()
+        best = model.goodput(optimum)
+        assert best >= model.goodput(optimum / 4) - 1e-9
+        assert best >= model.goodput(optimum * 4) - 1e-9
+
+    def test_async_checkpointing_shifts_optimum_shorter(self):
+        """Cheaper checkpoints -> checkpoint more often (the §6.1 logic:
+        async made 30-minute intervals affordable)."""
+        sync = self.model(checkpoint_cost=60.0)
+        asynchronous = self.model(checkpoint_cost=0.5)
+        assert (asynchronous.young_daly_interval()
+                < sync.young_daly_interval())
+
+    def test_paper_configuration_30min_is_reasonable(self):
+        """With async costs (~0.05 s blocking) and the Table 3 failure
+        rate for a 2048-GPU job, 30 minutes wastes < 5%."""
+        model = GoodputModel(mtbf=0.8 * 86400.0, checkpoint_cost=0.05,
+                             restart_cost=600.0)
+        assert model.wasted_fraction(1800.0) < 0.05
+
+    def test_zero_cost_checkpointing(self):
+        model = self.model(checkpoint_cost=0.0)
+        assert model.young_daly_interval() == 0.0
+        assert model.optimal_interval(low=1.0) == pytest.approx(1.0,
+                                                                abs=2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GoodputModel(mtbf=0.0, checkpoint_cost=1.0, restart_cost=1.0)
+        with pytest.raises(ValueError):
+            self.model().wasted_fraction(0.0)
+
+    def test_interval_sweep_rows(self):
+        rows = interval_sweep(self.model(), [600.0, 1800.0, 7200.0])
+        assert len(rows) == 3
+        assert all(0.0 <= row["goodput"] <= 1.0 for row in rows)
+
+    @given(mtbf=st.floats(3600.0, 1e6),
+           cost=st.floats(0.01, 100.0),
+           restart=st.floats(0.0, 3600.0))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_never_beaten_by_probes(self, mtbf, cost, restart):
+        model = GoodputModel(mtbf=mtbf, checkpoint_cost=cost,
+                             restart_cost=restart)
+        optimum = model.optimal_interval(low=1.0)
+        waste = model.wasted_fraction(optimum)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            assert waste <= model.wasted_fraction(optimum * factor) + 1e-6

@@ -1,0 +1,95 @@
+"""Tests for queue and scheduling policies."""
+
+import pytest
+
+from repro.scheduler.job import Job, JobType
+from repro.scheduler.policy import (FifoPolicy, PriorityPolicy,
+                                    ReservationPolicy)
+from repro.scheduler.queue import JobQueue
+
+
+def job(job_id, job_type=JobType.EVALUATION, demand=1, submit=0.0):
+    return Job(job_id=job_id, cluster="seren", job_type=job_type,
+               submit_time=submit, duration=60.0, gpu_demand=demand)
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue = JobQueue()
+        for i in range(3):
+            queue.push(job(f"j{i}"))
+        assert [j.job_id for j in queue.pending()] == ["j0", "j1", "j2"]
+
+    def test_duplicate_push_rejected(self):
+        queue = JobQueue()
+        j = job("a")
+        queue.push(j)
+        with pytest.raises(ValueError):
+            queue.push(j)
+
+    def test_remove(self):
+        queue = JobQueue()
+        a, b = job("a"), job("b")
+        queue.push(a)
+        queue.push(b)
+        queue.remove(a)
+        assert a not in queue
+        assert len(queue) == 1
+        assert queue.oldest() is b
+
+    def test_by_type_filter(self):
+        queue = JobQueue()
+        queue.push(job("a", JobType.PRETRAIN))
+        queue.push(job("b", JobType.EVALUATION))
+        assert [j.job_id for j in queue.by_type(JobType.PRETRAIN)] == ["a"]
+
+    def test_oldest_on_empty(self):
+        assert JobQueue().oldest() is None
+
+
+class TestFifoPolicy:
+    def test_preserves_arrival_order(self):
+        queue = JobQueue()
+        queue.push(job("a", JobType.EVALUATION))
+        queue.push(job("b", JobType.PRETRAIN))
+        candidates = FifoPolicy().candidates(queue)
+        assert [c.job.job_id for c in candidates] == ["a", "b"]
+        assert all(c.pool == "shared" for c in candidates)
+
+
+class TestPriorityPolicy:
+    def test_pretrain_outranks_evaluation(self):
+        queue = JobQueue()
+        queue.push(job("eval", JobType.EVALUATION))
+        queue.push(job("pre", JobType.PRETRAIN))
+        candidates = PriorityPolicy().candidates(queue)
+        assert candidates[0].job.job_id == "pre"
+
+    def test_fifo_within_priority_class(self):
+        queue = JobQueue()
+        queue.push(job("e1", JobType.EVALUATION))
+        queue.push(job("e2", JobType.EVALUATION))
+        candidates = PriorityPolicy().candidates(queue)
+        assert [c.job.job_id for c in candidates] == ["e1", "e2"]
+
+
+class TestReservationPolicy:
+    def test_training_types_use_reserved_pool(self):
+        queue = JobQueue()
+        queue.push(job("pre", JobType.PRETRAIN))
+        queue.push(job("sft", JobType.SFT))
+        queue.push(job("eval", JobType.EVALUATION))
+        pools = {c.job.job_id: c.pool
+                 for c in ReservationPolicy().candidates(queue)}
+        assert pools["pre"] == "reserved"
+        assert pools["sft"] == "reserved"
+        assert pools["eval"] == "shared"
+
+    def test_evaluation_is_lowest_priority(self):
+        queue = JobQueue()
+        queue.push(job("eval", JobType.EVALUATION))
+        queue.push(job("debug", JobType.DEBUG))
+        queue.push(job("pre", JobType.PRETRAIN))
+        order = [c.job.job_id
+                 for c in ReservationPolicy().candidates(queue)]
+        assert order == ["pre", "debug", "eval"]

@@ -1,0 +1,265 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.call_at(5.0, lambda: order.append("b"))
+        engine.call_at(1.0, lambda: order.append("a"))
+        engine.call_at(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for label in "abc":
+            engine.call_at(1.0, lambda l=label: order.append(l))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(3.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+
+    def test_call_after_is_relative(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(2.0, lambda: engine.call_after(
+            3.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = Engine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        engine = Engine()
+        fired = []
+        item = engine.call_at(1.0, lambda: fired.append(1))
+        engine.cancel(item)
+        engine.run()
+        assert not fired
+
+    def test_run_until_stops_clock_at_deadline(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(10.0, lambda: fired.append(1))
+        end = engine.run(until=4.0)
+        assert end == 4.0
+        assert not fired
+        engine.run()
+        assert fired
+
+    def test_run_until_with_empty_heap_advances_clock(self):
+        engine = Engine()
+        assert engine.run(until=7.0) == 7.0
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.call_after(1.0, reschedule)
+
+        engine.call_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=50)
+
+    def test_pending_counts_uncancelled(self):
+        engine = Engine()
+        item = engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.cancel(item)
+        assert engine.pending == 1
+
+
+class TestEvents:
+    def test_event_value_delivered(self):
+        engine = Engine()
+        event = engine.event()
+        got = []
+        event.subscribe(lambda ev: got.append(ev.value))
+        engine.call_at(1.0, lambda: event.succeed("payload"))
+        engine.run()
+        assert got == ["payload"]
+
+    def test_subscribe_after_trigger_still_fires(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed(42)
+        got = []
+        event.subscribe(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == [42]
+
+    def test_double_succeed_raises(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_timeout_fires_after_delay(self):
+        engine = Engine()
+        got = []
+        engine.timeout(2.5, "done").subscribe(
+            lambda ev: got.append((engine.now, ev.value)))
+        engine.run()
+        assert got == [(2.5, "done")]
+
+    def test_all_of_collects_values_in_order(self):
+        engine = Engine()
+        events = [engine.timeout(3.0, "late"), engine.timeout(1.0, "soon")]
+        got = []
+        engine.all_of(events).subscribe(lambda ev: got.append(
+            (engine.now, ev.value)))
+        engine.run()
+        assert got == [(3.0, ["late", "soon"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        engine = Engine()
+        got = []
+        engine.all_of([]).subscribe(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == [[]]
+
+    def test_any_of_fires_on_first(self):
+        engine = Engine()
+        events = [engine.timeout(3.0, "late"), engine.timeout(1.0, "soon")]
+        got = []
+        engine.any_of(events).subscribe(lambda ev: got.append(
+            (engine.now, ev.value)))
+        engine.run()
+        assert got == [(1.0, "soon")]
+
+
+class TestProcess:
+    def test_process_sleeps_on_numeric_yield(self):
+        engine = Engine()
+        trace = []
+
+        def worker():
+            trace.append(engine.now)
+            yield 2.0
+            trace.append(engine.now)
+            yield 3.0
+            trace.append(engine.now)
+
+        engine.process(worker())
+        engine.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_waits_on_event_and_receives_value(self):
+        engine = Engine()
+        event = engine.event()
+        got = []
+
+        def worker():
+            value = yield event
+            got.append(value)
+
+        engine.process(worker())
+        engine.call_at(4.0, lambda: event.succeed("hello"))
+        engine.run()
+        assert got == ["hello"]
+
+    def test_process_done_event_carries_return_value(self):
+        engine = Engine()
+
+        def worker():
+            yield 1.0
+            return "result"
+
+        process = engine.process(worker())
+        got = []
+        process.done.subscribe(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == ["result"]
+
+    def test_negative_delay_raises(self):
+        engine = Engine()
+
+        def worker():
+            yield -1.0
+
+        engine.process(worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_bad_yield_type_raises(self):
+        engine = Engine()
+
+        def worker():
+            yield "nonsense"
+
+        engine.process(worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestResource:
+    def test_acquire_within_capacity_is_immediate(self):
+        engine = Engine()
+        resource = engine.resource(4)
+        got = []
+        resource.acquire(3).subscribe(lambda ev: got.append(engine.now))
+        engine.run()
+        assert got == [0.0]
+        assert resource.in_use == 3
+
+    def test_acquire_blocks_until_release(self):
+        engine = Engine()
+        resource = engine.resource(2)
+        got = []
+        resource.acquire(2)
+        resource.acquire(1).subscribe(lambda ev: got.append(engine.now))
+        engine.call_at(5.0, lambda: resource.release(2))
+        engine.run()
+        assert got == [5.0]
+
+    def test_fifo_head_of_line_blocking(self):
+        engine = Engine()
+        resource = engine.resource(3)
+        order = []
+        resource.acquire(3)
+        resource.acquire(2).subscribe(lambda ev: order.append("big"))
+        resource.acquire(1).subscribe(lambda ev: order.append("small"))
+        engine.call_at(1.0, lambda: resource.release(1))
+        engine.call_at(2.0, lambda: resource.release(1))
+        engine.call_at(3.0, lambda: resource.release(1))
+        engine.run()
+        # The small request fits at t=1 but waits behind the big one.
+        assert order == ["big", "small"]
+
+    def test_over_release_raises(self):
+        engine = Engine()
+        resource = engine.resource(2)
+        with pytest.raises(SimulationError):
+            resource.release(1)
+
+    def test_request_exceeding_capacity_raises(self):
+        engine = Engine()
+        resource = engine.resource(2)
+        with pytest.raises(SimulationError):
+            resource.acquire(3)
+
+    def test_queue_length_reflects_waiters(self):
+        engine = Engine()
+        resource = engine.resource(1)
+        resource.acquire(1)
+        resource.acquire(1)
+        resource.acquire(1)
+        engine.run()
+        assert resource.queue_length == 2

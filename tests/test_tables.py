@@ -1,0 +1,91 @@
+"""Tests for the regenerated Tables 1-3."""
+
+import pytest
+
+from repro.analysis.tables import (table1, table2, table3,
+                                   table3_category_summary)
+
+
+class TestTable1:
+    def test_two_clusters(self):
+        rows = table1()
+        assert [row["cluster"] for row in rows] == ["seren", "kalos"]
+
+    def test_scale_matches_paper(self):
+        rows = {row["cluster"]: row for row in table1()}
+        assert rows["seren"]["nodes"] == 286
+        assert rows["kalos"]["nodes"] == 302
+        assert rows["seren"]["total_gpus"] == 2288
+        assert rows["kalos"]["total_gpus"] == 2416
+
+    def test_memory_doubles_on_kalos(self):
+        rows = {row["cluster"]: row for row in table1()}
+        assert rows["kalos"]["memory_gb"] == 2 * rows["seren"]["memory_gb"]
+
+
+class TestTable2:
+    def test_four_datacenters(self):
+        rows = table2()
+        assert {row["datacenter"] for row in rows} == {
+            "philly", "helios", "pai", "acme"}
+
+    def test_acme_row(self):
+        acme = [row for row in table2() if row["datacenter"] == "acme"][0]
+        assert acme["total_gpus"] == 4704
+        assert acme["year"] == 2023
+        assert acme["jobs"] == pytest.approx(1_094_000, rel=0.01)
+
+    def test_measured_avg_gpus(self, seren_trace, kalos_trace):
+        rows = table2({"seren": seren_trace, "kalos": kalos_trace})
+        acme = [row for row in rows if row["datacenter"] == "acme"][0]
+        # Paper reports 6.3 on the full trace; synthetic is close.
+        assert 3.0 < acme["avg_gpus"] < 25.0
+
+
+class TestTable3:
+    def test_all_reasons_regenerated(self):
+        rows = table3(scale=1.0, seed=1)
+        assert len(rows) == 29
+
+    def test_counts_match_paper_exactly(self):
+        rows = table3(scale=1.0, seed=2)
+        by_reason = {row["reason"]: row for row in rows}
+        assert by_reason["NVLinkError"]["num"] == 54
+        assert by_reason["TypeError"]["num"] == 620
+
+    def test_sampled_statistics_track_paper(self):
+        rows = table3(scale=2.0, seed=3)
+        from repro.failures.taxonomy import taxonomy_by_reason
+
+        taxonomy = taxonomy_by_reason()
+        for row in rows:
+            if row["paper_num"] * 2 < 40:
+                continue  # tiny samples are noisy
+            spec = taxonomy[row["reason"]]
+            # The TTF fits are extremely heavy-tailed (mean/median up to
+            # ~17x), so sampled medians are pinned within a small factor
+            # rather than a tight tolerance.
+            ttf_ratio = row["ttf_median_min"] / max(spec.ttf_median_min,
+                                                    0.05)
+            demand_ratio = row["demand_median"] / max(spec.demand_median,
+                                                      1.0)
+            assert 1 / 3 < ttf_ratio < 3, row["reason"]
+            assert 1 / 3 < demand_ratio < 3, row["reason"]
+
+    def test_nvlink_among_top_gpu_time(self):
+        rows = table3(scale=2.0, seed=4)
+        top3 = {row["reason"] for row in rows[:3]}
+        assert "NVLinkError" in top3
+
+    def test_category_summary_infrastructure_dominates(self):
+        """§5.2: infrastructure ~11% of count, > 82% of GPU time."""
+        summary = table3_category_summary(table3(scale=2.0, seed=5))
+        infra = summary["infrastructure"]
+        assert 0.05 < infra["num_share"] < 0.16
+        assert infra["gpu_time_pct"] > 60.0
+
+    def test_script_failures_numerous_but_cheap(self):
+        summary = table3_category_summary(table3(scale=2.0, seed=6))
+        script = summary["script"]
+        assert script["num_share"] > 0.5
+        assert script["gpu_time_pct"] < 15.0

@@ -1,0 +1,96 @@
+"""Tests for cluster topology and the cluster factories."""
+
+import pytest
+
+from repro.cluster.cluster import make_acme, make_kalos, make_seren
+from repro.cluster.machine import Node, seren_node_spec
+from repro.cluster.topology import ClusterTopology
+
+
+def small_topology(nodes=4):
+    return ClusterTopology([Node(name=f"n{i}", spec=seren_node_spec())
+                            for i in range(nodes)])
+
+
+class TestTopology:
+    def test_total_gpus(self):
+        assert small_topology(4).total_gpus == 32
+
+    def test_address_mapping(self):
+        topo = small_topology()
+        addr = topo.address(13)
+        assert addr.node_index == 1
+        assert addr.local_index == 5
+
+    def test_address_out_of_range(self):
+        with pytest.raises(IndexError):
+            small_topology().address(999)
+
+    def test_same_node(self):
+        topo = small_topology()
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(7, 8)
+
+    def test_intra_node_group_uses_nvlink(self):
+        topo = small_topology()
+        bandwidth = topo.group_bandwidth(list(range(8)))
+        assert bandwidth == topo.nodes[0].spec.gpu.nvlink_bandwidth
+
+    def test_cross_node_group_uses_nic_share(self):
+        topo = small_topology()
+        # 16 GPUs across 2 nodes: 8 members share each node's NIC.
+        bandwidth = topo.group_bandwidth(list(range(16)))
+        expected = topo.nodes[0].spec.total_network_bandwidth / 8
+        assert bandwidth == pytest.approx(expected)
+
+    def test_strided_group(self):
+        topo = small_topology()
+        assert topo.strided_group(0, 8, 4) == [0, 8, 16, 24]
+
+    def test_strided_group_out_of_range(self):
+        with pytest.raises(IndexError):
+            small_topology().strided_group(0, 8, 5)
+
+    def test_contiguous_group(self):
+        assert small_topology().contiguous_group(4, 4) == [4, 5, 6, 7]
+
+
+class TestClusterFactories:
+    def test_seren_scale_matches_table1(self):
+        seren = make_seren()
+        assert seren.node_count == 286
+        assert seren.total_gpus == 2288
+        assert seren.scheduler_kind == "slurm"
+
+    def test_kalos_scale_matches_table1(self):
+        kalos = make_kalos()
+        assert kalos.node_count == 302
+        assert kalos.total_gpus == 2416
+        assert kalos.scheduler_kind == "kubernetes"
+
+    def test_acme_total_gpus(self):
+        acme = make_acme()
+        assert sum(c.total_gpus for c in acme.values()) == 4704
+
+    def test_summary_row(self):
+        row = make_seren(4).summary()
+        assert row["cpus_per_node"] == 128
+        assert row["gpus_per_node"] == 8
+        assert row["nodes"] == 4
+
+    def test_gang_placement_prefers_whole_nodes(self):
+        cluster = make_seren(4)
+        placement = cluster.find_nodes_with_free_gpus(16)
+        assert sum(take for _, take in placement) == 16
+        assert all(take == 8 for _, take in placement)
+
+    def test_placement_fails_when_insufficient(self):
+        cluster = make_seren(2)
+        assert cluster.find_nodes_with_free_gpus(17) == []
+
+    def test_placement_skips_cordoned_nodes(self):
+        cluster = make_seren(2)
+        cluster.nodes[0].cordon()
+        placement = cluster.find_nodes_with_free_gpus(8)
+        assert placement[0][0] is cluster.nodes[1]
+        assert cluster.free_gpus == 8

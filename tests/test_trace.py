@@ -1,0 +1,112 @@
+"""Tests for the Trace container and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.job import FinalStatus, Job, JobType
+from repro.workload.trace import Trace
+
+
+def make_trace():
+    jobs = [
+        Job("a", "seren", JobType.PRETRAIN, 10.0, 1000.0, 128,
+            final_status=FinalStatus.COMPLETED, gpu_utilization=0.99),
+        Job("b", "seren", JobType.EVALUATION, 5.0, 120.0, 2,
+            final_status=FinalStatus.FAILED, failure_reason="TypeError",
+            gpu_utilization=0.05),
+        Job("c", "seren", JobType.EVALUATION, 20.0, 60.0, 1,
+            final_status=FinalStatus.CANCELED, gpu_utilization=0.95),
+        Job("d", "seren", JobType.OTHER, 1.0, 30.0, 0),
+    ]
+    return Trace("seren", jobs)
+
+
+class TestSlices:
+    def test_sorted_by_submit_time(self):
+        assert [j.job_id for j in make_trace()] == ["d", "b", "a", "c"]
+
+    def test_gpu_vs_cpu_jobs(self):
+        trace = make_trace()
+        assert len(trace.gpu_jobs()) == 3
+        assert [j.job_id for j in trace.cpu_jobs()] == ["d"]
+
+    def test_of_type(self):
+        assert len(make_trace().of_type(JobType.EVALUATION)) == 2
+
+    def test_filter_returns_new_trace(self):
+        trace = make_trace()
+        filtered = trace.filter(lambda j: j.gpu_demand > 1)
+        assert len(filtered) == 2
+        assert len(trace) == 4
+
+
+class TestAggregates:
+    def test_durations_vector(self):
+        durations = make_trace().durations(JobType.EVALUATION)
+        assert sorted(durations) == [60.0, 120.0]
+
+    def test_gpu_time_share(self):
+        shares = make_trace().gpu_time_share_by_type()
+        total = 128 * 1000 + 2 * 120 + 1 * 60
+        assert shares[JobType.PRETRAIN] == pytest.approx(128000 / total)
+
+    def test_count_share(self):
+        shares = make_trace().count_share_by_type()
+        assert shares[JobType.EVALUATION] == pytest.approx(2 / 3)
+
+    def test_status_counts(self):
+        counts = make_trace().status_counts()
+        assert counts[FinalStatus.FAILED] == 1
+
+    def test_status_gpu_time(self):
+        times = make_trace().status_gpu_time()
+        assert times[FinalStatus.CANCELED] == pytest.approx(60.0)
+
+    def test_mean_gpu_demand(self):
+        assert make_trace().mean_gpu_demand() == pytest.approx(
+            (128 + 2 + 1) / 3)
+
+    def test_queueing_delays_skips_unstarted(self):
+        trace = make_trace()
+        trace.gpu_jobs()[0].mark_started(15.0)
+        delays = trace.queueing_delays()
+        assert delays.size == 1
+
+    def test_empty_trace_aggregates(self):
+        trace = Trace("x", [])
+        assert trace.count_share_by_type() == {}
+        assert trace.gpu_time_share_by_type() == {}
+        assert trace.mean_gpu_demand() == 0.0
+
+
+class TestSerialization:
+    def test_csv_round_trip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = Trace.from_csv(path)
+        assert len(loaded) == len(trace)
+        by_id = {j.job_id: j for j in loaded}
+        assert by_id["b"].failure_reason == "TypeError"
+        assert by_id["a"].job_type is JobType.PRETRAIN
+        assert by_id["a"].gpu_utilization == pytest.approx(0.99)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert np.allclose(sorted(loaded.durations()),
+                           sorted(trace.durations()))
+
+    def test_csv_preserves_started_jobs(self, tmp_path):
+        trace = make_trace()
+        job = trace.gpu_jobs()[0]
+        job.mark_started(12.0)
+        job.mark_finished(1012.0)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = Trace.from_csv(path)
+        reloaded = {j.job_id: j for j in loaded}[job.job_id]
+        assert reloaded.queueing_delay == pytest.approx(
+            job.queueing_delay)

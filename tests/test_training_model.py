@@ -1,0 +1,81 @@
+"""Tests for transformer model accounting."""
+
+import pytest
+
+from repro.training.model import (MISTRAL_7B_MOE, MODEL_7B, MODEL_104B,
+                                  MODEL_123B, TransformerConfig)
+
+
+class TestParameterCounts:
+    def test_7b_is_about_7_billion(self):
+        assert 6e9 < MODEL_7B.param_count < 8e9
+
+    def test_104b_is_about_104_billion(self):
+        assert 98e9 < MODEL_104B.param_count < 112e9
+
+    def test_123b_is_about_123_billion(self):
+        assert 115e9 < MODEL_123B.param_count < 130e9
+
+    def test_params_grow_with_layers(self):
+        small = TransformerConfig("s", layers=2, hidden=512, heads=8)
+        big = TransformerConfig("b", layers=4, hidden=512, heads=8)
+        assert big.param_count > small.param_count
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            TransformerConfig("bad", layers=2, hidden=100, heads=3)
+
+
+class TestComputeAndMemory:
+    def test_flops_per_token_is_6n(self):
+        assert MODEL_7B.flops_per_token() == pytest.approx(
+            6 * MODEL_7B.param_count)
+
+    def test_recompute_raises_to_8n(self):
+        assert MODEL_7B.flops_per_token(recompute=True) == pytest.approx(
+            8 * MODEL_7B.param_count)
+
+    def test_model_state_is_16_psi(self):
+        # §4.1: params 2, grads 2, optimizer states 12 bytes per param.
+        assert MODEL_123B.model_state_bytes == 16 * MODEL_123B.param_count
+
+    def test_flash_attention_removes_quadratic_term(self):
+        with_flash = MODEL_123B.activation_bytes_per_layer(
+            1, flash_attention=True)
+        without = MODEL_123B.activation_bytes_per_layer(
+            1, flash_attention=False)
+        assert without > with_flash
+
+    def test_recompute_keeps_only_boundaries(self):
+        boundary = MODEL_123B.activation_bytes_per_layer(1, recompute=True)
+        full = MODEL_123B.activation_bytes_per_layer(1)
+        assert boundary == pytest.approx(
+            2 * MODEL_123B.seq_len * MODEL_123B.hidden)
+        assert full / boundary == pytest.approx(17.0)
+
+    def test_activation_scales_with_micro_batch(self):
+        one = MODEL_7B.activation_bytes_per_layer(1)
+        four = MODEL_7B.activation_bytes_per_layer(4)
+        assert four == pytest.approx(4 * one)
+
+    def test_describe_mentions_size(self):
+        assert "121.9B" in MODEL_123B.describe() or "B params" in \
+            MODEL_123B.describe()
+
+
+class TestMoE:
+    def test_total_params_exceed_active(self):
+        assert (MISTRAL_7B_MOE.param_count
+                > MISTRAL_7B_MOE.active_param_count)
+
+    def test_top2_of_8_experts(self):
+        assert MISTRAL_7B_MOE.num_experts == 8
+        assert MISTRAL_7B_MOE.experts_per_token == 2
+
+    def test_mixtral_scale_total_params(self):
+        # 8x7B-style MoE: total well above the dense base.
+        assert MISTRAL_7B_MOE.param_count > 3 * \
+            MISTRAL_7B_MOE.base.param_count
+
+    def test_alltoall_bytes_positive(self):
+        assert MISTRAL_7B_MOE.alltoall_bytes_per_layer(1) > 0

@@ -1,0 +1,148 @@
+"""Tests for trace validation, SVG plotting, and figure export."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import (SvgFigure, plot_bars, plot_cdfs,
+                                     plot_timeline, _nice_ticks)
+from repro.training.profiler import UtilizationTimeline
+from repro.workload.validate import (PAPER_ANCHORS, calibration_report,
+                                     validate_trace)
+
+
+class TestValidation:
+    def test_synthetic_traces_pass_calibration(self, seren_trace,
+                                               kalos_trace):
+        """The generator satisfies every published anchor."""
+        for trace in (seren_trace, kalos_trace):
+            report, passed = calibration_report(trace)
+            assert passed, report
+
+    def test_cluster_specific_anchors_filtered(self, seren_trace):
+        results = validate_trace(seren_trace)
+        names = {result.anchor.name for result in results}
+        assert "seren pretraining GPU-time share" in names
+        assert "kalos evaluation count share" not in names
+
+    def test_bad_trace_fails(self, seren_trace):
+        import copy
+
+        from repro.workload.trace import Trace
+
+        # Corrupt the utilization signal on a deep copy (filter() shares
+        # Job objects with the session fixture): anchors must catch it.
+        broken = Trace(seren_trace.cluster,
+                       [copy.deepcopy(job) for job in seren_trace])
+        for job in broken.gpu_jobs():
+            job.gpu_utilization = 0.2
+        results = validate_trace(broken)
+        assert any(not result.passed for result in results)
+
+    def test_empty_trace_rejected(self):
+        from repro.workload.trace import Trace
+
+        with pytest.raises(ValueError):
+            validate_trace(Trace("x", []))
+
+    def test_anchor_rows_render(self, small_seren_trace):
+        results = validate_trace(small_seren_trace)
+        row = results[0].as_row()
+        assert set(row) == {"anchor", "paper", "measured", "band",
+                            "status"}
+
+    def test_all_anchors_have_sane_bands(self):
+        for anchor in PAPER_ANCHORS:
+            assert anchor.low <= anchor.paper_value <= anchor.high
+
+
+class TestSvgPlotting:
+    def test_line_plot_is_valid_xml(self, tmp_path):
+        figure = SvgFigure("test", "x", "y")
+        figure.add_series("a", np.arange(10.0), np.arange(10.0) ** 2)
+        path = figure.save(tmp_path / "plot.svg")
+        root = ET.parse(path).getroot()
+        assert root.tag.endswith("svg")
+
+    def test_polyline_per_series(self, tmp_path):
+        figure = SvgFigure("t", "x", "y")
+        figure.add_series("a", [0, 1], [0, 1])
+        figure.add_series("b", [0, 1], [1, 0])
+        content = figure.render()
+        assert content.count("<polyline") == 2
+
+    def test_log_x_rejects_nonpositive(self):
+        figure = SvgFigure("t", "x", "y", log_x=True)
+        with pytest.raises(ValueError):
+            figure.add_series("a", [0.0, 1.0], [0.0, 1.0])
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ValueError):
+            SvgFigure("t", "x", "y").render()
+
+    def test_constant_series_renders(self, tmp_path):
+        figure = SvgFigure("t", "x", "y")
+        figure.add_series("flat", [0.0, 1.0], [5.0, 5.0])
+        assert "<polyline" in figure.render()
+
+    def test_plot_cdfs_writes_file(self, tmp_path):
+        values = np.sort(np.random.default_rng(0).exponential(60, 200))
+        probability = np.linspace(0, 1, 200)
+        path = plot_cdfs({"jobs": (values, probability)}, "CDF",
+                         "duration", tmp_path / "cdf.svg", log_x=True)
+        assert path.exists()
+        ET.parse(path)
+
+    def test_plot_timeline(self, tmp_path):
+        timeline = UtilizationTimeline(
+            times=np.linspace(0, 10, 50),
+            sm=np.random.default_rng(1).uniform(0, 1, 50),
+            tc=np.random.default_rng(2).uniform(0, 1, 50))
+        path = plot_timeline(timeline, "SM", tmp_path / "timeline.svg")
+        ET.parse(path)
+
+    def test_plot_bars(self, tmp_path):
+        path = plot_bars({"gpu": 0.63, "cpu": 0.13}, "power", "share",
+                         tmp_path / "bars.svg")
+        content = path.read_text()
+        assert content.count("<rect") >= 3  # background + 2 bars
+        ET.parse(path)
+
+    def test_bars_reject_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            plot_bars({}, "t", "y", tmp_path / "empty.svg")
+
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 97.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 97.0 + 1e-9
+        assert len(ticks) >= 2
+
+    def test_nice_ticks_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)
+
+
+class TestExport:
+    def test_export_all_writes_svg_and_csv(self, tmp_path):
+        from repro.analysis.export import export_all
+
+        written = export_all(tmp_path, n_jobs=1500, seed=3)
+        svgs = [p for p in written if p.suffix == ".svg"]
+        csvs = [p for p in written if p.suffix == ".csv"]
+        assert len(svgs) >= 10
+        assert len(csvs) >= 5
+        for path in svgs:
+            ET.parse(path)
+
+    def test_exported_csv_parses(self, tmp_path):
+        import csv as csv_module
+
+        from repro.analysis.export import export_fig2
+
+        written = export_fig2(tmp_path, 1200, 4)
+        csv_paths = [p for p in written if p.suffix == ".csv"]
+        with csv_paths[0].open() as handle:
+            rows = list(csv_module.reader(handle))
+        assert rows[0] == ["duration_s", "cdf"]
+        assert len(rows) > 100

@@ -1,0 +1,68 @@
+"""Tests for the Philly/Helios/PAI comparison generators (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.baselines import (HELIOS, PAI, PHILLY,
+                                      generate_baseline_trace)
+
+
+class TestProfiles:
+    def test_years_match_table2(self):
+        assert PHILLY.year == 2017
+        assert HELIOS.year == 2020
+        assert PAI.year == 2020
+
+    def test_helios_lacks_utilization_data(self):
+        assert HELIOS.utilization is None
+
+    def test_pai_supports_fractional_gpus(self):
+        assert min(PAI.gpu_demand.options) < 1
+
+
+class TestGeneratedShapes:
+    def test_philly_durations_longest(self):
+        philly = generate_baseline_trace(PHILLY, 5000, seed=1)
+        helios = generate_baseline_trace(HELIOS, 5000, seed=2)
+        pai = generate_baseline_trace(PAI, 5000, seed=3)
+        assert philly.median_duration > helios.median_duration
+        assert philly.median_duration > pai.median_duration
+
+    def test_philly_mean_duration_matches_ratio(self):
+        # §3.1: Philly's average duration is 2.7-3.8x Helios/PAI.
+        philly = generate_baseline_trace(PHILLY, 20000, seed=1)
+        helios = generate_baseline_trace(HELIOS, 20000, seed=2)
+        ratio = philly.mean_duration / helios.mean_duration
+        assert 2.0 < ratio < 5.0
+
+    def test_average_gpus_match_table2(self):
+        for profile, expected, tol in ((PHILLY, 1.9, 0.6),
+                                       (HELIOS, 3.7, 1.2),
+                                       (PAI, 0.7, 0.3)):
+            trace = generate_baseline_trace(profile, 20000, seed=7)
+            assert trace.mean_gpus == pytest.approx(expected, abs=tol)
+
+    def test_pai_median_utilization_low(self):
+        pai = generate_baseline_trace(PAI, 20000, seed=4)
+        assert np.median(pai.utilizations) < 0.10  # paper: 4%
+
+    def test_philly_median_utilization_mid(self):
+        philly = generate_baseline_trace(PHILLY, 20000, seed=5)
+        assert 0.35 < np.median(philly.utilizations) < 0.65  # paper: 48%
+
+    def test_pai_single_gpu_jobs_dominate_gpu_time(self):
+        # §3.1: single-GPU jobs take over 68% of GPU time in PAI.
+        pai = generate_baseline_trace(PAI, 20000, seed=6)
+        mask = pai.gpu_demands <= 1.0
+        share = pai.gpu_times[mask].sum() / pai.gpu_times.sum()
+        assert share > 0.60
+
+    def test_few_jobs_request_over_8_gpus(self):
+        # Fig. 3a: < 7% of jobs request more than 8 GPUs anywhere.
+        for profile in (PHILLY, HELIOS, PAI):
+            trace = generate_baseline_trace(profile, 20000, seed=8)
+            assert (trace.gpu_demands > 8).mean() < 0.07
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            generate_baseline_trace(PHILLY, 0)
