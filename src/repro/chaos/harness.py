@@ -1,0 +1,403 @@
+"""The live fault-injection harness: sim → scheduler → recovery.
+
+``ChaosHarness`` assembles one cluster on a single deterministic
+:class:`~repro.sim.engine.Engine`:
+
+* a pretraining gang stepping through a
+  :class:`~repro.training.pretrain.PretrainProcess`, checkpointing into a
+  :class:`~repro.core.recovery.CheckpointCatalog`;
+* a best-effort pool replayed through
+  :class:`~repro.scheduler.simulator.SchedulerSimulator`;
+* the §6.1 :class:`~repro.core.recovery.RecoveryController` (diagnosis →
+  two-round NCCL test → cordon → rollback → restart) reacting to every
+  fault the scenario injects;
+* an :class:`~repro.chaos.invariants.InvariantChecker` registered as an
+  engine listener, so cross-layer invariants are validated after *every*
+  simulation event.
+
+The harness itself draws no randomness — all of it lives in
+:meth:`ChaosScenario.build_faults` / ``build_background_jobs`` — so a
+seeded run is byte-for-byte reproducible: same event log, same summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.report import ChaosSummary, summarize
+from repro.chaos.scenario import (GPUS_PER_NODE, ChaosScenario,
+                                  InjectedFault)
+from repro.cluster.machine import Node, NodeHealth, seren_node_spec
+from repro.core.diagnosis import DiagnosisSystem
+from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
+                                 CollectiveTester, RecoveryController)
+from repro.core.recovery.controller import RecoveryPlan
+from repro.failures.logs import LogGenerator
+from repro.failures.taxonomy import FailureCategory
+from repro.scheduler.job import FinalStatus, Job
+from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
+from repro.sim.engine import Engine
+
+PRETRAIN_JOB_ID = "pretrain-main"
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced."""
+
+    scenario: ChaosScenario
+    event_log: list[tuple[float, str, str]]
+    summary: ChaosSummary
+    checker: InvariantChecker
+
+    def event_log_lines(self) -> list[str]:
+        """The event log as stable, diff-friendly text lines."""
+        return [f"{time:12.3f}  {kind:<18} {detail}"
+                for time, kind, detail in self.event_log]
+
+    def event_log_text(self) -> str:
+        return "\n".join(self.event_log_lines())
+
+
+@dataclass
+class _Recovery:
+    """Bookkeeping for one fault → recovery episode."""
+
+    fault_time: float
+    resume_time: float | None = None
+    plan: RecoveryPlan | None = None
+
+
+class ChaosHarness:
+    """Wires one :class:`ChaosScenario` into a running simulation."""
+
+    def __init__(self, scenario: ChaosScenario) -> None:
+        self.scenario = scenario
+        self.engine = Engine()
+        self.nodes = [Node(name=f"node-{i:03d}", spec=seren_node_spec())
+                      for i in range(scenario.n_nodes)]
+        self._by_name = {node.name: node for node in self.nodes}
+        # fixed roles: gang | scheduler pool | hot spares
+        gang = scenario.gang_nodes
+        pool = scenario.pool_nodes
+        self.pool_node_names = [node.name
+                                for node in self.nodes[gang:gang + pool]]
+        self.spare_node_names = [node.name
+                                 for node in self.nodes[gang + pool:]]
+        #: live gang placements: node name -> job id
+        self.placements: dict[str, str] = {
+            node.name: PRETRAIN_JOB_ID for node in self.nodes[:gang]}
+
+        self.scheduler = SchedulerSimulator(
+            SchedulerConfig(total_gpus=scenario.scheduler_gpus,
+                            reserved_fraction=0.5),
+            engine=self.engine)
+        self.scheduler.hooks.append(self._on_scheduler_event)
+
+        self.catalog = CheckpointCatalog()
+        self.controller = RecoveryController(
+            DiagnosisSystem(), self.catalog, self.nodes)
+        self.pretrain = PretrainProcessFactory.build(
+            self.engine, scenario, self._on_checkpoint, self._on_done)
+
+        self.checker = InvariantChecker(
+            scheduler=self.scheduler, nodes=self._by_name,
+            placements=self.placements, pretrain=self.pretrain)
+        self.engine.add_listener(self.checker.check)
+
+        self.event_log: list[tuple[float, str, str]] = []
+        self.faults = scenario.build_faults()
+        self.recoveries: list[_Recovery] = []
+        self.absorbed_faults = 0
+        self.resubmissions = 0
+        self._pretrain_stopped_at: float | None = None
+        self.pretrain_downtime = 0.0
+        self.scheduler_lost_gpu_seconds = 0.0
+
+    # -- logging ------------------------------------------------------------
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.event_log.append((self.engine.now, kind, detail))
+
+    # -- component callbacks ------------------------------------------------
+
+    def _on_checkpoint(self, step: int) -> None:
+        self.catalog.add(step)
+        self._log("checkpoint", f"step={step}")
+
+    def _on_done(self, step: int) -> None:
+        self._log("pretrain_done", f"step={step}")
+
+    def _on_scheduler_event(self, kind: str, job: Job) -> None:
+        self._log(f"job_{kind}",
+                  f"{job.job_id} type={job.job_type.value} "
+                  f"gpus={job.gpu_demand}")
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> ChaosResult:
+        """Execute the scenario; returns the log, summary, and checker."""
+        scenario = self.scenario
+        self._log("scenario_start",
+                  f"{scenario.name} seed={scenario.seed} "
+                  f"nodes={scenario.n_nodes} faults={len(self.faults)}")
+        self.pretrain.start()
+        self._log("pretrain_start",
+                  f"gpus={scenario.pretrain_gpus} "
+                  f"nodes={','.join(sorted(self.placements))}")
+        for job in scenario.build_background_jobs():
+            self.scheduler.submit(job)
+        for index, fault in enumerate(self.faults):
+            self.engine.call_at(fault.time,
+                                lambda i=index, f=fault:
+                                self._inject(i, f))
+        self.engine.run(until=scenario.duration)
+        if self._pretrain_stopped_at is not None:
+            self.pretrain_downtime += (self.engine.now
+                                       - self._pretrain_stopped_at)
+            self._pretrain_stopped_at = None
+        if self.pretrain.running:
+            self.pretrain.interrupt("scenario deadline")
+        self.checker.final_check()
+        self._log("scenario_end",
+                  f"iteration={self.pretrain.iteration} "
+                  f"restarts={self.pretrain.restarts}")
+        summary = summarize(self)
+        return ChaosResult(scenario=scenario, event_log=self.event_log,
+                           summary=summary, checker=self.checker)
+
+    # -- fault injection ----------------------------------------------------
+
+    def _inject(self, index: int, fault: InjectedFault) -> None:
+        self._log("fault_injected",
+                  f"#{index} kind={fault.kind} "
+                  f"reason={fault.reason or '-'} target={fault.target}")
+        if fault.kind == "failure":
+            if fault.target == "pretrain":
+                self._fail_pretrain(index, fault)
+            else:
+                self._fail_scheduler_job(index, fault)
+        elif fault.kind in ("loss_spike", "hang"):
+            self._anomaly(index, fault)
+        else:
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    def _fail_pretrain(self, index: int, fault: InjectedFault) -> None:
+        if not self.pretrain.running:
+            self.absorbed_faults += 1
+            self._log("fault_absorbed", f"#{index} pretrain not running")
+            if fault.category is FailureCategory.INFRASTRUCTURE:
+                # still diagnose-and-cordon: broken hardware does not heal
+                # because the gang happened to be down
+                plan = self._diagnose(fault, self._pretrain_victim(fault))
+                self.checker.record_infra_plan(index, plan)
+                self._apply_cordons(plan)
+            return
+        victim = self._pretrain_victim(fault)
+        step_at_failure = self.pretrain.interrupt(fault.reason or "")
+        self._pretrain_stopped_at = self.engine.now
+        self._log("pretrain_interrupt",
+                  f"step={step_at_failure} reason={fault.reason} "
+                  f"victim={victim}")
+        plan = self._diagnose(fault, victim)
+        if fault.category is FailureCategory.INFRASTRUCTURE:
+            self.checker.record_infra_plan(index, plan)
+        self._apply_cordons(plan)
+        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
+        self.recoveries.append(recovery)
+        if plan.restart:
+            step = min(plan.restart_checkpoint_step or 0, step_at_failure)
+            self._restart_pretrain(step, step_at_failure, recovery)
+        else:
+            reason = plan.diagnosis.reason if plan.diagnosis else "anomaly"
+            self._log("pretrain_stalled", f"no restart planned ({reason})")
+
+    def _fail_scheduler_job(self, index: int, fault: InjectedFault
+                            ) -> None:
+        running = self.scheduler.running_jobs()
+        if not running:
+            self.absorbed_faults += 1
+            self._log("fault_absorbed", f"#{index} no running job")
+            if fault.category is FailureCategory.INFRASTRUCTURE:
+                plan = self._diagnose(fault, self._pool_victim(fault))
+                self.checker.record_infra_plan(index, plan)
+                self._apply_cordons(plan)
+            return
+        victim_job = running[fault.node_index % len(running)]
+        elapsed = self.engine.now - (victim_job.start_time or 0.0)
+        self.scheduler_lost_gpu_seconds += (elapsed
+                                            * victim_job.gpu_demand)
+        self.scheduler.fail_job(victim_job.job_id, fault.reason)
+        victim_node = self._pool_victim(fault)
+        plan = self._diagnose(fault, victim_node)
+        if fault.category is FailureCategory.INFRASTRUCTURE:
+            self.checker.record_infra_plan(index, plan)
+        self._apply_cordons(plan)
+        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
+        self.recoveries.append(recovery)
+        if plan.restart:
+            self._resubmit(victim_job, recovery)
+        else:
+            self._log("job_not_restarted",
+                      f"{victim_job.job_id} ({fault.reason}: script "
+                      "errors fail identically)")
+
+    def _anomaly(self, index: int, fault: InjectedFault) -> None:
+        if not self.pretrain.running:
+            self.absorbed_faults += 1
+            self._log("fault_absorbed", f"#{index} pretrain not running")
+            return
+        step_at_failure = self.pretrain.interrupt(fault.kind)
+        self._pretrain_stopped_at = self.engine.now
+        self._log("pretrain_interrupt",
+                  f"step={step_at_failure} reason={fault.kind}")
+        event = AnomalyEvent(kind=fault.kind, step=step_at_failure,
+                             detail=f"injected by chaos fault #{index}")
+        tester = (CollectiveTester({self._pretrain_victim(fault)})
+                  if fault.kind == "hang" else None)
+        plan = self.controller.handle_anomaly(event, tester)
+        self._log_plan(plan)
+        self._apply_cordons(plan)
+        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
+        self.recoveries.append(recovery)
+        if plan.restart:
+            step = min(plan.restart_checkpoint_step or 0, step_at_failure)
+            self._restart_pretrain(step, step_at_failure, recovery)
+        else:
+            # a loss spike with no checkpoint: nothing to roll back to;
+            # resume in place rather than abandoning the campaign
+            self._log("pretrain_resume_in_place",
+                      f"step={step_at_failure} (no rollback target)")
+            self._restart_pretrain(step_at_failure, step_at_failure,
+                                   recovery)
+
+    # -- recovery mechanics -------------------------------------------------
+
+    def _diagnose(self, fault: InjectedFault, victim: str) -> RecoveryPlan:
+        log = LogGenerator(seed=fault.log_seed).failed_log(
+            fault.reason, n_steps=30)
+        tester = (CollectiveTester({victim})
+                  if fault.category is FailureCategory.INFRASTRUCTURE
+                  else None)
+        plan = self.controller.handle_failure(log.lines, tester)
+        self._log_plan(plan)
+        return plan
+
+    def _log_plan(self, plan: RecoveryPlan) -> None:
+        for action in plan.actions:
+            self._log(f"recovery_{action.kind}", action.detail)
+
+    def _apply_cordons(self, plan: RecoveryPlan) -> None:
+        for name in sorted(plan.cordoned_nodes):
+            self.placements.pop(name, None)
+            if name in self.pool_node_names:
+                self.scheduler.cordon_gpus(GPUS_PER_NODE)
+                self._log("pool_cordon",
+                          f"{name}: -{GPUS_PER_NODE} GPUs from pool")
+            node = self._by_name[name]
+            if node.health is NodeHealth.CORDONED:
+                self.engine.call_after(
+                    self.scenario.repair_delay,
+                    lambda n=name: self._repair(n))
+
+    def _repair(self, name: str) -> None:
+        node = self._by_name[name]
+        if node.health is not NodeHealth.CORDONED:
+            return  # escalated to FAULTY meanwhile; stays out
+        node.uncordon()
+        self._log("node_repaired", name)
+        if name in self.pool_node_names:
+            self.scheduler.uncordon_gpus(GPUS_PER_NODE)
+
+    def _pretrain_victim(self, fault: InjectedFault) -> str:
+        hosts = sorted(self.placements)
+        if self.scenario.pin_node is not None:
+            pinned = self.nodes[self.scenario.pin_node].name
+            if pinned in self.placements or not hosts:
+                return pinned
+        if not hosts:  # gang currently unplaced; blame the pinned/first
+            return self.nodes[fault.node_index % len(self.nodes)].name
+        return hosts[fault.node_index % len(hosts)]
+
+    def _pool_victim(self, fault: InjectedFault) -> str:
+        schedulable = [name for name in self.pool_node_names
+                       if self._by_name[name].schedulable]
+        pool = schedulable or self.pool_node_names
+        return pool[fault.node_index % len(pool)]
+
+    def _restart_pretrain(self, step: int, step_at_failure: int,
+                          recovery: _Recovery) -> None:
+        hosts = self._place_gang()
+        if hosts is None:
+            self._log("pretrain_stalled",
+                      "not enough healthy nodes to re-place the gang")
+            return
+        self.placements.clear()
+        self.placements.update({name: PRETRAIN_JOB_ID for name in hosts})
+        resume_at = self.engine.now + self.scenario.restart_delay
+        recovery.resume_time = resume_at
+        if self._pretrain_stopped_at is not None:
+            self.pretrain_downtime += resume_at - self._pretrain_stopped_at
+            self._pretrain_stopped_at = None
+        self.checker.record_restart(self.engine.now, step_at_failure, step)
+        self.pretrain.restart_from(step, self.scenario.restart_delay)
+        self._log("pretrain_restart",
+                  f"step={step} lost={step_at_failure - step} "
+                  f"resume_at={resume_at:.3f} "
+                  f"nodes={','.join(sorted(hosts))}")
+
+    def _place_gang(self) -> list[str] | None:
+        """Pick gang nodes: healthy non-pool nodes, name order.
+
+        Repaired nodes re-enter this pool, so a flaky node that keeps
+        passing repair can rejoin the gang — and be convicted again,
+        which is what drives cordon escalation.
+        """
+        candidates = sorted(node.name for node in self.nodes
+                            if node.name not in self.pool_node_names)
+        healthy = [name for name in candidates
+                   if self._by_name[name].schedulable]
+        if len(healthy) < self.scenario.gang_nodes:
+            return None
+        return healthy[:self.scenario.gang_nodes]
+
+    def _resubmit(self, job: Job, recovery: _Recovery) -> None:
+        self.resubmissions += 1
+        clone = Job(
+            job_id=f"{job.job_id}.r{self.resubmissions}",
+            cluster=job.cluster,
+            job_type=job.job_type,
+            submit_time=self.engine.now + self.scenario.restart_delay,
+            duration=job.duration,
+            gpu_demand=job.gpu_demand,
+            final_status=FinalStatus.COMPLETED,
+        )
+        recovery.resume_time = clone.submit_time
+        self.scheduler.submit(clone)
+        self._log("job_resubmitted",
+                  f"{job.job_id} -> {clone.job_id} "
+                  f"at={clone.submit_time:.3f}")
+
+
+class PretrainProcessFactory:
+    """Builds the gang's step loop (split out for test substitution)."""
+
+    @staticmethod
+    def build(engine: Engine, scenario: ChaosScenario, on_checkpoint,
+              on_done):
+        from repro.training.pretrain import PretrainProcess
+
+        return PretrainProcess(
+            engine=engine,
+            name=PRETRAIN_JOB_ID,
+            step_time=scenario.step_time,
+            total_iterations=scenario.total_iterations,
+            steps_per_checkpoint=scenario.steps_per_checkpoint,
+            on_checkpoint=on_checkpoint,
+            on_done=on_done)
+
+
+def run_scenario(scenario: ChaosScenario) -> ChaosResult:
+    """Convenience one-shot: build a harness and run it."""
+    return ChaosHarness(scenario).run()

@@ -1,0 +1,147 @@
+"""Cross-layer invariants validated after every simulation event.
+
+The checker hangs off :meth:`repro.sim.engine.Engine.add_listener`, so it
+runs after *every* executed callback — not just after the chaos harness's
+own events.  A violation raises immediately, aborting the run at the
+first inconsistent state instead of letting it smear into the summary.
+
+Invariants (the ISSUE's list, plus accounting identities that make the
+first two checkable):
+
+1. **Counters** — no GPU counter in the scheduler is ever negative, and
+   free + allocated + cordoned (+ pending cordons) always equals the
+   configured total.
+2. **Gang all-or-nothing** — every live allocation holds exactly the
+   job's full demand, and the job is in the RUNNING state.
+3. **Cordon isolation** — no placement (gang node or scheduler capacity)
+   remains on a node that is not schedulable.
+4. **Rollback monotonicity** — a recovery never restores a checkpoint
+   *ahead* of the failure point.
+5. **Liveness** (checked at the end of the run) — every injected
+   infrastructure failure that hit a running target produced a recovery
+   plan that restarts, cordons, or both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Node
+from repro.core.recovery.controller import RecoveryPlan
+from repro.scheduler.simulator import SchedulerSimulator
+from repro.training.pretrain import PretrainProcess
+
+
+class InvariantViolation(AssertionError):
+    """A cross-layer invariant failed during a chaos run."""
+
+
+@dataclass
+class RestartRecord:
+    """One recovery restart: where the job was, where it resumed."""
+
+    time: float
+    step_at_failure: int
+    restored_step: int
+
+
+@dataclass
+class InvariantChecker:
+    """Validates the chaos harness's cross-layer state."""
+
+    scheduler: SchedulerSimulator
+    nodes: dict[str, Node]
+    #: live placements: node name -> job id (gang placements)
+    placements: dict[str, str]
+    pretrain: PretrainProcess | None = None
+    checks_run: int = 0
+    restart_records: list[RestartRecord] = field(default_factory=list)
+    #: (fault index, plan) for injected infrastructure failures
+    infra_plans: list[tuple[int, RecoveryPlan | None]] = field(
+        default_factory=list)
+
+    # -- per-event check ----------------------------------------------------
+
+    def check(self, time: float) -> None:
+        """Engine listener: validate everything after one event."""
+        self.checks_run += 1
+        self._check_counters(time)
+        self._check_gangs(time)
+        self._check_cordon_isolation(time)
+        self._check_rollbacks()
+
+    def _fail(self, time: float, message: str) -> None:
+        raise InvariantViolation(f"t={time:.3f}: {message}")
+
+    def _check_counters(self, time: float) -> None:
+        sched = self.scheduler
+        for counter in ("free_reserved", "free_shared", "cordoned_gpus"):
+            value = getattr(sched, counter)
+            if value < 0:
+                self._fail(time, f"scheduler.{counter} is negative "
+                                 f"({value})")
+        booked = (sched.free_reserved + sched.free_shared
+                  + sched.cordoned_gpus + sched._pending_cordon
+                  + sched.gpus_allocated)
+        if booked != sched.config.total_gpus:
+            self._fail(time, "GPU accounting broken: free "
+                             f"{sched.free_reserved}+{sched.free_shared} "
+                             f"+ cordoned {sched.cordoned_gpus} "
+                             f"(+{sched._pending_cordon} pending) "
+                             f"+ allocated {sched.gpus_allocated} "
+                             f"!= total {sched.config.total_gpus}")
+
+    def _check_gangs(self, time: float) -> None:
+        for job_id, allocation in sorted(
+                self.scheduler._allocations.items()):
+            held = allocation.from_reserved + allocation.from_shared
+            job = allocation.job
+            if job is None or held != job.gpu_demand:
+                self._fail(time, f"gang violation: job {job_id} holds "
+                                 f"{held} GPUs, demands "
+                                 f"{job.gpu_demand if job else '?'}")
+            if job.state.value != "running":
+                self._fail(time, f"job {job_id} holds GPUs but is "
+                                 f"{job.state.value}")
+
+    def _check_cordon_isolation(self, time: float) -> None:
+        for node_name, job_id in sorted(self.placements.items()):
+            node = self.nodes[node_name]
+            if not node.schedulable:
+                self._fail(time, f"cordoned node {node_name} still hosts "
+                                 f"{job_id}")
+
+    def _check_rollbacks(self) -> None:
+        for record in self.restart_records:
+            if record.restored_step > record.step_at_failure:
+                raise InvariantViolation(
+                    f"t={record.time:.3f}: rollback moved forward — "
+                    f"restored step {record.restored_step} is past the "
+                    f"failure at step {record.step_at_failure}")
+
+    # -- end-of-run check ---------------------------------------------------
+
+    def final_check(self) -> None:
+        """Liveness: injected infra failures must yield recovery plans."""
+        for index, plan in self.infra_plans:
+            if plan is None:
+                raise InvariantViolation(
+                    f"infrastructure fault #{index} never produced a "
+                    "recovery plan")
+            if not plan.restart and not plan.cordoned_nodes:
+                raise InvariantViolation(
+                    f"infrastructure fault #{index} produced a plan with "
+                    "neither a restart nor a cordon")
+
+    # -- bookkeeping for the harness ---------------------------------------
+
+    def record_restart(self, time: float, step_at_failure: int,
+                       restored_step: int) -> None:
+        """Log a recovery restart for rollback-monotonicity checking."""
+        self.restart_records.append(
+            RestartRecord(time, step_at_failure, restored_step))
+
+    def record_infra_plan(self, fault_index: int,
+                          plan: RecoveryPlan | None) -> None:
+        """Log the plan (or lack of one) for an infrastructure fault."""
+        self.infra_plans.append((fault_index, plan))

@@ -1,0 +1,171 @@
+"""Chaos-run summaries: MTTF / MTTR / wasted GPU-time / recovery rate.
+
+The numbers mirror what §6.1.2 reports for the production system — how
+fast failures are detected and recovered, how much GPU time they waste,
+and what fraction of incidents resolve without a human — so a chaos run
+can be compared side by side with the paper's recovery claims.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis.report import render_key_values
+from repro.failures.taxonomy import FailureCategory
+from repro.scheduler.job import FinalStatus
+
+
+@dataclass
+class ChaosSummary:
+    """Headline numbers of one chaos run (all derived, no randomness)."""
+
+    scenario: str
+    seed: int
+    duration_hours: float
+    # -- faults --
+    faults_injected: int
+    faults_absorbed: int
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    faults_by_category: dict[str, int] = field(default_factory=dict)
+    # -- recovery --
+    recovery_plans: int = 0
+    restarts: int = 0
+    recovery_success_rate: float = 0.0
+    automation_rate: float = 0.0
+    mttf_hours: float = 0.0
+    mttr_minutes: float = 0.0
+    # -- pretraining --
+    pretrain_iterations: int = 0
+    pretrain_lost_iterations: int = 0
+    pretrain_restarts: int = 0
+    pretrain_downtime_hours: float = 0.0
+    pretrain_goodput: float = 0.0
+    # -- waste --
+    wasted_gpu_hours: float = 0.0
+    # -- scheduler pool --
+    jobs_started: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_preempted: int = 0
+    # -- fleet --
+    nodes_cordoned: int = 0
+    nodes_escalated: int = 0
+    # -- validation --
+    invariant_checks: int = 0
+
+    def to_json(self) -> str:
+        """Stable JSON (sorted keys) for golden-trace comparison."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Human-readable report, aligned like the paper tables."""
+        sections = [
+            render_key_values({
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "duration (h)": self.duration_hours,
+                "faults injected": self.faults_injected,
+                "faults absorbed": self.faults_absorbed,
+            }, title="chaos run"),
+            render_key_values({
+                "recovery plans": self.recovery_plans,
+                "restarts": self.restarts,
+                "recovery success rate": self.recovery_success_rate,
+                "automation rate": self.automation_rate,
+                "MTTF (h)": self.mttf_hours,
+                "MTTR (min)": self.mttr_minutes,
+            }, title="recovery (compare §6.1.2)"),
+            render_key_values({
+                "iterations retained": self.pretrain_iterations,
+                "iterations lost": self.pretrain_lost_iterations,
+                "restarts": self.pretrain_restarts,
+                "downtime (h)": self.pretrain_downtime_hours,
+                "goodput": self.pretrain_goodput,
+                "wasted GPU-hours": self.wasted_gpu_hours,
+            }, title="pretraining"),
+            render_key_values({
+                "started": self.jobs_started,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "preempted": self.jobs_preempted,
+            }, title="best-effort pool"),
+            render_key_values({
+                "cordoned": self.nodes_cordoned,
+                "escalated (faulty)": self.nodes_escalated,
+                "invariant checks": self.invariant_checks,
+            }, title="fleet & validation"),
+        ]
+        return "\n\n".join(sections)
+
+
+def summarize(harness) -> ChaosSummary:
+    """Distill a finished :class:`ChaosHarness` into a summary."""
+    scenario = harness.scenario
+    faults = harness.faults
+    by_kind: dict[str, int] = {}
+    by_category: dict[str, int] = {}
+    for fault in faults:
+        by_kind[fault.kind] = by_kind.get(fault.kind, 0) + 1
+        if fault.category is not None:
+            key = fault.category.value
+            by_category[key] = by_category.get(key, 0) + 1
+
+    recoveries = harness.recoveries
+    recoverable = [r for r in recoveries
+                   if r.plan is not None and (
+                       r.plan.diagnosis is None
+                       or r.plan.diagnosis.category
+                       is not FailureCategory.SCRIPT)]
+    recovered = [r for r in recoverable if r.resume_time is not None]
+    mttr = (sum(r.resume_time - r.fault_time for r in recovered)
+            / len(recovered) if recovered else 0.0)
+    times = [fault.time for fault in faults]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mttf = (sum(gaps) / len(gaps)) if gaps else scenario.duration
+
+    pretrain = harness.pretrain
+    elapsed = pretrain.done_at or harness.engine.now
+    goodput = (pretrain.iteration * scenario.step_time / elapsed
+               if elapsed > 0 else 0.0)
+    wasted_gpu_seconds = (
+        pretrain.lost_iterations * scenario.step_time
+        * scenario.pretrain_gpus
+        + harness.pretrain_downtime * scenario.pretrain_gpus
+        + harness.scheduler_lost_gpu_seconds)
+
+    finished = harness.scheduler.finished
+    return ChaosSummary(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        duration_hours=scenario.duration / 3600.0,
+        faults_injected=len(faults),
+        faults_absorbed=harness.absorbed_faults,
+        faults_by_kind=dict(sorted(by_kind.items())),
+        faults_by_category=dict(sorted(by_category.items())),
+        recovery_plans=len(harness.controller.incidents),
+        restarts=len(recovered),
+        recovery_success_rate=(len(recovered) / len(recoverable)
+                               if recoverable else 1.0),
+        automation_rate=harness.controller.automation_rate(),
+        mttf_hours=mttf / 3600.0,
+        mttr_minutes=mttr / 60.0,
+        pretrain_iterations=pretrain.iteration,
+        pretrain_lost_iterations=pretrain.lost_iterations,
+        pretrain_restarts=pretrain.restarts,
+        pretrain_downtime_hours=harness.pretrain_downtime / 3600.0,
+        pretrain_goodput=goodput,
+        wasted_gpu_hours=wasted_gpu_seconds / 3600.0,
+        jobs_started=len(harness.scheduler.started),
+        jobs_completed=sum(1 for job in finished
+                           if job.final_status
+                           is FinalStatus.COMPLETED),
+        jobs_failed=sum(1 for job in finished
+                        if job.final_status is FinalStatus.FAILED),
+        jobs_preempted=harness.scheduler.preemptions,
+        nodes_cordoned=sum(1 for node in harness.nodes
+                           if not node.schedulable),
+        nodes_escalated=sum(1 for node in harness.nodes
+                            if node.health.value == "faulty"),
+        invariant_checks=harness.checker.checks_run,
+    )

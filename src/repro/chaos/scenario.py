@@ -1,0 +1,211 @@
+"""Seeded, reproducible chaos scenarios.
+
+A :class:`ChaosScenario` is a declarative description of one live
+fault-injection run: the cluster shape, a long pretraining gang, a stream
+of best-effort background jobs, and a schedule of faults drawn from the
+Table 3 taxonomy.  Everything random is sampled *up front* from a single
+``numpy.random.Generator`` seeded by the scenario, so the same scenario
+always produces the same fault schedule, the same background trace, and —
+because the harness itself never samples — the same event log, byte for
+byte.
+
+Script-category faults are always routed at the best-effort pool rather
+than the pretraining gang: the paper's controller never restarts a script
+error (it would fail identically), so aiming one at the gang would simply
+end the campaign instead of exercising the recovery loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.failures.taxonomy import (TAXONOMY, FailureCategory,
+                                     taxonomy_by_reason)
+from repro.scheduler.job import Job, JobType
+
+#: GPUs per node throughout (Table 1: 8x A100 per node).
+GPUS_PER_NODE = 8
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One scheduled fault, fully resolved at build time."""
+
+    #: absolute simulated time of injection, seconds
+    time: float
+    #: "failure" (a Table 3 reason), "loss_spike", or "hang"
+    kind: str
+    #: taxonomy reason key for kind == "failure", else None
+    reason: str | None
+    #: "pretrain" (hits the gang) or "scheduler" (kills a running job)
+    target: str
+    #: victim selector, reduced modulo the target's node pool at runtime
+    node_index: int
+    #: seed for the synthetic runtime log of this fault
+    log_seed: int
+
+    @property
+    def category(self) -> FailureCategory | None:
+        if self.reason is None:
+            return None
+        return taxonomy_by_reason()[self.reason].category
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One reproducible fault-injection experiment.
+
+    The node fleet is split into three fixed roles: the pretraining gang
+    (``pretrain_gpus / 8`` nodes), the scheduler pool
+    (``scheduler_gpus / 8`` nodes), and the remainder as hot spares the
+    gang re-places onto when one of its nodes is cordoned.
+    """
+
+    name: str
+    seed: int = 0
+    n_nodes: int = 16
+    duration: float = 24.0 * 3600.0
+    # -- pretraining gang --
+    pretrain_gpus: int = 32
+    step_time: float = 15.0
+    total_iterations: int = 1_000_000
+    steps_per_checkpoint: int = 120
+    # -- background best-effort jobs --
+    scheduler_gpus: int = 64
+    n_background_jobs: int = 24
+    # -- fault schedule --
+    n_faults: int = 8
+    loss_spike_fraction: float = 0.125
+    hang_fraction: float = 0.125
+    #: fraction of taxonomy failures aimed at the gang (vs the pool)
+    pretrain_target_fraction: float = 0.6
+    #: detection + two-round NCCL test + reschedule, seconds (§6.1: the
+    #: automatic system restarts within minutes)
+    restart_delay: float = 300.0
+    #: time until a cordoned (not escalated) node is repaired and returns
+    #: to service; faulty nodes never return
+    repair_delay: float = 2.0 * 3600.0
+    #: restrict taxonomy sampling to one category (None = all)
+    category_filter: str | None = None
+    #: pin every fault to one victim node (repeat-offender scenarios)
+    pin_node: int | None = None
+    #: explicit fault schedule; overrides sampling when non-empty
+    faults: tuple[InjectedFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.pretrain_gpus % GPUS_PER_NODE:
+            raise ValueError("pretrain_gpus must be a multiple of 8")
+        if self.scheduler_gpus % GPUS_PER_NODE:
+            raise ValueError("scheduler_gpus must be a multiple of 8")
+        needed = (self.pretrain_gpus + self.scheduler_gpus) // GPUS_PER_NODE
+        if self.n_nodes < needed + 1:
+            raise ValueError(
+                f"n_nodes={self.n_nodes} leaves no spare: the gang and "
+                f"pool alone need {needed} nodes")
+
+    # -- derived shape -----------------------------------------------------
+
+    @property
+    def gang_nodes(self) -> int:
+        return self.pretrain_gpus // GPUS_PER_NODE
+
+    @property
+    def pool_nodes(self) -> int:
+        return self.scheduler_gpus // GPUS_PER_NODE
+
+    @property
+    def spare_nodes(self) -> int:
+        return self.n_nodes - self.gang_nodes - self.pool_nodes
+
+    # -- deterministic sampling --------------------------------------------
+
+    def build_faults(self) -> list[InjectedFault]:
+        """The resolved fault schedule, sorted by time."""
+        if self.faults:
+            return sorted(self.faults, key=lambda f: (f.time, f.log_seed))
+        rng = np.random.default_rng(self.seed)
+        specs = [spec for spec in TAXONOMY
+                 if self.category_filter is None
+                 or spec.category.value == self.category_filter]
+        weights = np.array([spec.count for spec in specs], dtype=float)
+        weights /= weights.sum()
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.95 * self.duration, self.n_faults))
+        faults: list[InjectedFault] = []
+        for index, time in enumerate(times):
+            roll = float(rng.uniform())
+            node = (self.pin_node if self.pin_node is not None
+                    else int(rng.integers(0, self.n_nodes)))
+            log_seed = self.seed * 1000 + index
+            if roll < self.loss_spike_fraction:
+                faults.append(InjectedFault(float(time), "loss_spike",
+                                            None, "pretrain", node,
+                                            log_seed))
+                continue
+            if roll < self.loss_spike_fraction + self.hang_fraction:
+                faults.append(InjectedFault(float(time), "hang", None,
+                                            "pretrain", node, log_seed))
+                continue
+            spec = specs[int(rng.choice(len(specs), p=weights))]
+            if spec.category is FailureCategory.SCRIPT:
+                target = "scheduler"
+            else:
+                target = ("pretrain"
+                          if float(rng.uniform())
+                          < self.pretrain_target_fraction
+                          else "scheduler")
+            faults.append(InjectedFault(float(time), "failure",
+                                        spec.reason, target, node,
+                                        log_seed))
+        return faults
+
+    def build_background_jobs(self) -> list[Job]:
+        """Deterministic best-effort jobs for the scheduler pool."""
+        rng = np.random.default_rng(self.seed + 1)
+        types = [JobType.EVALUATION, JobType.DEBUG, JobType.SFT,
+                 JobType.OTHER]
+        demands = [1, 2, 4, 8, 16]
+        jobs = []
+        for index in range(self.n_background_jobs):
+            demand = demands[int(rng.integers(0, len(demands)))]
+            demand = min(demand, self.scheduler_gpus)
+            jobs.append(Job(
+                job_id=f"bg-{index:04d}",
+                cluster="chaos",
+                job_type=types[int(rng.integers(0, len(types)))],
+                submit_time=float(rng.uniform(0.0, 0.8 * self.duration)),
+                duration=float(rng.exponential(2.0 * 3600.0)) + 60.0,
+                gpu_demand=demand,
+            ))
+        return sorted(jobs, key=lambda job: (job.submit_time, job.job_id))
+
+    def with_seed(self, seed: int) -> "ChaosScenario":
+        """The same scenario under a different seed."""
+        return replace(self, seed=seed)
+
+
+#: Ready-made scenarios, smallest first.  "flaky-node" pins every fault
+#: to one node so repeated convictions escalate it to FAULTY;
+#: "infra-storm" draws exclusively from the infrastructure rows of
+#: Table 3, the category behind 82% of failure GPU-time (§5.2).
+BUNDLED_SCENARIOS: dict[str, ChaosScenario] = {
+    "smoke": ChaosScenario(
+        name="smoke", n_nodes=8, duration=6.0 * 3600.0, pretrain_gpus=16,
+        scheduler_gpus=32, n_background_jobs=10, n_faults=4),
+    "mixed": ChaosScenario(name="mixed"),
+    "infra-storm": ChaosScenario(
+        name="infra-storm", n_faults=12,
+        category_filter="infrastructure", loss_spike_fraction=0.0,
+        hang_fraction=0.1),
+    "flaky-node": ChaosScenario(
+        name="flaky-node", n_nodes=10, pretrain_gpus=32,
+        scheduler_gpus=32, n_faults=6, pin_node=1,
+        category_filter="infrastructure", loss_spike_fraction=0.0,
+        hang_fraction=0.0, pretrain_target_fraction=1.0),
+}

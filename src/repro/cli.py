@@ -8,6 +8,7 @@ Subcommands::
     acme-repro evalsched --nodes 4
     acme-repro checkpoint --model 123b --gpus 2048
     acme-repro report --jobs 6000
+    acme-repro chaos --scenario smoke --seed 0
 
 (``python -m repro ...`` works identically.)
 """
@@ -15,12 +16,19 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.report import render_key_values, render_table
+
+
+def _bundled_scenario_names() -> list[str]:
+    from repro.chaos import BUNDLED_SCENARIOS
+
+    return list(BUNDLED_SCENARIOS)
 
 
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
@@ -135,6 +143,44 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.chaos import (BUNDLED_SCENARIOS, InvariantViolation,
+                             run_scenario)
+
+    scenario = BUNDLED_SCENARIOS[args.scenario]
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.duration_hours is not None:
+        overrides["duration"] = args.duration_hours * 3600.0
+    if args.faults is not None:
+        overrides["n_faults"] = args.faults
+    if overrides:
+        try:
+            scenario = replace(scenario, **overrides)
+        except ValueError as error:
+            print(f"invalid override: {error}")
+            return 2
+    try:
+        result = run_scenario(scenario)
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        return 2
+    if args.log:
+        print(result.event_log_text())
+        print()
+    print(result.summary.render())
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps({
+            "summary": json.loads(result.summary.to_json()),
+            "event_log": result.event_log_lines(),
+        }, indent=2, sort_keys=True))
+        print(f"\nwrote event log + summary to {args.json_out}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.workload.validate import calibration_report
 
@@ -194,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("7b", "13b", "30b", "104b", "123b"))
     checkpoint.add_argument("--gpus", type=int, default=2048)
     checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a live fault-injection scenario (§6.1)")
+    chaos.add_argument("--scenario", default="smoke",
+                       choices=sorted(_bundled_scenario_names()))
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    chaos.add_argument("--duration-hours", type=float, default=None,
+                       help="override the simulated horizon")
+    chaos.add_argument("--faults", type=int, default=None,
+                       help="override the number of injected faults")
+    chaos.add_argument("--log", action="store_true",
+                       help="print the full event log")
+    chaos.add_argument("--json-out", default=None,
+                       help="write event log + summary as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     validate = sub.add_parser(
         "validate", help="check a trace against the paper's anchors")

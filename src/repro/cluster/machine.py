@@ -212,10 +212,25 @@ class Node:
 
     def cordon(self) -> None:
         """Mark the node unschedulable (used after fault detection)."""
+        if self.health is NodeHealth.FAULTY:
+            return  # escalated nodes stay out of service
         self.health = NodeHealth.CORDONED
+
+    def mark_faulty(self) -> None:
+        """Escalate a repeat offender: out of service until replaced.
+
+        Unlike a cordon (lifted once an NCCL sweep clears the node), a
+        faulty node must be physically repaired; ``uncordon`` refuses to
+        return it to the pool.
+        """
+        self.health = NodeHealth.FAULTY
 
     def uncordon(self) -> None:
         """Return a repaired node to the schedulable pool."""
+        if self.health is NodeHealth.FAULTY:
+            raise RuntimeError(
+                f"node {self.name} is marked faulty; it needs hardware "
+                "replacement, not an uncordon")
         self.health = NodeHealth.HEALTHY
 
     @property

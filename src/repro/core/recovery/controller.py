@@ -80,6 +80,9 @@ class CheckpointCatalog:
 class RecoveryController:
     """Drives automatic recovery for one pretraining job."""
 
+    #: convictions before a node escalates from cordoned to faulty
+    ESCALATION_THRESHOLD = 2
+
     def __init__(self, diagnosis_system: DiagnosisSystem,
                  checkpoints: CheckpointCatalog,
                  nodes: list[Node]) -> None:
@@ -87,6 +90,11 @@ class RecoveryController:
         self.checkpoints = checkpoints
         self.nodes = {node.name: node for node in nodes}
         self.incidents: list[RecoveryPlan] = []
+        #: NCCL-test convictions per node, across incidents.  A node
+        #: convicted repeatedly is not flaky software — it is broken
+        #: hardware, and escalates to ``NodeHealth.FAULTY`` (replacement)
+        #: instead of bouncing through cordon/uncordon cycles.
+        self.conviction_counts: dict[str, int] = {}
 
     # -- failure path ---------------------------------------------------------
 
@@ -156,9 +164,18 @@ class RecoveryController:
             f"{result.tests_run} collectives, "
             f"{len(result.faulty)} faulty"))
         for name in result.faulty:
-            self.nodes[name].cordon()
+            self.conviction_counts[name] = (
+                self.conviction_counts.get(name, 0) + 1)
             plan.cordoned_nodes.add(name)
-            plan.actions.append(RecoveryAction("cordon", name))
+            if self.conviction_counts[name] >= self.ESCALATION_THRESHOLD:
+                self.nodes[name].mark_faulty()
+                plan.actions.append(RecoveryAction(
+                    "escalate",
+                    f"{name}: {self.conviction_counts[name]} convictions; "
+                    "marked faulty for hardware replacement"))
+            else:
+                self.nodes[name].cordon()
+                plan.actions.append(RecoveryAction("cordon", name))
 
     def _restart_from_latest(self, plan: RecoveryPlan) -> None:
         latest = self.checkpoints.latest()

@@ -44,6 +44,7 @@ class FailureInjector:
     def __init__(self, seed: int = 0,
                  taxonomy: list[FailureSpec] | None = None) -> None:
         self.taxonomy = taxonomy or TAXONOMY
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
     # -- event population (Table 3 regeneration) ---------------------------
@@ -58,9 +59,10 @@ class FailureInjector:
             events.extend(self._sample_reason(spec, count))
         return events
 
-    def _sample_reason(self, spec: FailureSpec, count: int
+    def _sample_reason(self, spec: FailureSpec, count: int,
+                       rng: np.random.Generator | None = None
                        ) -> list[FailureEvent]:
-        rng = self.rng
+        rng = self.rng if rng is None else rng
         demand_dist = lognormal_from_median_mean(
             max(spec.demand_median, 0.51), max(spec.demand_avg, 0.51))
         ttf_dist = lognormal_from_median_mean(
@@ -84,13 +86,20 @@ class FailureInjector:
 
     # -- trace tagging --------------------------------------------------------
 
-    def assign_to_trace(self, trace: Trace) -> None:
+    def assign_to_trace(self, trace: Trace,
+                        rng: np.random.Generator | None = None) -> None:
         """Set ``failure_reason`` on every failed job in the trace.
 
         Reasons are drawn with probability proportional to
         count x demand-affinity, where affinity favors reasons whose
         typical demand matches the job's (log-scale distance).
+
+        Sampling is seed-stable: each call uses an explicit generator
+        (``rng`` if given, else a fresh one derived from the injector's
+        seed), so tagging the same trace twice — or tagging it after other
+        sampling calls on the same injector — yields identical reasons.
         """
+        rng = np.random.default_rng(self.seed) if rng is None else rng
         cluster = trace.cluster
         candidates = [spec for spec in self.taxonomy
                       if cluster in spec.clusters]
@@ -107,16 +116,19 @@ class FailureInjector:
             affinity = np.exp(-distance / 1.5)
             weights = counts * affinity
             weights = weights / weights.sum()
-            index = int(self.rng.choice(len(candidates), p=weights))
+            index = int(rng.choice(len(candidates), p=weights))
             job.failure_reason = candidates[index].reason
 
-    def sample_pretraining_failure(self, cluster: str) -> FailureEvent:
+    def sample_pretraining_failure(self, cluster: str,
+                                   rng: np.random.Generator | None = None
+                                   ) -> FailureEvent:
         """One failure for a running large pretraining job.
 
         Long-running gang jobs draw from the demand-heavy reasons
         (infrastructure + heavyweight framework errors), weighted by GPU
         time share — the §5.2 profile of what interrupts pretraining.
         """
+        rng = self.rng if rng is None else rng
         heavy = [spec for spec in self.taxonomy
                  if spec.demand_median >= 128
                  and cluster in spec.clusters]
@@ -126,8 +138,8 @@ class FailureInjector:
         weights = np.array([max(spec.gpu_time_pct, 0.01)
                             for spec in heavy])
         weights = weights / weights.sum()
-        spec = heavy[int(self.rng.choice(len(heavy), p=weights))]
-        return self._sample_reason(spec, 1)[0]
+        spec = heavy[int(rng.choice(len(heavy), p=weights))]
+        return self._sample_reason(spec, 1, rng)[0]
 
 
 def events_to_jobs(events: list[FailureEvent]) -> list[Job]:

@@ -14,8 +14,9 @@ separately by the evaluation coordinator (``repro.core.evalsched``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.scheduler.job import Job, JobState
+from repro.scheduler.job import FinalStatus, Job, JobState
 from repro.scheduler.policy import ReservationPolicy, SchedulingPolicy
 from repro.scheduler.queue import JobQueue
 from repro.sim.engine import Engine
@@ -86,6 +87,15 @@ class SchedulerSimulator:
         self.preemptions = 0
         #: time series of (time, gpus_in_use) for utilization accounting
         self.occupancy: list[tuple[float, int]] = []
+        #: lifecycle hooks, called as hook(kind, job) with kind one of
+        #: "start", "finish", "preempt", "fail" (chaos/observability layer)
+        self.hooks: list[Callable[[str, Job], None]] = []
+        #: GPUs removed from service (cordoned nodes); they are taken out
+        #: of the free pools, never out of running allocations
+        self.cordoned_gpus = 0
+        #: cordons requested while the GPUs were still busy; applied as
+        #: allocations drain
+        self._pending_cordon = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -100,6 +110,95 @@ class SchedulerSimulator:
                                 lambda j=job: self._on_submit(j))
         self.engine.run()
         return jobs
+
+    def submit(self, job: Job, at: float | None = None) -> None:
+        """Schedule one job's arrival (live use; ``simulate`` batches)."""
+        if job.gpu_demand > self.config.total_gpus:
+            raise ValueError(
+                f"job {job.job_id} demands {job.gpu_demand} GPUs but the "
+                f"cluster has {self.config.total_gpus}")
+        self.engine.call_at(job.submit_time if at is None else at,
+                            lambda: self._on_submit(job))
+
+    def running_jobs(self) -> list[Job]:
+        """Jobs currently holding GPUs, in start order."""
+        ordered = sorted(self._allocations.values(),
+                         key=lambda a: (a.job.start_time or 0.0,
+                                        a.job.job_id))
+        return [allocation.job for allocation in ordered]
+
+    def fail_job(self, job_id: str, reason: str | None = None) -> Job:
+        """Kill a running job *now* (fault injection).
+
+        The job terminates with ``FinalStatus.FAILED``, its GPUs return to
+        the pools (honouring any pending cordon), and the queue is
+        re-scheduled — the same path a crashed gang takes in production.
+        """
+        allocation = self._allocations.pop(job_id, None)
+        if allocation is None:
+            raise KeyError(f"job {job_id} is not running")
+        job = allocation.job
+        if allocation.finish_item is not None:
+            self.engine.cancel(allocation.finish_item)
+        job.final_status = FinalStatus.FAILED
+        if reason is not None:
+            job.failure_reason = reason
+        job.mark_finished(self.engine.now)
+        self.free_reserved += allocation.from_reserved
+        self.free_shared += allocation.from_shared
+        self._apply_pending_cordon()
+        self.finished.append(job)
+        self._record_occupancy()
+        self._notify("fail", job)
+        self._try_schedule()
+        return job
+
+    # -- capacity cordons ---------------------------------------------------
+
+    def cordon_gpus(self, count: int) -> None:
+        """Remove ``count`` GPUs from service (cordoned node capacity).
+
+        Free GPUs leave the pools immediately; GPUs still held by running
+        jobs are reclaimed as those allocations drain, so counters never
+        go negative and running gangs are never silently shrunk.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._pending_cordon += count
+        self._apply_pending_cordon()
+
+    def uncordon_gpus(self, count: int) -> None:
+        """Return repaired capacity to the shared pool."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.cordoned_gpus + self._pending_cordon:
+            raise ValueError("uncordoning more GPUs than are cordoned")
+        # cancel not-yet-applied cordons first, then restore capacity
+        cancelled = min(count, self._pending_cordon)
+        self._pending_cordon -= cancelled
+        remainder = count - cancelled
+        self.cordoned_gpus -= remainder
+        self.free_shared += remainder
+        self._try_schedule()
+
+    def _apply_pending_cordon(self) -> None:
+        for pool in ("free_shared", "free_reserved"):
+            if self._pending_cordon <= 0:
+                break
+            take = min(getattr(self, pool), self._pending_cordon)
+            setattr(self, pool, getattr(self, pool) - take)
+            self.cordoned_gpus += take
+            self._pending_cordon -= take
+
+    def _notify(self, kind: str, job: Job) -> None:
+        for hook in self.hooks:
+            hook(kind, job)
+
+    @property
+    def gpus_allocated(self) -> int:
+        """GPUs currently held by running jobs."""
+        return sum(a.from_reserved + a.from_shared
+                   for a in self._allocations.values())
 
     # -- event handlers -----------------------------------------------------
 
@@ -117,14 +216,17 @@ class SchedulerSimulator:
     def _on_cpu_finish(self, job: Job) -> None:
         job.mark_finished(self.engine.now)
         self.finished.append(job)
+        self._notify("finish", job)
 
     def _on_finish(self, job: Job) -> None:
         job.mark_finished(self.engine.now)
         allocation = self._allocations.pop(job.job_id)
         self.free_reserved += allocation.from_reserved
         self.free_shared += allocation.from_shared
+        self._apply_pending_cordon()
         self.finished.append(job)
         self._record_occupancy()
+        self._notify("finish", job)
         self._try_schedule()
 
     # -- scheduling core ------------------------------------------------------
@@ -188,10 +290,12 @@ class SchedulerSimulator:
         del self._allocations[job.job_id]
         self.free_reserved += allocation.from_reserved
         self.free_shared += allocation.from_shared
+        self._apply_pending_cordon()
         job.mark_preempted(self.engine.now)
         self.preemptions += 1
         self.queue.push(job)
         self._record_occupancy()
+        self._notify("preempt", job)
 
     def _fit(self, demand: int, pool: str) -> _Allocation | None:
         if pool == "reserved":
@@ -226,12 +330,13 @@ class SchedulerSimulator:
         job.mark_started(self.engine.now)
         self.started.append(job)
         self._record_occupancy()
+        self._notify("start", job)
         allocation.finish_item = self.engine.call_after(
             job.duration, lambda: self._on_finish(job))
 
     def _record_occupancy(self) -> None:
         in_use = (self.config.total_gpus - self.free_reserved
-                  - self.free_shared)
+                  - self.free_shared - self.cordoned_gpus)
         self.occupancy.append((self.engine.now, in_use))
 
     # -- reporting ------------------------------------------------------------

@@ -197,6 +197,7 @@ class Engine:
         self._heap: list[_ScheduledItem] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._listeners: list[Callable[[float], None]] = []
 
     # -- scheduling -------------------------------------------------------
 
@@ -218,6 +219,21 @@ class Engine:
     def cancel(self, item: _ScheduledItem) -> None:
         """Cancel a previously scheduled callback (lazy removal)."""
         item.cancelled = True
+
+    # -- observation -------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[float], None]) -> None:
+        """Register a hook run after *every* executed callback.
+
+        Listeners receive the current simulated time.  They observe, they
+        do not schedule: raising from a listener aborts the run, which is
+        exactly what an invariant checker wants.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[float], None]) -> None:
+        """Unregister a previously added listener."""
+        self._listeners.remove(listener)
 
     # -- high-level helpers ------------------------------------------------
 
@@ -296,6 +312,8 @@ class Engine:
             heapq.heappop(self._heap)
             self.now = item.time
             item.callback()
+            for listener in self._listeners:
+                listener(self.now)
             processed += 1
             self._events_processed += 1
             if max_events is not None and processed >= max_events:

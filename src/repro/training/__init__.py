@@ -16,8 +16,8 @@ from repro.training.parallelism import (ParallelismPlan, internevo_v1,
 from repro.training.memory import MemoryModel, MemorySnapshot
 from repro.training.step import StepTimeModel, StepBreakdown
 from repro.training.profiler import SmProfiler, UtilizationTimeline
-from repro.training.pretrain import (PretrainSimulator, PretrainRun,
-                                     RecoveryMode)
+from repro.training.pretrain import (PretrainProcess, PretrainSimulator,
+                                     PretrainRun, RecoveryMode)
 from repro.training.moe import moe_step_model
 from repro.training.gc_tuning import GcController, simulate_gc_impact
 
@@ -39,6 +39,7 @@ __all__ = [
     "StepBreakdown",
     "SmProfiler",
     "UtilizationTimeline",
+    "PretrainProcess",
     "PretrainSimulator",
     "PretrainRun",
     "RecoveryMode",

@@ -21,8 +21,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 import numpy as np
+
+from repro.sim.engine import Engine
 
 
 class RecoveryMode(Enum):
@@ -188,6 +191,124 @@ class PretrainSimulator:
             now = segment_end_time + self._restart_delay(segment_end_time)
         run.total_time = now
         return run
+
+
+class PretrainProcess:
+    """A live, interruptible pretraining job hosted on a sim ``Engine``.
+
+    :class:`PretrainSimulator` advances a campaign in closed-form segments
+    with its own failure clock; this class instead runs *individual steps*
+    as engine callbacks so an external fault injector (``repro.chaos``) can
+    interrupt the job between steps, roll it back to a checkpoint, and
+    restart it — the live failure path of §6.1.
+
+    The process never samples randomness: every checkpoint and step lands
+    at a deterministic simulated time, which keeps chaos scenarios
+    byte-for-byte reproducible.
+    """
+
+    def __init__(self, engine: Engine, name: str, step_time: float,
+                 total_iterations: int, steps_per_checkpoint: int,
+                 on_checkpoint: Callable[[int], None] | None = None,
+                 on_done: Callable[[int], None] | None = None) -> None:
+        if step_time <= 0:
+            raise ValueError("step_time must be positive")
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        if steps_per_checkpoint <= 0:
+            raise ValueError("steps_per_checkpoint must be positive")
+        self.engine = engine
+        self.name = name
+        self.step_time = step_time
+        self.total_iterations = total_iterations
+        self.steps_per_checkpoint = steps_per_checkpoint
+        self.on_checkpoint = on_checkpoint
+        self.on_done = on_done
+        #: the last *completed* iteration
+        self.iteration = 0
+        self.running = False
+        self.restarts = 0
+        self.lost_iterations = 0
+        self.checkpoint_steps: list[int] = []
+        #: closed (start_time, end_time, start_iter, end_iter) segments
+        self.segments: list[Submission] = []
+        self.done_at: float | None = None
+        self._segment_start: tuple[float, int] | None = None
+        self._tick_item = None
+
+    @property
+    def done(self) -> bool:
+        return self.done_at is not None
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin (or resume) stepping ``delay`` seconds from now."""
+        if self.running:
+            raise RuntimeError(f"{self.name} is already running")
+        if self.done:
+            raise RuntimeError(f"{self.name} already finished")
+        self.running = True
+        start_time = self.engine.now + delay
+        self._segment_start = (start_time, self.iteration)
+        self._tick_item = self.engine.call_at(
+            start_time + self.step_time, self._tick)
+
+    def interrupt(self, reason: str = "") -> int:
+        """Stop stepping *now* (a fault hit the gang).
+
+        Returns the iteration reached, i.e. the progress at the moment of
+        failure; the caller decides which checkpoint to resume from.
+        """
+        if not self.running:
+            raise RuntimeError(f"{self.name} is not running")
+        if self._tick_item is not None:
+            self.engine.cancel(self._tick_item)
+            self._tick_item = None
+        self.running = False
+        self._close_segment()
+        return self.iteration
+
+    def restart_from(self, step: int, delay: float = 0.0) -> None:
+        """Roll back to checkpoint ``step`` and resume after ``delay``.
+
+        ``step`` must not exceed the current iteration — recovery can
+        never move the restored state *forward* past the failure point.
+        """
+        if self.running:
+            raise RuntimeError(f"{self.name} must be interrupted first")
+        if step > self.iteration:
+            raise ValueError(
+                f"restart step {step} is ahead of progress "
+                f"{self.iteration}")
+        if step < 0:
+            raise ValueError("restart step must be non-negative")
+        self.lost_iterations += self.iteration - step
+        self.iteration = step
+        self.restarts += 1
+        self.start(delay)
+
+    def _tick(self) -> None:
+        self.iteration += 1
+        if self.iteration % self.steps_per_checkpoint == 0:
+            self.checkpoint_steps.append(self.iteration)
+            if self.on_checkpoint is not None:
+                self.on_checkpoint(self.iteration)
+        if self.iteration >= self.total_iterations:
+            self.running = False
+            self._tick_item = None
+            self.done_at = self.engine.now
+            self._close_segment()
+            if self.on_done is not None:
+                self.on_done(self.iteration)
+            return
+        self._tick_item = self.engine.call_after(self.step_time, self._tick)
+
+    def _close_segment(self) -> None:
+        if self._segment_start is None:
+            return
+        start_time, start_iter = self._segment_start
+        self.segments.append(Submission(
+            start_time, self.engine.now, start_iter, self.iteration))
+        self._segment_start = None
 
 
 def fig14_campaigns(seed: int = 7) -> dict[str, PretrainRun]:

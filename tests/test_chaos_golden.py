@@ -1,0 +1,51 @@
+"""Golden-trace regression test for the seeded smoke chaos scenario.
+
+The checked-in fixture pins the *exact* event log and summary of
+``BUNDLED_SCENARIOS["smoke"]`` at seed 0.  Any drift — a reordered
+event, a changed timestamp, a different summary number — fails here, so
+behavioural changes to the sim engine, scheduler, recovery controller,
+or harness must be made deliberately and the fixture regenerated:
+
+    PYTHONPATH=src python -m repro chaos --scenario smoke \\
+        --json-out tests/data/chaos_golden.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.chaos import BUNDLED_SCENARIOS, run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "chaos_golden.json"
+REGEN_HINT = ("regenerate with: PYTHONPATH=src python -m repro chaos "
+              "--scenario smoke --json-out tests/data/chaos_golden.json")
+
+
+def current_payload():
+    result = run_scenario(BUNDLED_SCENARIOS["smoke"])
+    return {"summary": json.loads(result.summary.to_json()),
+            "event_log": result.event_log_lines()}
+
+
+def test_smoke_event_log_matches_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = current_payload()
+    for line_no, (want, got) in enumerate(
+            zip(golden["event_log"], current["event_log"]), start=1):
+        assert want == got, (
+            f"event log drifted at line {line_no}:\n"
+            f"  golden:  {want}\n  current: {got}\n{REGEN_HINT}")
+    assert len(current["event_log"]) == len(golden["event_log"]), (
+        f"event log length changed: golden {len(golden['event_log'])} "
+        f"vs current {len(current['event_log'])}\n{REGEN_HINT}")
+
+
+def test_smoke_summary_matches_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())["summary"]
+    current = current_payload()["summary"]
+    drifted = sorted(key for key in golden.keys() | current.keys()
+                     if golden.get(key) != current.get(key))
+    assert not drifted, (
+        f"summary drifted in {drifted}: "
+        + ", ".join(f"{key}: golden={golden.get(key)!r} "
+                    f"current={current.get(key)!r}" for key in drifted)
+        + f"\n{REGEN_HINT}")

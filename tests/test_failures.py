@@ -13,6 +13,8 @@ from repro.failures.taxonomy import (TAXONOMY, FailureCategory,
                                      taxonomy_by_reason,
                                      total_failure_count)
 from repro.scheduler.job import FinalStatus
+from repro.workload.generator import TraceGenerator
+from repro.workload.spec import SEREN_SPEC
 
 
 class TestTaxonomy:
@@ -116,6 +118,44 @@ class TestInjector:
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
             FailureInjector().generate_events(scale=0.0)
+
+
+class TestInjectorDeterminism:
+    """``assign_to_trace`` must be seed-stable across calls — the tags
+    may not depend on how much of the injector's stream was consumed
+    before the call."""
+
+    @staticmethod
+    def fresh_trace():
+        return TraceGenerator(SEREN_SPEC, seed=20).generate(300)
+
+    @staticmethod
+    def failure_tags(trace):
+        return [(job.job_id, job.failure_reason)
+                for job in trace.gpu_jobs()
+                if job.final_status is FinalStatus.FAILED]
+
+    def test_tags_unaffected_by_prior_rng_consumption(self):
+        plain, warmed = self.fresh_trace(), self.fresh_trace()
+        FailureInjector(seed=9).assign_to_trace(plain)
+        warmed_injector = FailureInjector(seed=9)
+        warmed_injector.generate_events(scale=0.1)  # burn shared stream
+        warmed_injector.assign_to_trace(warmed)
+        assert self.failure_tags(plain) == self.failure_tags(warmed)
+
+    def test_same_injector_tags_identically_twice(self):
+        first, second = self.fresh_trace(), self.fresh_trace()
+        injector = FailureInjector(seed=9)
+        injector.assign_to_trace(first)
+        injector.assign_to_trace(second)
+        assert self.failure_tags(first) == self.failure_tags(second)
+
+    def test_explicit_rng_overrides_the_seed(self):
+        default, explicit = self.fresh_trace(), self.fresh_trace()
+        FailureInjector(seed=9).assign_to_trace(default)
+        FailureInjector(seed=9).assign_to_trace(
+            explicit, rng=np.random.default_rng(4242))
+        assert self.failure_tags(default) != self.failure_tags(explicit)
 
 
 class TestLogGenerator:

@@ -9,7 +9,7 @@ coordinator.
 import numpy as np
 import pytest
 
-from repro.cluster.machine import Node, kalos_node_spec
+from repro.cluster.machine import Node, NodeHealth, kalos_node_spec
 from repro.core.checkpoint import AsyncCheckpointer, InMemoryStorage
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (CheckpointCatalog, CollectiveTester,
@@ -88,7 +88,15 @@ class TestFailureToRecoveryLoop:
                 assert plan.restart
                 assert plan.restart_checkpoint_step == 300
             for name in plan.cordoned_nodes:
-                controller.nodes[name].uncordon()
+                node = controller.nodes[name]
+                if node.health is NodeHealth.FAULTY:
+                    # repeat offender escalated: hardware replacement
+                    # brings back a fresh node under the same name
+                    controller.nodes[name] = Node(name=name,
+                                                  spec=kalos_node_spec())
+                    controller.conviction_counts.pop(name, None)
+                else:
+                    node.uncordon()
         assert controller.automation_rate() == 1.0
 
     def test_trace_level_failure_attribution_round_trip(self,

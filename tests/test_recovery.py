@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.machine import Node, seren_node_spec
+from repro.cluster.machine import Node, NodeHealth, seren_node_spec
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
                                  CollectiveTester, HangDetector,
@@ -232,3 +232,66 @@ class TestRecoveryController:
         plan = controller.handle_failure(log.lines)
         assert plan.restart
         assert plan.restart_checkpoint_step == 0
+
+    def test_loss_spike_without_checkpoint_does_not_restart(self):
+        """No rollback target -> notify, never a blind restart."""
+        nodes = [Node(name="n0", spec=seren_node_spec())]
+        controller = RecoveryController(DiagnosisSystem(),
+                                        CheckpointCatalog(), nodes)
+        event = AnomalyEvent(kind="loss_spike", step=50, detail="")
+        plan = controller.handle_anomaly(event)
+        assert not plan.restart
+        assert not plan.skip_batches
+        assert any(action.kind == "notify" for action in plan.actions)
+
+
+class TestCordonEscalation:
+    def make_controller(self):
+        nodes = [Node(name=f"n{i}", spec=seren_node_spec())
+                 for i in range(6)]
+        controller = RecoveryController(
+            DiagnosisSystem(), CheckpointCatalog([100]), nodes)
+        return controller, nodes
+
+    def infra_failure(self, controller, seed):
+        log = LogGenerator(seed=seed).failed_log("NVLinkError", n_steps=20)
+        return controller.handle_failure(log.lines, CollectiveTester({"n3"}))
+
+    def test_first_conviction_cordons(self):
+        controller, nodes = self.make_controller()
+        plan = self.infra_failure(controller, seed=31)
+        assert nodes[3].health is NodeHealth.CORDONED
+        assert controller.conviction_counts == {"n3": 1}
+        assert not any(a.kind == "escalate" for a in plan.actions)
+
+    def test_repeat_offender_escalates_to_faulty(self):
+        controller, nodes = self.make_controller()
+        self.infra_failure(controller, seed=32)
+        nodes[3].uncordon()  # repaired and returned to service
+        plan = self.infra_failure(controller, seed=33)
+        assert nodes[3].health is NodeHealth.FAULTY
+        assert controller.conviction_counts == {"n3": 2}
+        assert any(a.kind == "escalate" for a in plan.actions)
+
+    def test_cordoned_node_is_excluded_until_repaired(self):
+        """While cordoned, the node is out of the NCCL test world, so it
+        cannot accumulate a second conviction."""
+        controller, nodes = self.make_controller()
+        self.infra_failure(controller, seed=34)
+        plan = self.infra_failure(controller, seed=35)
+        assert controller.conviction_counts == {"n3": 1}
+        assert plan.cordoned_nodes == set()
+        assert nodes[3].health is NodeHealth.CORDONED
+
+    def test_faulty_node_cannot_be_uncordoned(self):
+        node = Node(name="n0", spec=seren_node_spec())
+        node.mark_faulty()
+        assert not node.schedulable
+        with pytest.raises(RuntimeError):
+            node.uncordon()
+
+    def test_cordon_does_not_demote_faulty(self):
+        node = Node(name="n0", spec=seren_node_spec())
+        node.mark_faulty()
+        node.cordon()
+        assert node.health is NodeHealth.FAULTY

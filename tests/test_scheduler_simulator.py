@@ -197,3 +197,115 @@ class TestPreemption:
         sim.simulate([old, young, pre])
         assert young.metadata.get("preemptions", 0) == 1
         assert "preemptions" not in old.metadata
+
+
+class TestLiveOps:
+    """Live single-job submission, fault injection, and cordons (the
+    surface the chaos harness drives)."""
+
+    def make_sim(self, total=8, reserved=0.0):
+        return SchedulerSimulator(SchedulerConfig(
+            total_gpus=total, reserved_fraction=reserved))
+
+    def test_submit_then_run(self):
+        sim = self.make_sim()
+        submitted = job("a", 4, submit=5.0)
+        sim.submit(submitted)
+        sim.engine.run()
+        assert submitted.start_time == 5.0
+        assert submitted.end_time == 105.0
+
+    def test_submit_rejects_oversized_demand(self):
+        sim = self.make_sim(total=8)
+        with pytest.raises(ValueError):
+            sim.submit(job("huge", 16))
+
+    def test_running_jobs_ordered_by_start(self):
+        sim = self.make_sim()
+        sim.submit(job("late", 2, submit=10.0, duration=500.0))
+        sim.submit(job("early", 2, submit=0.0, duration=500.0))
+        sim.engine.run(until=50.0)
+        assert [j.job_id for j in sim.running_jobs()] == ["early", "late"]
+
+    def test_fail_job_frees_gpus_and_reschedules(self):
+        sim = self.make_sim()
+        victim = job("victim", 8, submit=0.0, duration=1000.0)
+        waiting = job("waiting", 8, submit=1.0, duration=10.0)
+        sim.submit(victim)
+        sim.submit(waiting)
+        sim.engine.run(until=100.0)
+        failed = sim.fail_job("victim", reason="NVLinkError")
+        assert failed.failure_reason == "NVLinkError"
+        assert failed.end_time == 100.0
+        sim.engine.run()
+        assert waiting.start_time == 100.0  # backfilled immediately
+
+    def test_fail_unknown_job_raises(self):
+        sim = self.make_sim()
+        with pytest.raises(KeyError):
+            sim.fail_job("ghost")
+
+    def test_fail_job_notifies_hooks(self):
+        sim = self.make_sim()
+        events = []
+        sim.hooks.append(lambda kind, j: events.append((kind, j.job_id)))
+        sim.submit(job("a", 4, duration=50.0))
+        sim.engine.run(until=10.0)
+        sim.fail_job("a")
+        assert events == [("start", "a"), ("fail", "a")]
+
+    def test_cordon_takes_free_gpus_immediately(self):
+        sim = self.make_sim(total=8)
+        sim.cordon_gpus(4)
+        assert sim.cordoned_gpus == 4
+        assert sim.free_shared == 4
+
+    def test_cordon_of_busy_gpus_is_deferred(self):
+        sim = self.make_sim(total=8)
+        running = job("busy", 8, submit=0.0, duration=100.0)
+        sim.submit(running)
+        sim.engine.run(until=10.0)
+        sim.cordon_gpus(4)
+        # nothing free: the cordon waits for the allocation to drain
+        assert sim.cordoned_gpus == 0
+        assert sim._pending_cordon == 4
+        sim.engine.run()
+        assert sim.cordoned_gpus == 4
+        assert sim.free_shared == 4
+
+    def test_uncordon_cancels_pending_first(self):
+        sim = self.make_sim(total=8)
+        sim.submit(job("busy", 8, submit=0.0, duration=100.0))
+        sim.engine.run(until=10.0)
+        sim.cordon_gpus(4)
+        sim.uncordon_gpus(4)
+        assert sim._pending_cordon == 0
+        sim.engine.run()
+        assert sim.cordoned_gpus == 0
+        assert sim.free_shared == 8
+
+    def test_uncordon_restores_capacity(self):
+        sim = self.make_sim(total=8)
+        sim.cordon_gpus(8)
+        blocked = job("blocked", 8, submit=0.0, duration=10.0)
+        sim.submit(blocked)
+        sim.engine.run(until=5.0)
+        assert blocked.start_time is None
+        sim.uncordon_gpus(8)
+        sim.engine.run()
+        assert blocked.start_time == 5.0
+
+    def test_uncordon_more_than_cordoned_raises(self):
+        sim = self.make_sim(total=8)
+        sim.cordon_gpus(2)
+        with pytest.raises(ValueError):
+            sim.uncordon_gpus(4)
+
+    def test_gpus_allocated_tracks_live_jobs(self):
+        sim = self.make_sim(total=8)
+        sim.submit(job("a", 3, duration=50.0))
+        sim.submit(job("b", 2, duration=50.0))
+        sim.engine.run(until=10.0)
+        assert sim.gpus_allocated == 5
+        sim.engine.run()
+        assert sim.gpus_allocated == 0

@@ -1,6 +1,8 @@
 """Tests for the discrete-event engine."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.engine import Engine, SimulationError
 
@@ -263,3 +265,114 @@ class TestResource:
         resource.acquire(1)
         engine.run()
         assert resource.queue_length == 2
+
+
+class TestListeners:
+    def test_listener_runs_after_every_event(self):
+        engine = Engine()
+        seen = []
+        engine.add_listener(seen.append)
+        for time in (1.0, 2.0, 5.0):
+            engine.call_at(time, lambda: None)
+        engine.run()
+        assert seen == [1.0, 2.0, 5.0]
+
+    def test_listener_observes_callback_effects(self):
+        engine = Engine()
+        state = []
+        engine.add_listener(lambda now: state.append(len(state)))
+        engine.call_at(1.0, lambda: None)
+        engine.run()
+        assert state == [0]
+
+    def test_removed_listener_stops_firing(self):
+        engine = Engine()
+        seen = []
+        engine.add_listener(seen.append)
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: engine.remove_listener(seen.append))
+        engine.call_at(3.0, lambda: None)
+        engine.run()
+        assert seen == [1.0]  # t=2 removes it before its own check
+
+    def test_cancelled_events_do_not_trigger_listener(self):
+        engine = Engine()
+        seen = []
+        engine.add_listener(seen.append)
+        item = engine.call_at(1.0, lambda: None)
+        engine.cancel(item)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert seen == [2.0]
+
+
+_times = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=40)
+
+
+class TestEngineProperties:
+    @given(times=_times)
+    @settings(max_examples=80, deadline=None)
+    def test_execution_order_total_and_deterministic(self, times):
+        """Any schedule runs in (time, insertion) order, every time."""
+
+        def run_once():
+            engine = Engine()
+            fired = []
+            for index, time in enumerate(times):
+                engine.call_at(time,
+                               lambda t=time, i=index: fired.append((t, i)))
+            engine.run()
+            return fired
+
+        first = run_once()
+        assert first == run_once()          # deterministic replay
+        assert first == sorted(first)       # total order, stable ties
+        assert len(first) == len(times)     # nothing dropped
+
+    @given(times=_times, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_cancelled_events_never_fire(self, times, data):
+        engine = Engine()
+        fired = []
+        items = [engine.call_at(time, lambda i=index: fired.append(i))
+                 for index, time in enumerate(times)]
+        cancelled = {index for index in range(len(items))
+                     if data.draw(st.booleans(), label=f"cancel[{index}]")}
+        for index in cancelled:
+            engine.cancel(items[index])
+        engine.run()
+        assert set(fired) == set(range(len(items))) - cancelled
+
+    @given(capacity=st.integers(1, 8),
+           requests=st.lists(
+               st.tuples(st.integers(1, 8),
+                         st.floats(min_value=0.1, max_value=10.0,
+                                   allow_nan=False)),
+               min_size=0, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_resource_never_over_grants(self, capacity, requests):
+        """in_use stays within capacity after every event, and every
+        grant is eventually returned."""
+        engine = Engine()
+        resource = engine.resource(capacity)
+        engine.add_listener(
+            lambda now: self._assert_within(resource, capacity))
+
+        def worker(amount, hold):
+            yield resource.acquire(amount)
+            yield hold
+            resource.release(amount)
+
+        for amount, hold in requests:
+            engine.process(worker(min(amount, capacity), hold))
+        engine.run()
+        assert resource.in_use == 0
+        assert resource.available == capacity
+
+    @staticmethod
+    def _assert_within(resource, capacity):
+        assert 0 <= resource.in_use <= capacity
+        assert resource.in_use + resource.available == capacity
