@@ -20,6 +20,7 @@ from repro.chaos.invariants import InvariantChecker, InvariantViolation
 from repro.chaos.report import ChaosSummary, summarize
 from repro.chaos.scenario import (BUNDLED_SCENARIOS, ChaosScenario,
                                   GPUS_PER_NODE, InjectedFault)
+from repro.failures.taxonomy import STORAGE_FAULT_KINDS
 
 __all__ = [
     "BUNDLED_SCENARIOS",
@@ -32,6 +33,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "PRETRAIN_JOB_ID",
+    "STORAGE_FAULT_KINDS",
     "run_scenario",
     "summarize",
 ]

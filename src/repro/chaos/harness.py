@@ -24,22 +24,51 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.chaos.invariants import InvariantChecker
 from repro.chaos.report import ChaosSummary, summarize
 from repro.chaos.scenario import (GPUS_PER_NODE, ChaosScenario,
                                   InjectedFault)
 from repro.cluster.machine import Node, NodeHealth, seren_node_spec
+from repro.cluster.storage import (CorruptingStorage, FlakyStorage,
+                                   SlowStorage, StorageError)
+from repro.core.checkpoint import (CheckpointError, InMemoryStorage,
+                                   RetryPolicy, SyncCheckpointer,
+                                   _checkpoint_key)
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
                                  CollectiveTester, RecoveryController)
 from repro.core.recovery.controller import RecoveryPlan
 from repro.failures.logs import LogGenerator
-from repro.failures.taxonomy import FailureCategory
+from repro.failures.taxonomy import STORAGE_FAULT_KINDS, FailureCategory
 from repro.scheduler.job import FinalStatus, Job
 from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
 from repro.sim.engine import Engine
 
 PRETRAIN_JOB_ID = "pretrain-main"
+
+
+class _EngineClock:
+    """Clock view of the engine for the checkpoint pipeline.
+
+    ``now`` is the engine time plus a virtual *stall offset*; ``sleep``
+    (retry backoff, injected slowdown delays) only grows the offset, so
+    fault windows and retry deadlines see time advance while the
+    single-threaded simulation never blocks.  The harness resets the
+    offset around each persist/restore and charges it to the run's
+    storage-stall accounting.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.offset = 0.0
+
+    def now(self) -> float:
+        return self.engine.now + self.offset
+
+    def sleep(self, seconds: float) -> None:
+        self.offset += seconds
 
 
 @dataclass
@@ -67,6 +96,8 @@ class _Recovery:
     fault_time: float
     resume_time: float | None = None
     plan: RecoveryPlan | None = None
+    #: True while the restore is parked waiting out a storage outage
+    deferred: bool = False
 
 
 class ChaosHarness:
@@ -95,6 +126,36 @@ class ChaosHarness:
             engine=self.engine)
         self.scheduler.hooks.append(self._on_scheduler_event)
 
+        self.faults = scenario.build_faults()
+        storage_faults = [fault for fault in self.faults
+                          if fault.kind in STORAGE_FAULT_KINDS]
+
+        def _windows(kind: str) -> list[tuple[float, float]]:
+            return [(fault.time, fault.time + fault.duration)
+                    for fault in storage_faults if fault.kind == kind]
+
+        self.outage_windows = _windows("storage_outage")
+        # checkpoints traverse the full fault stack: corruption closest
+        # to the store (it poisons what lands on disk), slowdown and
+        # outage layered above, all on the engine-backed clock
+        self._clock = _EngineClock(self.engine)
+        self._corrupting = CorruptingStorage(
+            InMemoryStorage(), windows=_windows("ckpt_corruption") or (),
+            clock=self._clock)
+        faulty = SlowStorage(
+            self._corrupting, delay=scenario.storage_slowdown_delay,
+            windows=_windows("storage_slowdown") or (), clock=self._clock)
+        faulty = FlakyStorage(faulty, windows=self.outage_windows or (),
+                              clock=self._clock)
+        self.storage = faulty
+        self.checkpointer = SyncCheckpointer(
+            faulty,
+            retry=RetryPolicy(max_attempts=5, base_delay=5.0,
+                              backoff=2.0, max_delay=120.0,
+                              deadline=scenario.storage_persist_deadline,
+                              jitter=0.0),
+            clock=self._clock)
+
         self.catalog = CheckpointCatalog()
         self.controller = RecoveryController(
             DiagnosisSystem(), self.catalog, self.nodes)
@@ -104,16 +165,28 @@ class ChaosHarness:
         self.checker = InvariantChecker(
             scheduler=self.scheduler, nodes=self._by_name,
             placements=self.placements, pretrain=self.pretrain)
+        self.checker.set_storage_context(
+            self.outage_windows, horizon=scenario.duration,
+            wedge_slack=(scenario.storage_retry_delay
+                         + scenario.restart_delay))
         self.engine.add_listener(self.checker.check)
 
         self.event_log: list[tuple[float, str, str]] = []
-        self.faults = scenario.build_faults()
         self.recoveries: list[_Recovery] = []
         self.absorbed_faults = 0
         self.resubmissions = 0
         self._pretrain_stopped_at: float | None = None
         self.pretrain_downtime = 0.0
         self.scheduler_lost_gpu_seconds = 0.0
+        # -- storage & checkpoint-path accounting --
+        self.checkpoints_persisted = 0
+        self.checkpoints_degraded = 0
+        self.checkpoints_failed = 0
+        self.restore_fallbacks = 0
+        self.fallback_lost_iterations = 0
+        self.restores_deferred = 0
+        self.storage_stall_seconds = 0.0
+        self._quarantine_seen = 0
 
     # -- logging ------------------------------------------------------------
 
@@ -122,9 +195,49 @@ class ChaosHarness:
 
     # -- component callbacks ------------------------------------------------
 
+    def _collect_stall(self) -> float:
+        """Charge the clock's virtual stall to the run and reset it."""
+        stall = self._clock.offset
+        self._clock.offset = 0.0
+        self.storage_stall_seconds += stall
+        return stall
+
     def _on_checkpoint(self, step: int) -> None:
+        self._clock.offset = 0.0
+        state = {"iteration": np.array([step], dtype=np.int64)}
+        try:
+            self.checkpointer.save(step, state)
+        except CheckpointError:
+            self._collect_stall()
+            self.checkpoints_failed += 1
+            self.checker.record_persist(self.engine.now, step, False)
+            self.controller.record_storage_alert(
+                step, f"persist failed "
+                      f"(health={self.checkpointer.health.value})")
+            self._log("checkpoint_failed",
+                      f"step={step} "
+                      f"health={self.checkpointer.health.value}")
+            return
+        stall = self._collect_stall()
+        self.checkpoints_persisted += 1
         self.catalog.add(step)
-        self._log("checkpoint", f"step={step}")
+        self.checker.record_persist(self.engine.now, step, True)
+        if _checkpoint_key(step) in self._corrupting.corrupted_keys:
+            # silent bit rot: the write "succeeded" but the generation
+            # is poisoned; only a future restore's checksum can tell
+            self.checker.record_corrupt_write(step)
+        result = self.checkpointer.last_result
+        attempts = result.attempts if result is not None else 1
+        if attempts > 1 or stall > 0.0:
+            self.checkpoints_degraded += 1
+            self.controller.record_storage_alert(
+                step, f"persist degraded (attempts={attempts}, "
+                      f"stall={stall:.1f}s)")
+            self._log("checkpoint_degraded",
+                      f"step={step} attempts={attempts} "
+                      f"stall={stall:.1f}")
+        else:
+            self._log("checkpoint", f"step={step}")
 
     def _on_done(self, step: int) -> None:
         self._log("pretrain_done", f"step={step}")
@@ -159,7 +272,8 @@ class ChaosHarness:
             self._pretrain_stopped_at = None
         if self.pretrain.running:
             self.pretrain.interrupt("scenario deadline")
-        self.checker.final_check()
+        self.checker.final_check(
+            fallback_lost_iterations=self.fallback_lost_iterations)
         self._log("scenario_end",
                   f"iteration={self.pretrain.iteration} "
                   f"restarts={self.pretrain.restarts}")
@@ -180,6 +294,8 @@ class ChaosHarness:
                 self._fail_scheduler_job(index, fault)
         elif fault.kind in ("loss_spike", "hang"):
             self._anomaly(index, fault)
+        elif fault.kind in STORAGE_FAULT_KINDS:
+            self._storage_fault(index, fault)
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
@@ -270,7 +386,20 @@ class ChaosHarness:
             self._log("pretrain_resume_in_place",
                       f"step={step_at_failure} (no rollback target)")
             self._restart_pretrain(step_at_failure, step_at_failure,
-                                   recovery)
+                                   recovery, restore=False)
+
+    def _storage_fault(self, index: int, fault: InjectedFault) -> None:
+        """Mark a storage fault window opening (and schedule its close).
+
+        The window itself is already armed inside the fault decorators
+        (built at init from the same schedule); this only narrates it,
+        so checkpoint traffic hitting the window shows up in context.
+        """
+        end = fault.time + fault.duration
+        self._log("storage_fault_begin",
+                  f"#{index} kind={fault.kind} until={end:.3f}")
+        self.engine.call_at(end, lambda: self._log(
+            "storage_fault_end", f"#{index} kind={fault.kind}"))
 
     # -- recovery mechanics -------------------------------------------------
 
@@ -327,7 +456,18 @@ class ChaosHarness:
         return pool[fault.node_index % len(pool)]
 
     def _restart_pretrain(self, step: int, step_at_failure: int,
-                          recovery: _Recovery) -> None:
+                          recovery: _Recovery,
+                          restore: bool = True) -> None:
+        actual = step
+        if restore and step > 0:
+            loaded = self._attempt_restore(step)
+            if loaded is None:  # backend unreachable: park and retry
+                self._defer_restore(step, step_at_failure, recovery)
+                return
+            actual = loaded
+        if recovery.deferred:
+            recovery.deferred = False
+            self.checker.record_restore_resolved()
         hosts = self._place_gang()
         if hosts is None:
             self._log("pretrain_stalled",
@@ -340,12 +480,75 @@ class ChaosHarness:
         if self._pretrain_stopped_at is not None:
             self.pretrain_downtime += resume_at - self._pretrain_stopped_at
             self._pretrain_stopped_at = None
-        self.checker.record_restart(self.engine.now, step_at_failure, step)
-        self.pretrain.restart_from(step, self.scenario.restart_delay)
+        self.checker.record_restart(self.engine.now, step_at_failure,
+                                    actual)
+        self.pretrain.restart_from(actual, self.scenario.restart_delay)
         self._log("pretrain_restart",
-                  f"step={step} lost={step_at_failure - step} "
+                  f"step={actual} lost={step_at_failure - actual} "
                   f"resume_at={resume_at:.3f} "
                   f"nodes={','.join(sorted(hosts))}")
+
+    def _attempt_restore(self, step: int) -> int | None:
+        """Load the restart generation through the faulty backend.
+
+        Returns the step actually restored (0 = from scratch; may be
+        older than ``step`` after falling back past corrupt
+        generations), or None when the backend is unreachable and the
+        restore must be deferred.
+        """
+        self._clock.offset = 0.0
+        try:
+            loaded = self.checkpointer.load_at_or_before(step)
+        except StorageError:
+            self._collect_stall()
+            self._drain_quarantine()
+            return None
+        self._collect_stall()
+        self._drain_quarantine()
+        if loaded is None:
+            self._log("restore_scratch",
+                      f"planned={step} (no readable generation)")
+            self.checker.record_restore(self.engine.now, step, 0)
+            return 0
+        actual = loaded[0]
+        if actual < step:
+            self.restore_fallbacks += 1
+            self.fallback_lost_iterations += step - actual
+            self._log("restore_fallback",
+                      f"planned={step} actual={actual} "
+                      f"extra_lost={step - actual}")
+        self.checker.record_restore(self.engine.now, step, actual)
+        return actual
+
+    def _drain_quarantine(self) -> None:
+        """Propagate fresh quarantines into the catalog and checker."""
+        fresh = self.checkpointer.quarantined[self._quarantine_seen:]
+        self._quarantine_seen = len(self.checkpointer.quarantined)
+        for qstep, reason in fresh:
+            self.catalog.mark_bad(qstep)
+            self.checker.record_quarantine(qstep)
+            self._log("ckpt_quarantined",
+                      f"step={qstep} reason={reason}")
+
+    def _defer_restore(self, step: int, step_at_failure: int,
+                       recovery: _Recovery) -> None:
+        """Park a restore the backend cannot serve; retry after a delay.
+
+        The gang stays down (downtime keeps accruing) until a retry
+        lands after the outage window closes.
+        """
+        self.restores_deferred += 1
+        if not recovery.deferred:
+            recovery.deferred = True
+            self.checker.record_restore_deferred()
+        retry_at = self.engine.now + self.scenario.storage_retry_delay
+        self._log("restore_deferred",
+                  f"step={step} retry_at={retry_at:.3f} "
+                  "(storage unreachable)")
+        self.engine.call_after(
+            self.scenario.storage_retry_delay,
+            lambda: self._restart_pretrain(step, step_at_failure,
+                                           recovery))
 
     def _place_gang(self) -> list[str] | None:
         """Pick gang nodes: healthy non-pool nodes, name order.

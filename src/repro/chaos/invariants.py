@@ -20,6 +20,18 @@ first two checkable):
 5. **Liveness** (checked at the end of the run) — every injected
    infrastructure failure that hit a running target produced a recovery
    plan that restarts, cordons, or both.
+
+Storage-fault invariants (this PR's additions):
+
+6. **No corrupt restore** — a restore never resumes from a generation
+   that was corrupted on write or quarantined, and never from a step
+   that was not durably persisted at all.
+7. **Bounded outages never wedge** — a restore deferred during a
+   storage outage must be resolved once the outage ends (plus retry /
+   restart slack) before the scenario horizon.
+8. **Waste accounting includes fallback loss** — the extra iterations
+   lost by falling back past corrupt generations must equal the sum of
+   (planned - actual) over all fallback restores.
 """
 
 from __future__ import annotations
@@ -59,6 +71,24 @@ class InvariantChecker:
     #: (fault index, plan) for injected infrastructure failures
     infra_plans: list[tuple[int, RecoveryPlan | None]] = field(
         default_factory=list)
+    # -- storage-fault state (populated via set_storage_context) --
+    #: [start, end) outage windows on the checkpoint backend
+    outage_windows: list[tuple[float, float]] = field(default_factory=list)
+    #: scenario horizon in simulated seconds
+    horizon: float = 0.0
+    #: slack after the last outage before an unresolved deferral is a wedge
+    wedge_slack: float = 0.0
+    #: steps durably persisted (write reported ok)
+    good_steps: set[int] = field(default_factory=set)
+    #: steps known bad: corrupted on write or quarantined at restore
+    bad_steps: set[int] = field(default_factory=set)
+    #: (time, step, ok) for every persist attempt
+    persist_records: list[tuple[float, int, bool]] = field(
+        default_factory=list)
+    #: restores currently parked waiting for the backend to return
+    deferred_unresolved: int = 0
+    #: sum of (planned - actual) over fallback restores, per invariant 8
+    fallback_lost: int = 0
 
     # -- per-event check ----------------------------------------------------
 
@@ -121,8 +151,9 @@ class InvariantChecker:
 
     # -- end-of-run check ---------------------------------------------------
 
-    def final_check(self) -> None:
-        """Liveness: injected infra failures must yield recovery plans."""
+    def final_check(self, fallback_lost_iterations: int | None = None
+                    ) -> None:
+        """Liveness + the end-of-run storage invariants."""
         for index, plan in self.infra_plans:
             if plan is None:
                 raise InvariantViolation(
@@ -132,6 +163,26 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"infrastructure fault #{index} produced a plan with "
                     "neither a restart nor a cordon")
+        if self.deferred_unresolved > 0:
+            # invariant 7: a bounded outage must not wedge recovery
+            if not self.outage_windows:
+                raise InvariantViolation(
+                    f"{self.deferred_unresolved} restore(s) deferred "
+                    "with no storage outage to blame")
+            last_end = max(end for _, end in self.outage_windows)
+            if last_end + self.wedge_slack < self.horizon:
+                raise InvariantViolation(
+                    f"{self.deferred_unresolved} restore(s) still "
+                    f"deferred although the last outage ended at "
+                    f"{last_end:.1f}s (horizon {self.horizon:.1f}s): "
+                    "recovery is wedged")
+        if (fallback_lost_iterations is not None
+                and fallback_lost_iterations != self.fallback_lost):
+            # invariant 8: fallback loss must be accounted, not dropped
+            raise InvariantViolation(
+                f"fallback-generation loss mismatch: harness reports "
+                f"{fallback_lost_iterations} iterations, restore "
+                f"records sum to {self.fallback_lost}")
 
     # -- bookkeeping for the harness ---------------------------------------
 
@@ -145,3 +196,53 @@ class InvariantChecker:
                           plan: RecoveryPlan | None) -> None:
         """Log the plan (or lack of one) for an infrastructure fault."""
         self.infra_plans.append((fault_index, plan))
+
+    # -- storage-fault bookkeeping -----------------------------------------
+
+    def set_storage_context(self, outage_windows, horizon: float,
+                            wedge_slack: float) -> None:
+        """Install the scenario's storage-fault schedule for checking."""
+        self.outage_windows = [(float(s), float(e))
+                               for s, e in outage_windows]
+        self.horizon = float(horizon)
+        self.wedge_slack = float(wedge_slack)
+
+    def record_persist(self, time: float, step: int, ok: bool) -> None:
+        """Log one checkpoint persist outcome."""
+        self.persist_records.append((time, step, ok))
+        if ok:
+            self.good_steps.add(step)
+
+    def record_corrupt_write(self, step: int) -> None:
+        """Mark a generation the fault layer corrupted on its way down."""
+        self.bad_steps.add(step)
+
+    def record_quarantine(self, step: int) -> None:
+        """Mark a generation quarantined after failing restore."""
+        self.bad_steps.add(step)
+
+    def record_restore(self, time: float, planned: int,
+                       actual: int) -> None:
+        """Validate one completed restore (invariants 6 and 8)."""
+        if actual > planned:
+            raise InvariantViolation(
+                f"t={time:.3f}: restore moved forward — loaded step "
+                f"{actual}, planned {planned}")
+        if actual in self.bad_steps:
+            raise InvariantViolation(
+                f"t={time:.3f}: restore loaded step {actual}, which is "
+                "a corrupt/quarantined generation")
+        if actual > 0 and actual not in self.good_steps:
+            raise InvariantViolation(
+                f"t={time:.3f}: restore loaded step {actual}, which was "
+                "never durably persisted")
+        if actual < planned:
+            self.fallback_lost += planned - actual
+
+    def record_restore_deferred(self) -> None:
+        """A restore is parked waiting for the backend."""
+        self.deferred_unresolved += 1
+
+    def record_restore_resolved(self) -> None:
+        """A previously deferred restore completed."""
+        self.deferred_unresolved -= 1

@@ -12,7 +12,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.analysis.report import render_key_values
-from repro.failures.taxonomy import FailureCategory
+from repro.failures.taxonomy import STORAGE_FAULT_KINDS, FailureCategory
 from repro.scheduler.job import FinalStatus
 
 
@@ -51,6 +51,17 @@ class ChaosSummary:
     # -- fleet --
     nodes_cordoned: int = 0
     nodes_escalated: int = 0
+    # -- storage & checkpointing --
+    storage_faults: int = 0
+    checkpoints_persisted: int = 0
+    checkpoints_degraded: int = 0
+    checkpoints_failed: int = 0
+    ckpt_quarantined: int = 0
+    restore_fallbacks: int = 0
+    fallback_lost_iterations: int = 0
+    restores_deferred: int = 0
+    storage_stall_hours: float = 0.0
+    persist_health: str = "healthy"
     # -- validation --
     invariant_checks: int = 0
 
@@ -90,6 +101,18 @@ class ChaosSummary:
                 "failed": self.jobs_failed,
                 "preempted": self.jobs_preempted,
             }, title="best-effort pool"),
+            render_key_values({
+                "storage faults": self.storage_faults,
+                "persisted": self.checkpoints_persisted,
+                "degraded": self.checkpoints_degraded,
+                "failed": self.checkpoints_failed,
+                "quarantined": self.ckpt_quarantined,
+                "fallback restores": self.restore_fallbacks,
+                "fallback lost iters": self.fallback_lost_iterations,
+                "restores deferred": self.restores_deferred,
+                "storage stall (h)": self.storage_stall_hours,
+                "persist health": self.persist_health,
+            }, title="storage & checkpointing"),
             render_key_values({
                 "cordoned": self.nodes_cordoned,
                 "escalated (faulty)": self.nodes_escalated,
@@ -167,5 +190,16 @@ def summarize(harness) -> ChaosSummary:
                            if not node.schedulable),
         nodes_escalated=sum(1 for node in harness.nodes
                             if node.health.value == "faulty"),
+        storage_faults=sum(count for kind, count in by_kind.items()
+                           if kind in STORAGE_FAULT_KINDS),
+        checkpoints_persisted=harness.checkpoints_persisted,
+        checkpoints_degraded=harness.checkpoints_degraded,
+        checkpoints_failed=harness.checkpoints_failed,
+        ckpt_quarantined=len(harness.catalog.quarantined),
+        restore_fallbacks=harness.restore_fallbacks,
+        fallback_lost_iterations=harness.fallback_lost_iterations,
+        restores_deferred=harness.restores_deferred,
+        storage_stall_hours=harness.storage_stall_seconds / 3600.0,
+        persist_health=harness.checkpointer.health.value,
         invariant_checks=harness.checker.checks_run,
     )

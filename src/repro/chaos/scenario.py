@@ -21,8 +21,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.failures.taxonomy import (TAXONOMY, FailureCategory,
-                                     taxonomy_by_reason)
+from repro.failures.taxonomy import (STORAGE_CHAOS_REASON,
+                                     STORAGE_FAULT_KINDS, TAXONOMY,
+                                     FailureCategory, taxonomy_by_reason)
 from repro.scheduler.job import Job, JobType
 
 #: GPUs per node throughout (Table 1: 8x A100 per node).
@@ -35,16 +36,21 @@ class InjectedFault:
 
     #: absolute simulated time of injection, seconds
     time: float
-    #: "failure" (a Table 3 reason), "loss_spike", or "hang"
+    #: "failure" (a Table 3 reason), "loss_spike", "hang", or one of the
+    #: storage kinds ("storage_outage" / "storage_slowdown" /
+    #: "ckpt_corruption")
     kind: str
-    #: taxonomy reason key for kind == "failure", else None
+    #: taxonomy reason key for kind == "failure" and storage kinds
     reason: str | None
-    #: "pretrain" (hits the gang) or "scheduler" (kills a running job)
+    #: "pretrain" (hits the gang), "scheduler" (kills a running job), or
+    #: "storage" (perturbs the checkpoint backend)
     target: str
     #: victim selector, reduced modulo the target's node pool at runtime
     node_index: int
     #: seed for the synthetic runtime log of this fault
     log_seed: int
+    #: fault-window length in seconds for storage kinds (0 otherwise)
+    duration: float = 0.0
 
     @property
     def category(self) -> FailureCategory | None:
@@ -91,6 +97,19 @@ class ChaosScenario:
     category_filter: str | None = None
     #: pin every fault to one victim node (repeat-offender scenarios)
     pin_node: int | None = None
+    # -- storage fault schedule (targets the checkpoint backend) --
+    n_storage_faults: int = 0
+    #: relative weights of (outage, slowdown, corruption) draws
+    storage_fault_mix: tuple[float, float, float] = (0.4, 0.3, 0.3)
+    storage_outage_duration: float = 1800.0
+    storage_slowdown_duration: float = 3600.0
+    #: added clock-seconds per read/write during a slowdown window
+    storage_slowdown_delay: float = 20.0
+    ckpt_corruption_duration: float = 2400.0
+    #: how long a deferred restore waits before retrying the backend
+    storage_retry_delay: float = 600.0
+    #: total clock budget one persist may burn across retries
+    storage_persist_deadline: float = 120.0
     #: explicit fault schedule; overrides sampling when non-empty
     faults: tuple[InjectedFault, ...] = ()
 
@@ -99,6 +118,21 @@ class ChaosScenario:
             raise ValueError("seed must be non-negative")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.n_storage_faults < 0:
+            raise ValueError("n_storage_faults must be non-negative")
+        if (len(self.storage_fault_mix) != 3
+                or any(w < 0 for w in self.storage_fault_mix)
+                or sum(self.storage_fault_mix) <= 0):
+            raise ValueError("storage_fault_mix must be 3 non-negative "
+                             "weights with a positive sum")
+        if min(self.storage_outage_duration,
+               self.storage_slowdown_duration,
+               self.ckpt_corruption_duration) <= 0:
+            raise ValueError("storage fault durations must be positive")
+        if self.storage_retry_delay <= 0:
+            raise ValueError("storage_retry_delay must be positive")
+        if self.storage_persist_deadline <= 0:
+            raise ValueError("storage_persist_deadline must be positive")
         if self.pretrain_gpus % GPUS_PER_NODE:
             raise ValueError("pretrain_gpus must be a multiple of 8")
         if self.scheduler_gpus % GPUS_PER_NODE:
@@ -124,6 +158,35 @@ class ChaosScenario:
         return self.n_nodes - self.gang_nodes - self.pool_nodes
 
     # -- deterministic sampling --------------------------------------------
+
+    def build_storage_faults(self) -> list[InjectedFault]:
+        """The resolved storage-fault schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 2``) so adding storage
+        faults never perturbs the node-fault or background-job streams.
+        """
+        if self.n_storage_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 2)
+        weights = np.array(self.storage_fault_mix, dtype=float)
+        weights /= weights.sum()
+        durations = {
+            "storage_outage": self.storage_outage_duration,
+            "storage_slowdown": self.storage_slowdown_duration,
+            "ckpt_corruption": self.ckpt_corruption_duration,
+        }
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.8 * self.duration,
+                                    self.n_storage_faults))
+        faults = []
+        for index, time in enumerate(times):
+            kind = STORAGE_FAULT_KINDS[
+                int(rng.choice(len(STORAGE_FAULT_KINDS), p=weights))]
+            faults.append(InjectedFault(
+                float(time), kind, STORAGE_CHAOS_REASON, "storage", 0,
+                self.seed * 1000 + 500 + index,
+                duration=durations[kind]))
+        return faults
 
     def build_faults(self) -> list[InjectedFault]:
         """The resolved fault schedule, sorted by time."""
@@ -163,7 +226,8 @@ class ChaosScenario:
             faults.append(InjectedFault(float(time), "failure",
                                         spec.reason, target, node,
                                         log_seed))
-        return faults
+        faults.extend(self.build_storage_faults())
+        return sorted(faults, key=lambda f: (f.time, f.log_seed))
 
     def build_background_jobs(self) -> list[Job]:
         """Deterministic best-effort jobs for the scheduler pool."""
@@ -208,4 +272,16 @@ BUNDLED_SCENARIOS: dict[str, ChaosScenario] = {
         scheduler_gpus=32, n_faults=6, pin_node=1,
         category_filter="infrastructure", loss_spike_fraction=0.0,
         hang_fraction=0.0, pretrain_target_fraction=1.0),
+    # storage-storm drills the checkpoint path: long corruption windows
+    # poison generations silently (forcing fallback restores when a node
+    # fault later triggers recovery), while outage/slowdown windows
+    # exercise the retry/deferral machinery.
+    "storage-storm": ChaosScenario(
+        name="storage-storm", n_nodes=8, duration=8.0 * 3600.0,
+        pretrain_gpus=16, scheduler_gpus=32, n_background_jobs=10,
+        n_faults=4, loss_spike_fraction=0.0, hang_fraction=0.0,
+        category_filter="infrastructure",
+        pretrain_target_fraction=1.0, n_storage_faults=5,
+        storage_fault_mix=(0.25, 0.25, 0.5),
+        ckpt_corruption_duration=3600.0),
 }

@@ -157,6 +157,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         overrides["duration"] = args.duration_hours * 3600.0
     if args.faults is not None:
         overrides["n_faults"] = args.faults
+    if args.storage_faults is not None:
+        overrides["n_storage_faults"] = args.storage_faults
     if overrides:
         try:
             scenario = replace(scenario, **overrides)
@@ -251,6 +253,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the simulated horizon")
     chaos.add_argument("--faults", type=int, default=None,
                        help="override the number of injected faults")
+    chaos.add_argument("--storage-faults", type=int, default=None,
+                       help="override the number of storage faults")
     chaos.add_argument("--log", action="store_true",
                        help="print the full event log")
     chaos.add_argument("--json-out", default=None,

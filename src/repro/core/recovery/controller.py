@@ -53,11 +53,22 @@ class CheckpointCatalog:
 
     def __init__(self, steps: list[int] | None = None) -> None:
         self._steps = sorted(steps or [])
+        #: steps quarantined after failing restore (checksum mismatch);
+        #: they never come back into the restart path
+        self.quarantined: list[int] = []
 
     def add(self, step: int) -> None:
         """Record a newly persisted checkpoint step."""
         self._steps.append(step)
         self._steps.sort()
+
+    def mark_bad(self, step: int) -> None:
+        """Quarantine a generation that failed restore; ``latest`` and
+        ``earlier_healthy`` will skip it from now on."""
+        if step in self._steps:
+            self._steps.remove(step)
+        if step not in self.quarantined:
+            self.quarantined.append(step)
 
     def latest(self) -> int | None:
         """Newest checkpoint step, or None."""
@@ -95,6 +106,15 @@ class RecoveryController:
         #: hardware, and escalates to ``NodeHealth.FAULTY`` (replacement)
         #: instead of bouncing through cordon/uncordon cycles.
         self.conviction_counts: dict[str, int] = {}
+        #: (step, detail) alerts raised by a sick persist pipeline —
+        #: failed or degraded checkpoint saves.  These are storage-side
+        #: incidents the automatic system absorbs (retry/fallback), so
+        #: they do not count against :meth:`automation_rate`.
+        self.storage_alerts: list[tuple[int, str]] = []
+
+    def record_storage_alert(self, step: int, detail: str) -> None:
+        """Note a degraded/failed checkpoint persist at ``step``."""
+        self.storage_alerts.append((step, detail))
 
     # -- failure path ---------------------------------------------------------
 

@@ -114,6 +114,21 @@ TAXONOMY: list[FailureSpec] = [
 ]
 
 
+#: Chaos fault kinds that target the storage path rather than a node.
+#: They map onto Table 3's ``S3StorageError`` row (network-storage
+#: outages on Seren) for taxonomy accounting.
+STORAGE_FAULT_KINDS: tuple[str, ...] = (
+    "storage_outage", "storage_slowdown", "ckpt_corruption")
+
+#: The taxonomy reason storage chaos faults are charged against.
+STORAGE_CHAOS_REASON = "S3StorageError"
+
+
+def storage_spec() -> FailureSpec:
+    """The Table 3 row backing the storage fault domain."""
+    return taxonomy_by_reason()[STORAGE_CHAOS_REASON]
+
+
 def taxonomy_by_reason() -> dict[str, FailureSpec]:
     """Reason-name -> spec mapping."""
     return {spec.reason: spec for spec in TAXONOMY}

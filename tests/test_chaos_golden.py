@@ -1,51 +1,79 @@
-"""Golden-trace regression test for the seeded smoke chaos scenario.
+"""Golden-trace regression tests for the seeded chaos scenarios.
 
-The checked-in fixture pins the *exact* event log and summary of
-``BUNDLED_SCENARIOS["smoke"]`` at seed 0.  Any drift — a reordered
-event, a changed timestamp, a different summary number — fails here, so
-behavioural changes to the sim engine, scheduler, recovery controller,
-or harness must be made deliberately and the fixture regenerated:
+Each checked-in fixture pins the *exact* event log and summary of one
+bundled scenario at seed 0.  Any drift — a reordered event, a changed
+timestamp, a different summary number — fails here, so behavioural
+changes to the sim engine, scheduler, recovery controller, storage
+fault stack, or harness must be made deliberately and the fixture
+regenerated:
 
     PYTHONPATH=src python -m repro chaos --scenario smoke \\
         --json-out tests/data/chaos_golden.json
+    PYTHONPATH=src python -m repro chaos --scenario storage-storm \\
+        --json-out tests/data/chaos_storage_storm_golden.json
 """
 
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.chaos import BUNDLED_SCENARIOS, run_scenario
 
-GOLDEN_PATH = Path(__file__).parent / "data" / "chaos_golden.json"
-REGEN_HINT = ("regenerate with: PYTHONPATH=src python -m repro chaos "
-              "--scenario smoke --json-out tests/data/chaos_golden.json")
+DATA_DIR = Path(__file__).parent / "data"
+GOLDENS = {
+    "smoke": DATA_DIR / "chaos_golden.json",
+    "storage-storm": DATA_DIR / "chaos_storage_storm_golden.json",
+}
 
 
-def current_payload():
-    result = run_scenario(BUNDLED_SCENARIOS["smoke"])
+def regen_hint(scenario):
+    return (f"regenerate with: PYTHONPATH=src python -m repro chaos "
+            f"--scenario {scenario} --json-out "
+            f"tests/data/{GOLDENS[scenario].name}")
+
+
+def current_payload(scenario):
+    result = run_scenario(BUNDLED_SCENARIOS[scenario])
     return {"summary": json.loads(result.summary.to_json()),
             "event_log": result.event_log_lines()}
 
 
-def test_smoke_event_log_matches_golden():
-    golden = json.loads(GOLDEN_PATH.read_text())
-    current = current_payload()
+@pytest.mark.parametrize("scenario", sorted(GOLDENS))
+def test_event_log_matches_golden(scenario):
+    golden = json.loads(GOLDENS[scenario].read_text())
+    current = current_payload(scenario)
     for line_no, (want, got) in enumerate(
             zip(golden["event_log"], current["event_log"]), start=1):
         assert want == got, (
             f"event log drifted at line {line_no}:\n"
-            f"  golden:  {want}\n  current: {got}\n{REGEN_HINT}")
+            f"  golden:  {want}\n  current: {got}\n"
+            f"{regen_hint(scenario)}")
     assert len(current["event_log"]) == len(golden["event_log"]), (
         f"event log length changed: golden {len(golden['event_log'])} "
-        f"vs current {len(current['event_log'])}\n{REGEN_HINT}")
+        f"vs current {len(current['event_log'])}\n{regen_hint(scenario)}")
 
 
-def test_smoke_summary_matches_golden():
-    golden = json.loads(GOLDEN_PATH.read_text())["summary"]
-    current = current_payload()["summary"]
+@pytest.mark.parametrize("scenario", sorted(GOLDENS))
+def test_summary_matches_golden(scenario):
+    golden = json.loads(GOLDENS[scenario].read_text())["summary"]
+    current = current_payload(scenario)["summary"]
     drifted = sorted(key for key in golden.keys() | current.keys()
                      if golden.get(key) != current.get(key))
     assert not drifted, (
         f"summary drifted in {drifted}: "
         + ", ".join(f"{key}: golden={golden.get(key)!r} "
                     f"current={current.get(key)!r}" for key in drifted)
-        + f"\n{REGEN_HINT}")
+        + f"\n{regen_hint(scenario)}")
+
+
+def test_storage_storm_golden_demonstrates_fallback():
+    """The pinned storm must keep proving the fallback-restore path."""
+    golden = json.loads(GOLDENS["storage-storm"].read_text())
+    summary = golden["summary"]
+    assert summary["restore_fallbacks"] >= 1
+    assert summary["ckpt_quarantined"] >= 1
+    assert any("restore_fallback" in line
+               for line in golden["event_log"])
+    assert any("ckpt_quarantined" in line
+               for line in golden["event_log"])

@@ -141,6 +141,35 @@ class TestDetectors:
         with pytest.raises(ValueError):
             HangDetector(timeout=0)
 
+    def test_warmup_shorter_than_window_never_flags(self):
+        """With fewer than window // 2 samples the stats are untrusted."""
+        detector = LossSpikeDetector(window=20, patience=1)
+        for step in range(9):
+            assert detector.observe(step, 2.0) is None
+        assert detector.observe(9, 1000.0) is None  # still warming up
+
+    def test_spike_exactly_at_relative_floor_is_not_elevated(self):
+        """The bound is strict: loss == mean * (1 + floor) stays healthy."""
+        at_bound = LossSpikeDetector(window=20, patience=1)
+        above_bound = LossSpikeDetector(window=20, patience=1)
+        for step in range(20):
+            at_bound.observe(step, 2.0)
+            above_bound.observe(step, 2.0)
+        bound = 2.0 + 0.15 * 2.0  # std == 0, so the relative floor rules
+        assert at_bound.observe(20, bound) is None
+        assert above_bound.observe(20, bound + 1e-9) is not None
+
+    def test_recovery_on_step_before_patience_resets_the_run(self):
+        detector = LossSpikeDetector(window=20, patience=3)
+        for step in range(20):
+            detector.observe(step, 2.0)
+        assert detector.observe(20, 8.0) is None
+        assert detector.observe(21, 8.0) is None  # patience - 1 elevated
+        assert detector.observe(22, 2.0) is None  # recovers just in time
+        assert detector.observe(23, 8.0) is None  # old run must not carry
+        assert detector.observe(24, 8.0) is None
+        assert detector.observe(25, 8.0) is not None  # fresh full run
+
 
 class TestCheckpointCatalog:
     def test_latest(self):
@@ -158,6 +187,21 @@ class TestCheckpointCatalog:
     def test_empty_catalog(self):
         assert CheckpointCatalog().latest() is None
         assert CheckpointCatalog().earlier_healthy(100) is None
+
+    def test_mark_bad_quarantines_a_generation(self):
+        catalog = CheckpointCatalog([100, 200, 300])
+        catalog.mark_bad(300)
+        assert catalog.latest() == 200
+        assert catalog.quarantined == [300]
+        assert catalog.earlier_healthy(before_step=310, back=0) == 200
+
+    def test_mark_bad_is_idempotent_and_tolerates_unknown_steps(self):
+        catalog = CheckpointCatalog([100])
+        catalog.mark_bad(100)
+        catalog.mark_bad(100)
+        catalog.mark_bad(999)  # never persisted; nothing to remove
+        assert catalog.quarantined == [100, 999]
+        assert catalog.latest() is None
 
 
 class TestRecoveryController:
@@ -232,6 +276,15 @@ class TestRecoveryController:
         plan = controller.handle_failure(log.lines)
         assert plan.restart
         assert plan.restart_checkpoint_step == 0
+
+    def test_storage_alerts_do_not_count_as_interventions(self):
+        controller, _ = self.make_controller()
+        controller.record_storage_alert(120, "persist degraded: 3 attempts")
+        controller.record_storage_alert(240, "persist failed: outage")
+        assert controller.storage_alerts == [
+            (120, "persist degraded: 3 attempts"),
+            (240, "persist failed: outage")]
+        assert controller.manual_interventions() == 0
 
     def test_loss_spike_without_checkpoint_does_not_restart(self):
         """No rollback target -> notify, never a blind restart."""

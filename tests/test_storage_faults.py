@@ -1,0 +1,182 @@
+"""Tests for the injectable storage fault decorators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.storage import (CorruptingStorage, FlakyStorage,
+                                   MonotonicClock, SlowStorage,
+                                   StorageError, StorageUnavailableError,
+                                   VirtualClock)
+from repro.core.checkpoint import (CheckpointError, InMemoryStorage,
+                                   _deserialize, _serialize)
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        before = clock.now()
+        clock.sleep(0.001)
+        assert clock.now() > before
+
+    def test_virtual_clock_sleep_is_free(self):
+        clock = VirtualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.sleep(3600.0)  # returns instantly
+        assert clock.now() == 3605.0
+
+    def test_virtual_clock_rejects_negative_sleep(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1.0)
+
+
+class TestFlakyStorage:
+    def test_transparent_outside_windows(self):
+        clock = VirtualClock()
+        flaky = FlakyStorage(InMemoryStorage(),
+                             windows=[(100.0, 200.0)], clock=clock)
+        flaky.write("k", b"v")
+        assert flaky.read("k") == b"v"
+        assert flaky.keys() == ["k"]
+        assert flaky.faults_injected == 0
+
+    def test_fails_every_op_inside_window(self):
+        clock = VirtualClock()
+        flaky = FlakyStorage(InMemoryStorage(),
+                             windows=[(100.0, 200.0)], clock=clock)
+        flaky.write("k", b"v")
+        clock.advance(150.0)
+        for op in (lambda: flaky.write("k2", b"x"),
+                   lambda: flaky.read("k"), flaky.keys,
+                   lambda: flaky.delete("k")):
+            with pytest.raises(StorageUnavailableError):
+                op()
+        assert flaky.faults_injected == 4
+
+    def test_window_is_half_open(self):
+        clock = VirtualClock(start=200.0)  # exactly the window end
+        flaky = FlakyStorage(InMemoryStorage(),
+                             windows=[(100.0, 200.0)], clock=clock)
+        flaky.write("k", b"v")  # no raise
+
+    def test_seeded_fail_rate_is_deterministic(self):
+        def failures(seed):
+            flaky = FlakyStorage(InMemoryStorage(), fail_rate=0.5,
+                                 seed=seed)
+            pattern = []
+            for i in range(32):
+                try:
+                    flaky.write(f"k{i}", b"v")
+                    pattern.append(True)
+                except StorageUnavailableError:
+                    pattern.append(False)
+            return pattern
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+
+    def test_rejects_bad_rate_and_empty_window(self):
+        with pytest.raises(ValueError):
+            FlakyStorage(InMemoryStorage(), fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FlakyStorage(InMemoryStorage(), windows=[(5.0, 5.0)])
+
+
+class TestSlowStorage:
+    def test_delay_consumes_virtual_time_only(self):
+        clock = VirtualClock()
+        slow = SlowStorage(InMemoryStorage(), delay=30.0, clock=clock)
+        slow.write("k", b"v")
+        assert clock.now() == 30.0
+        slow.read("k")
+        assert clock.now() == 60.0
+        assert slow.delays_injected == 2
+        assert slow.total_delay == 60.0
+
+    def test_windows_gate_the_slowdown(self):
+        clock = VirtualClock()
+        slow = SlowStorage(InMemoryStorage(), delay=30.0,
+                           windows=[(100.0, 200.0)], clock=clock)
+        slow.write("k", b"v")  # outside: free
+        assert clock.now() == 0.0
+        clock.advance(150.0)
+        slow.read("k")
+        assert clock.now() == 180.0
+
+    def test_empty_window_tuple_means_never_slow(self):
+        clock = VirtualClock()
+        slow = SlowStorage(InMemoryStorage(), delay=30.0, windows=(),
+                           clock=clock)
+        slow.write("k", b"v")
+        assert clock.now() == 0.0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SlowStorage(InMemoryStorage(), delay=-1.0)
+
+
+class TestCorruptingStorage:
+    def test_write_succeeds_but_checksum_breaks(self):
+        clock = VirtualClock(start=150.0)
+        corrupting = CorruptingStorage(InMemoryStorage(),
+                                       windows=[(100.0, 200.0)],
+                                       clock=clock)
+        blob = _serialize(7, {"x": np.zeros(8)})
+        corrupting.write("ckpt-000000000007", blob)  # silent
+        assert corrupting.corrupted_writes == 1
+        assert "ckpt-000000000007" in corrupting.corrupted_keys
+        with pytest.raises(CheckpointError):
+            _deserialize(corrupting.read("ckpt-000000000007"))
+
+    def test_clean_outside_window(self):
+        clock = VirtualClock()
+        corrupting = CorruptingStorage(InMemoryStorage(),
+                                       windows=[(100.0, 200.0)],
+                                       clock=clock)
+        blob = _serialize(7, {"x": np.zeros(8)})
+        corrupting.write("k", blob)
+        assert corrupting.corrupted_writes == 0
+        step, _ = _deserialize(corrupting.read("k"))
+        assert step == 7
+
+    def test_clean_overwrite_clears_corrupt_mark(self):
+        clock = VirtualClock(start=150.0)
+        corrupting = CorruptingStorage(InMemoryStorage(),
+                                       windows=[(100.0, 200.0)],
+                                       clock=clock)
+        corrupting.write("k", b"abcdef")
+        clock.advance(100.0)  # window closed
+        corrupting.write("k", b"abcdef")
+        assert "k" not in corrupting.corrupted_keys
+
+    def test_seeded_corrupt_rate_is_deterministic(self):
+        def corrupted(seed):
+            store = CorruptingStorage(InMemoryStorage(),
+                                      corrupt_rate=0.5, seed=seed)
+            for i in range(32):
+                store.write(f"k{i}", b"abcdef")
+            return sorted(store.corrupted_keys)
+
+        assert corrupted(3) == corrupted(3)
+        assert corrupted(3) != corrupted(4)
+
+
+class TestComposition:
+    def test_stacked_decorators_compose(self):
+        """The chaos harness stack: flaky(slow(corrupting(memory)))."""
+        clock = VirtualClock()
+        stack = FlakyStorage(
+            SlowStorage(
+                CorruptingStorage(InMemoryStorage(),
+                                  windows=[(0.0, 10.0)], clock=clock),
+                delay=5.0, windows=[(20.0, 30.0)], clock=clock),
+            windows=[(40.0, 50.0)], clock=clock)
+        stack.write("a", b"abcdef")          # t=0: corrupted
+        clock.advance(25.0)
+        stack.write("b", b"abcdef")          # t=25: slow (+5s)
+        assert clock.now() == 30.0
+        clock.advance(15.0)                  # t=45: outage
+        with pytest.raises(StorageError):
+            stack.read("a")
+        clock.advance(10.0)                  # t=55: all clear
+        assert stack.read("a") != b"abcdef"  # corruption persisted
+        assert stack.read("b") == b"abcdef"
