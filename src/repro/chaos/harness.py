@@ -22,7 +22,7 @@ seeded run is byte-for-byte reproducible: same event log, same summary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -265,7 +265,12 @@ class ChaosHarness:
             self.engine.call_at(fault.time,
                                 lambda i=index, f=fault:
                                 self._inject(i, f))
-        self.engine.run(until=scenario.duration)
+        try:
+            self.engine.run(until=scenario.duration)
+        finally:
+            # unhook the invariant checker so a reused engine (or a
+            # second harness in one process) never fires a stale one
+            self.engine.remove_listener(self.checker.check)
         if self._pretrain_stopped_at is not None:
             self.pretrain_downtime += (self.engine.now
                                        - self._pretrain_stopped_at)

@@ -17,7 +17,7 @@ end the campaign instead of exercising the recovery loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

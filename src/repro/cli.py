@@ -9,6 +9,7 @@ Subcommands::
     acme-repro checkpoint --model 123b --gpus 2048
     acme-repro report --jobs 6000
     acme-repro chaos --scenario smoke --seed 0
+    acme-repro lint src --format json
 
 (``python -m repro ...`` works identically.)
 """
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -183,6 +185,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import runner
+
+    return runner.main(args)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.workload.validate import calibration_report
 
@@ -261,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write event log + summary as JSON")
     chaos.set_defaults(func=_cmd_chaos)
 
+    lint = sub.add_parser(
+        "lint", help="reprolint: determinism & sim-safety static "
+                     "analysis (docs/LINT.md)")
+    from repro.devtools.lint.runner import add_arguments
+    add_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
+
     validate = sub.add_parser(
         "validate", help="check a trace against the paper's anchors")
     validate.add_argument("trace")
@@ -280,7 +295,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `... | head`); exit quietly like any
+        # well-behaved Unix filter instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.machine import Node, NodeSpec
+from repro.cluster.machine import Node
 from repro.cluster.network import Link, NetworkFabric
 
 

@@ -38,7 +38,7 @@ import queue
 import re
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Callable
@@ -92,7 +92,10 @@ class InMemoryStorage:
 
     def _throttle(self, size: int) -> None:
         if self.bandwidth is not None:
-            time.sleep(size / self.bandwidth)
+            # deliberate wall-sleep: this backend emulates persist
+            # bandwidth for the *threaded* async pipeline, which runs
+            # in real time (simulations inject a VirtualClock instead)
+            time.sleep(size / self.bandwidth)  # reprolint: disable=CLK001
 
     def write(self, key: str, blob: bytes) -> None:
         """Store a blob under ``key``."""
@@ -362,12 +365,12 @@ class _CheckpointerBase:
         for source in self._sources():
             try:
                 source.write("quarantine-" + key, source.read(key))
-            except Exception:
+            except Exception:  # reprolint: disable=EXC001
                 pass  # best effort: the backend may be down or key gone
             try:
                 source.delete(key)
-            except Exception:
-                pass
+            except Exception:  # reprolint: disable=EXC001
+                pass  # best effort, as above; quarantined[] records it
 
     def load_at_or_before(self, step: int | None = None
                           ) -> tuple[int, StateDict] | None:
@@ -512,7 +515,7 @@ class AsyncCheckpointer(_CheckpointerBase):
                             try:
                                 self.on_persist_failure(
                                     item.step, result.error or "")
-                            except Exception:
+                            except Exception:  # reprolint: disable=EXC001
                                 pass  # a sick callback must not kill us
             except BaseException as exc:
                 # Unexpected (non-storage) error: remember it for the
@@ -532,7 +535,7 @@ class AsyncCheckpointer(_CheckpointerBase):
         if self._error is not None:
             raise CheckpointError(
                 "background persist failed") from self._error
-        started = time.monotonic()
+        started = self.clock.now()
         # The snapshot is the blocking part: copy tensors off the "GPU"
         # so training can mutate them immediately after we return.
         snapshot = {name: np.array(array, copy=True)
@@ -559,7 +562,7 @@ class AsyncCheckpointer(_CheckpointerBase):
             self._pending.append(pending)
         self._queue.put(pending)
         self.saves += 1
-        return time.monotonic() - started
+        return self.clock.now() - started
 
     def flush(self, timeout: float = 30.0,
               raise_on_failed: bool = True) -> None:

@@ -17,7 +17,7 @@ Mirrors Fig. 15:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.diagnosis.compression import (CompressionResult,
                                               FilterRules, LogCompressor)

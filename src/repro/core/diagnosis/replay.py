@@ -10,6 +10,7 @@ intervention" estimate, run end to end.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.diagnosis.agents import DiagnosisSystem
@@ -74,13 +75,14 @@ def replay_trace_failures(trace: Trace,
     system = system or DiagnosisSystem()
     taxonomy = taxonomy_by_reason()
     report = ReplayReport()
-    compression_total = 0.0
+    compression_ratios: list[float] = []
     for job in failed:
         truth = job.failure_reason
         log = generator.failed_log(truth, n_steps=log_steps)
         diagnosis = system.diagnose(log.lines)
         report.total += 1
-        compression_total += diagnosis.compression.compression_ratio
+        compression_ratios.append(
+            diagnosis.compression.compression_ratio)
         stats = report.by_reason.setdefault(
             truth, {"count": 0, "correct": 0})
         stats["count"] += 1
@@ -96,5 +98,6 @@ def replay_trace_failures(trace: Trace,
             report.needs_human += 1
         else:
             report.auto_recovered += 1
-    report.mean_compression_ratio = compression_total / report.total
+    report.mean_compression_ratio = (math.fsum(compression_ratios)
+                                     / report.total)
     return report

@@ -10,6 +10,7 @@ relies on.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,10 @@ def embed_text(text: str, dim: int = _DIM) -> np.ndarray:
         data = data + " " * (_NGRAM - len(data))
     for i in range(len(data) - _NGRAM + 1):
         gram = data[i:i + _NGRAM]
-        vector[hash(gram) % dim] += 1.0
+        # crc32, not hash(): builtin string hashing is randomized per
+        # process, so hash-bucketed embeddings would not be comparable
+        # across runs (or with persisted incident stores)
+        vector[zlib.crc32(gram.encode("utf-8")) % dim] += 1.0
     norm = np.linalg.norm(vector)
     if norm > 0:
         vector /= norm

@@ -19,6 +19,7 @@ of a 63-dataset round on a 7B model, on one node and on four nodes
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 from repro.cluster.storage import SharedStorage
@@ -99,8 +100,7 @@ class TrialCoordinator:
         free_at = [0.0] * gpus
         heapq.heapify(free_at)
         makespan = 0.0
-        busy = 0.0
-        occupied = 0.0
+        durations: list[float] = []
         events = []
         for dataset in datasets:
             start = heapq.heappop(free_at)
@@ -111,12 +111,13 @@ class TrialCoordinator:
             end = start + duration
             heapq.heappush(free_at, end)
             makespan = max(makespan, end)
-            busy += dataset.inference_seconds
-            occupied += duration
+            durations.append(duration)
             events.append((dataset.name, start, end))
+        busy = math.fsum(d.inference_seconds for d in datasets)
         return EvaluationRound(
             strategy="baseline", makespan=makespan,
-            gpu_busy_seconds=busy, gpu_occupied_seconds=occupied,
+            gpu_busy_seconds=busy,
+            gpu_occupied_seconds=math.fsum(durations),
             trial_count=len(datasets), events=events)
 
     # -- decoupled ------------------------------------------------------------
@@ -133,8 +134,8 @@ class TrialCoordinator:
         assignments = lpt_pack(shards, gpus,
                                prioritize_cpu_metrics=True)
         cache_factor = 0.05 if cfg.preprocess_cache else 1.0
-        busy = 0.0
-        occupied = 0.0
+        inference_seconds: list[float] = []
+        occupancies: list[float] = []
         gpu_makespan = 0.0
         metric_finish = 0.0
         events = []
@@ -147,19 +148,20 @@ class TrialCoordinator:
             for dataset in assignment.datasets:
                 cursor += dataset.preprocess_seconds * cache_factor
                 cursor += dataset.inference_seconds
-                busy += dataset.inference_seconds
+                inference_seconds.append(dataset.inference_seconds)
                 metric_wall = (dataset.metric_cpu_seconds
                                / cfg.metric_workers)
                 metric_finish = max(metric_finish, cursor + metric_wall)
                 events.append((dataset.name, cursor
                                - dataset.inference_seconds, cursor))
-            occupied += cursor - precursor
+            occupancies.append(cursor - precursor)
             gpu_makespan = max(gpu_makespan, cursor)
         self.stager.clear()
         makespan = max(gpu_makespan, metric_finish)
         return EvaluationRound(
             strategy="decoupled", makespan=makespan,
-            gpu_busy_seconds=busy, gpu_occupied_seconds=occupied,
+            gpu_busy_seconds=math.fsum(inference_seconds),
+            gpu_occupied_seconds=math.fsum(occupancies),
             trial_count=sum(1 for a in assignments if a.datasets),
             events=events)
 

@@ -14,6 +14,7 @@ recovery controller's :class:`CheckpointCatalog` should be fed with.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,13 +60,13 @@ class ShardedCheckpointer:
         if len(shards) != self.world_size:
             raise ValueError(
                 f"expected {self.world_size} shards, got {len(shards)}")
-        blocking = 0.0
+        blocking: list[float] = []
         for rank, (checkpointer, shard) in enumerate(
                 zip(self.checkpointers, shards)):
             if fail_after_rank is not None and rank > fail_after_rank:
                 break
-            blocking += checkpointer.save(step, shard)
-        return blocking
+            blocking.append(checkpointer.save(step, shard))
+        return math.fsum(blocking)
 
     def flush(self) -> None:
         """Block until every rank's snapshots are durable."""

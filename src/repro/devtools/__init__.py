@@ -1,0 +1,12 @@
+"""Developer tooling that keeps the reproduction honest.
+
+``repro.devtools.lint`` ("reprolint") is a purpose-built static-analysis
+pass for this seeded discrete-event codebase: it mechanizes the
+determinism conventions — seeded RNGs, clock seams, stable iteration
+order — that every golden chaos trace and seed-stability test silently
+depends on.  See ``docs/LINT.md`` for the rule catalogue.
+"""
+
+from repro.devtools.lint import Finding, LintConfig, LintResult, run_lint
+
+__all__ = ["Finding", "LintConfig", "LintResult", "run_lint"]

@@ -1,0 +1,128 @@
+"""Grandfathered-finding baseline: load, match, regenerate.
+
+The baseline is a committed JSON file mapping finding fingerprints to a
+human-written justification.  Fingerprints hash the (path, code,
+snippet) triple — not the line number — so edits elsewhere in a file do
+not invalidate entries, while any change to the offending line itself
+forces the finding (and its justification) to be re-earned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    code: str
+    path: str
+    line: int
+    snippet: str
+    justification: str
+    #: how many identical findings this entry absorbs
+    count: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "justification": self.justification,
+            "count": self.count,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r}")
+        entries = [BaselineEntry(
+            fingerprint=raw["fingerprint"],
+            code=raw["code"],
+            path=raw["path"],
+            line=int(raw.get("line", 0)),
+            snippet=raw.get("snippet", ""),
+            justification=raw.get("justification", ""),
+            count=int(raw.get("count", 1)),
+        ) for raw in data.get("entries", [])]
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries,
+                key=lambda e: (e.path, e.code, e.line))],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
+
+    def apply(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding],
+                         list[BaselineEntry]]:
+        """Split findings into (fresh, baselined) and report staleness.
+
+        Returns ``(fresh, baselined, stale_entries)`` where stale
+        entries matched nothing — their violation was fixed and the
+        baseline should be regenerated.
+        """
+        budget = {entry.fingerprint: entry.count
+                  for entry in self.entries}
+        by_print = {entry.fingerprint: entry for entry in self.entries}
+        fresh: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+                entry = by_print[fingerprint]
+                baselined.append(dataclasses.replace(
+                    finding, justification=entry.justification))
+            else:
+                fresh.append(finding)
+        stale = [by_print[fp] for fp, left in budget.items()
+                 if left == by_print[fp].count]
+        return fresh, baselined, stale
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Build a baseline absorbing ``findings``.
+
+        Justifications from ``previous`` are carried over; new entries
+        get a TODO placeholder that a human must replace.
+        """
+        carried = {entry.fingerprint: entry.justification
+                   for entry in (previous.entries if previous else [])}
+        counts: dict[str, BaselineEntry] = {}
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if fingerprint in counts:
+                counts[fingerprint].count += 1
+                continue
+            counts[fingerprint] = BaselineEntry(
+                fingerprint=fingerprint,
+                code=finding.code,
+                path=finding.path,
+                line=finding.line,
+                snippet=finding.snippet,
+                justification=carried.get(
+                    fingerprint, "TODO: justify or fix"),
+            )
+        return cls(entries=list(counts.values()))

@@ -1,0 +1,31 @@
+"""The reprolint rule registry: one checker class per rule code."""
+
+from repro.devtools.lint.checkers.clock import ClockChecker
+from repro.devtools.lint.checkers.defaults import MutableDefaultChecker
+from repro.devtools.lint.checkers.exceptions import ExceptionChecker
+from repro.devtools.lint.checkers.floats import FloatSumChecker
+from repro.devtools.lint.checkers.listeners import ListenerChecker
+from repro.devtools.lint.checkers.ordering import OrderingChecker
+from repro.devtools.lint.checkers.randomness import RandomnessChecker
+
+#: every built-in checker, in rule-code order.
+ALL_CHECKERS = (
+    RandomnessChecker,
+    ClockChecker,
+    OrderingChecker,
+    ExceptionChecker,
+    ListenerChecker,
+    FloatSumChecker,
+    MutableDefaultChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ClockChecker",
+    "ExceptionChecker",
+    "FloatSumChecker",
+    "ListenerChecker",
+    "MutableDefaultChecker",
+    "OrderingChecker",
+    "RandomnessChecker",
+]

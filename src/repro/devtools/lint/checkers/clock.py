@@ -1,0 +1,56 @@
+"""CLK001 — wall-clock reads inside sim-owned packages.
+
+The simulation's only time source is ``Engine.now`` (or the injected
+``MonotonicClock``/``VirtualClock`` seam from the checkpoint pipeline).
+A direct ``time.time()`` in sim-owned code couples event timestamps to
+the host, which shows up as golden-trace diffs that depend on machine
+load — the worst kind of flake to bisect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker
+
+_TIME_FUNCS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.sleep",
+})
+
+#: always wall-clock regardless of arguments
+_DATETIME_ALWAYS = frozenset({
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: wall-clock only when called without arguments (an explicit tz
+#: argument still reads the wall clock, but argless is the classic slip)
+_DATETIME_ARGLESS = frozenset({"datetime.datetime.now"})
+
+
+class ClockChecker(Checker):
+    code = "CLK001"
+    interests = (ast.Call,)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        if not self.ctx.sim_owned:
+            return
+        assert isinstance(node, ast.Call)
+        dotted, imported = self.ctx.resolve(node.func)
+        if not imported or dotted is None:
+            return
+        if dotted in _TIME_FUNCS:
+            self.report(
+                node,
+                f"{dotted}() reads the host clock in sim-owned code; "
+                f"use engine.now or the injected Clock seam")
+        elif dotted in _DATETIME_ALWAYS or (
+                dotted in _DATETIME_ARGLESS
+                and not node.args and not node.keywords):
+            self.report(
+                node,
+                f"{dotted}() reads the host clock in sim-owned code; "
+                f"derive timestamps from simulated time")

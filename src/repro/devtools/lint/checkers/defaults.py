@@ -1,0 +1,52 @@
+"""MUT001 — mutable default arguments.
+
+A mutable default is shared by every call of the function; in a
+simulator it additionally leaks state *between scenarios*, turning the
+second seeded run of a process into a different trajectory than the
+first.  Use ``None`` plus an in-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+_MUTABLE_DOTTED = frozenset({
+    "collections.defaultdict", "collections.deque",
+    "collections.OrderedDict", "collections.Counter",
+})
+
+
+class MutableDefaultChecker(Checker):
+    code = "MUT001"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda))
+        defaults = [d for d in node.args.defaults if d is not None]
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                self.report(
+                    default,
+                    f"mutable default argument in {name}(); the value "
+                    f"is shared across calls — default to None and "
+                    f"construct in the body")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted, imported = self.ctx.resolve(node.func)
+            if not imported and dotted in _MUTABLE_CALLS:
+                return True
+            if imported and dotted in _MUTABLE_DOTTED:
+                return True
+        return False

@@ -1,0 +1,58 @@
+"""EXC001 — silent exception swallowing in recovery/checkpoint paths.
+
+A bare ``except: pass`` in a recovery path converts a storage outage or
+a poisoned checkpoint into *nothing happened*, which is how real
+incidents hide until the restore that needed the data.  Handlers in
+sim-owned packages must re-raise, log, or record what they caught; a
+genuinely best-effort swallow needs an inline suppression explaining
+why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler_type: ast.AST | None, ctx) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(el, ctx) for el in handler_type.elts)
+    dotted, imported = ctx.resolve(handler_type)
+    return not imported and dotted in _BROAD
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler neither raises, calls, nor records."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class ExceptionChecker(Checker):
+    code = "EXC001"
+    interests = (ast.ExceptHandler,)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        if not self.ctx.sim_owned:
+            return
+        assert isinstance(node, ast.ExceptHandler)
+        if _is_broad(node.type, self.ctx) and _is_silent(node.body):
+            what = ("bare except" if node.type is None
+                    else "over-broad except")
+            self.report(
+                node,
+                f"{what} swallows the error without re-raise, logging, "
+                f"or bookkeeping; record what was caught or narrow the "
+                f"exception type")

@@ -1,0 +1,65 @@
+"""FLT001 — naive float accumulation in loops.
+
+``total += x`` in a loop accumulates rounding error whose exact value
+depends on summation order and platform FMA behaviour; two machines can
+produce traces that differ in the last ulp, which a byte-compared
+golden file treats as a failure.  Accumulate with ``math.fsum`` over a
+collected sequence, or keep tick counters in integers.
+
+Detection is deliberately local and precise: a function-scope name
+initialized to a float constant and ``+=``-ed inside a loop in the same
+scope.  Cross-method attribute accumulators are out of scope (too many
+false positives to gate CI on).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker, scoped_walk
+
+
+def _float_accumulators(scope: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in scoped_walk(scope):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and type(node.value.value) is float):
+            names.add(node.targets[0].id)
+    return names
+
+
+class FloatSumChecker(Checker):
+    code = "FLT001"
+    interests = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        if not self.ctx.sim_owned:
+            return
+        accumulators = _float_accumulators(node)
+        if not accumulators:
+            return
+        self._walk(node, accumulators, in_loop=False)
+
+    def _walk(self, node: ast.AST, accumulators: set[str],
+              in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue  # separate scope, dispatched on its own
+            child_in_loop = in_loop or isinstance(
+                child, (ast.For, ast.AsyncFor, ast.While))
+            if (in_loop and isinstance(child, ast.AugAssign)
+                    and isinstance(child.op, ast.Add)
+                    and isinstance(child.target, ast.Name)
+                    and child.target.id in accumulators):
+                self.report(
+                    child,
+                    f"float accumulator {child.target.id!r} grows "
+                    f"with += in a loop; use math.fsum or integer "
+                    f"ticks for trace-stable totals")
+            self._walk(child, accumulators, child_in_loop)

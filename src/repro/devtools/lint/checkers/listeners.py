@@ -1,0 +1,50 @@
+"""LSN001 — engine listeners registered without a removal path.
+
+``Engine.add_listener`` hooks run after *every* simulation event.  A
+module that registers listeners but never calls ``remove_listener``
+leaks them across chaos scenarios: the second run of a harness in one
+process fires the first run's invariant checker against the wrong
+state.  Every module that adds a listener must also contain the
+matching removal (typically in a ``finally`` at the end of the run).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker
+
+_PAIRS = {"add_listener": "remove_listener"}
+
+
+class ListenerChecker(Checker):
+    code = "LSN001"
+    interests = (ast.Call,)
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._adds: list[tuple[ast.Call, str]] = []
+        self._removals: set[str] = set()
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        if not self.ctx.sim_owned:
+            return
+        assert isinstance(node, ast.Call)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr in _PAIRS:
+            self._adds.append((node, attr))
+        elif attr in _PAIRS.values():
+            self._removals.add(attr)
+
+    def finish(self) -> None:
+        for node, attr in self._adds:
+            if _PAIRS[attr] not in self._removals:
+                self.report(
+                    node,
+                    f"{attr}() with no {_PAIRS[attr]}() anywhere in "
+                    f"this module; the listener leaks across "
+                    f"scenarios")

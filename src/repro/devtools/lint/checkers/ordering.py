@@ -1,0 +1,94 @@
+"""ORD001 — iteration order that depends on hashing or allocation.
+
+Set iteration order follows string hashing, which is randomized per
+process; ``id()``-keyed ordering follows allocator layout.  Either one
+feeding an order-sensitive sink (heap pushes, appended event logs,
+insertion-sorted lists) is the classic golden-trace flake: correct
+output, different order, byte-diff against the pinned trace.  Wrap the
+iterable in ``sorted(...)`` or key on a stable field instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker, scoped_walk
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+_KEYED_SORTERS = frozenset({"sorted", "min", "max"})
+
+
+def _local_set_bindings(scope: ast.AST, ctx) -> set[str]:
+    """Names assigned a syntactically-evident set within this scope."""
+    names: set[str] = set()
+    for node in scoped_walk(scope):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_set_expr(node.value, ctx, names)):
+            names.add(node.targets[0].id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, ctx, local_sets: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    if isinstance(node, ast.Call):
+        dotted, imported = ctx.resolve(node.func)
+        if not imported and dotted in ("set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and _is_set_expr(node.func.value, ctx, local_sets)):
+            return True
+    return False
+
+
+class OrderingChecker(Checker):
+    code = "ORD001"
+    interests = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                 ast.Call)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        if isinstance(node, ast.Call):
+            self._check_id_keyed(node)
+            return
+        local_sets = _local_set_bindings(node, self.ctx)
+        for child in scoped_walk(node):
+            iters: list[ast.AST] = []
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                iters.append(child.iter)
+            elif isinstance(child, (ast.ListComp, ast.SetComp,
+                                    ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in child.generators)
+            for it in iters:
+                if _is_set_expr(it, self.ctx, local_sets):
+                    self.report(
+                        it,
+                        "iterating a set: order follows per-process "
+                        "string hashing; wrap in sorted(...) before "
+                        "feeding order-sensitive sinks")
+
+    def _check_id_keyed(self, node: ast.Call) -> None:
+        dotted, imported = self.ctx.resolve(node.func)
+        is_sorter = ((not imported and dotted in _KEYED_SORTERS)
+                     or (isinstance(node.func, ast.Attribute)
+                         and node.func.attr == "sort"))
+        if not is_sorter:
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            key_dotted, key_imported = self.ctx.resolve(keyword.value)
+            if not key_imported and key_dotted == "id":
+                self.report(
+                    keyword.value,
+                    "ordering keyed on id() depends on allocator "
+                    "layout; key on a stable field instead")

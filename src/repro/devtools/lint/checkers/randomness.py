@@ -1,0 +1,74 @@
+"""RNG001 — unseeded / process-global entropy sources.
+
+Every byte of randomness in this repository must flow through an
+injected, seeded ``random.Random`` or ``numpy.random.Generator``; a
+single global draw silently detaches a run from its seed and every
+golden trace built on it.  Builtin ``hash()`` belongs here too: string
+hashing is randomized per process (PYTHONHASHSEED), so hash-derived
+seeds and hash-bucketed features differ across runs even when every
+explicit seed matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from repro.devtools.lint.walker import Checker
+
+#: numpy.random attributes that are fine to touch: seeded construction.
+_NUMPY_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "RandomState", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: random-module attributes that construct a seedable instance.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: misc process-entropy callables, always wrong in this codebase.
+_FORBIDDEN = {
+    "os.urandom": "os.urandom() is process entropy",
+    "uuid.uuid1": "uuid.uuid1() depends on host clock and MAC",
+    "uuid.uuid4": "uuid.uuid4() is process entropy",
+    "secrets.token_bytes": "secrets.* is process entropy",
+    "secrets.token_hex": "secrets.* is process entropy",
+    "secrets.randbelow": "secrets.* is process entropy",
+}
+
+
+class RandomnessChecker(Checker):
+    code = "RNG001"
+    interests = (ast.Call,)
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        assert isinstance(node, ast.Call)
+        dotted, imported = self.ctx.resolve(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if imported and parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in _RANDOM_ALLOWED:
+                self.report(
+                    node,
+                    f"global random.{parts[1]}() draws from the shared "
+                    f"module RNG; inject a seeded random.Random "
+                    f"instead")
+        elif (imported and len(parts) == 3
+                and parts[0] == "numpy" and parts[1] == "random"
+                and parts[2] not in _NUMPY_ALLOWED):
+            self.report(
+                node,
+                f"legacy numpy.random.{parts[2]}() uses the global "
+                f"numpy RNG; use numpy.random.default_rng(seed)")
+        elif not imported and dotted == "hash":
+            self.report(
+                node,
+                "builtin hash() is randomized per process "
+                "(PYTHONHASHSEED); use zlib.crc32/hashlib for stable "
+                "values")
+        elif imported and dotted in _FORBIDDEN:
+            self.report(
+                node,
+                f"{_FORBIDDEN[dotted]}; all randomness must come from "
+                f"an injected seeded generator")

@@ -1,0 +1,132 @@
+"""Per-file analysis context: parse tree, imports, suppressions."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+#: packages whose code runs under the deterministic simulation engine;
+#: wall-clock and ordering rules only apply inside these.
+SIM_PACKAGES = frozenset({"sim", "scheduler", "chaos", "core",
+                          "failures"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<scope>-file)?"
+    r"(?:\s*=\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?")
+
+#: sentinel meaning "every rule code"
+ALL_CODES = "*"
+
+
+def _parse_suppressions(lines: list[str]
+                        ) -> tuple[dict[int, set[str]], set[str]]:
+    """Scan source lines for ``# reprolint: disable[=CODE,...]``.
+
+    A trailing comment suppresses its own line; a comment-only line
+    suppresses the next line; ``disable-file`` suppresses the whole
+    file.  Returns (line -> codes, file-level codes); the sentinel
+    ``*`` stands for all codes.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        raw = match.group("codes")
+        codes = ({code.strip() for code in raw.split(",")}
+                 if raw else {ALL_CODES})
+        if match.group("scope"):
+            file_level |= codes
+        elif text.lstrip().startswith("#"):
+            per_line.setdefault(number + 1, set()).update(codes)
+        else:
+            per_line.setdefault(number, set()).update(codes)
+    return per_line, file_level
+
+
+@dataclass
+class FileContext:
+    """Everything checkers need to know about one source file."""
+
+    path: str                       # as reported in findings
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: import alias -> module ("np" -> "numpy")
+    imports: dict[str, str] = field(default_factory=dict)
+    #: from-import name -> dotted origin ("monotonic" -> "time.monotonic")
+    from_imports: dict[str, str] = field(default_factory=dict)
+    sim_owned: bool = False
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        per_line, file_level = _parse_suppressions(lines)
+        ctx = cls(path=path, source=source, tree=tree, lines=lines,
+                  suppressions=per_line, file_suppressions=file_level,
+                  sim_owned=is_sim_owned(path))
+        ctx._collect_imports()
+        return ctx
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    self.imports[name] = (alias.name if alias.asname
+                                          else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    self.from_imports[name] = (f"{node.module}."
+                                               f"{alias.name}")
+
+    # -- name resolution --------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> tuple[str | None, bool]:
+        """Resolve a Name/Attribute chain to a dotted path.
+
+        Returns ``(dotted, imported)``: ``dotted`` like
+        ``"numpy.random.rand"`` or ``"hash"``; ``imported`` is True when
+        the chain's root was introduced by an import (so ``dotted`` is
+        trustworthy) and False for bare names (builtins, locals).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None, False
+        root = node.id
+        if root in self.imports:
+            base, imported = self.imports[root], True
+        elif root in self.from_imports:
+            base, imported = self.from_imports[root], True
+        else:
+            base, imported = root, False
+        return ".".join([base, *reversed(parts)]), imported
+
+    # -- suppression ------------------------------------------------------
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if (ALL_CODES in self.file_suppressions
+                or code in self.file_suppressions):
+            return True
+        codes = self.suppressions.get(line)
+        return bool(codes) and (ALL_CODES in codes or code in codes)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def is_sim_owned(path: str) -> bool:
+    """True when any path segment names a sim-owned package."""
+    parts = re.split(r"[\\/]", path)
+    return bool(SIM_PACKAGES.intersection(parts[:-1]))

@@ -1,0 +1,67 @@
+"""Finding records and rule metadata shared by every checker."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+#: every rule code reprolint can emit, with its one-line charter.
+RULES: dict[str, str] = {
+    "RNG001": "unseeded/global randomness (random module, legacy "
+              "numpy.random.*, builtin hash(), os.urandom, uuid)",
+    "CLK001": "wall-clock read in sim-owned code; route through the "
+              "engine clock / Clock seam",
+    "ORD001": "iteration order depends on set hashing or id(); "
+              "golden traces require sorted()/stable keys",
+    "EXC001": "silent exception swallowing in recovery/checkpoint "
+              "paths",
+    "LSN001": "engine listener added but never removed in this module",
+    "FLT001": "float accumulation with += in a loop; use math.fsum "
+              "or integer ticks for cross-platform stability",
+    "MUT001": "mutable default argument",
+    "PAR000": "file could not be parsed",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source span."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    end_line: int = 0
+    end_col: int = 0
+    snippet: str = ""
+    #: populated when a baseline entry absorbed this finding
+    justification: str | None = field(default=None, compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number so that unrelated edits
+        above a grandfathered finding do not invalidate the baseline;
+        the snippet text anchors it instead.
+        """
+        payload = f"{self.path}|{self.code}|{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} {self.message}")

@@ -1,0 +1,101 @@
+"""The shared AST walk that drives every checker.
+
+The tree is traversed exactly once; each checker registers the node
+types it cares about and is dispatched with the full ancestor stack, so
+individual rules stay small and pay no traversal cost of their own.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.findings import RULES, Finding
+
+
+class Checker:
+    """Base class for one lint rule bound to one file."""
+
+    #: rule code, e.g. ``"RNG001"`` (subclasses must override)
+    code = ""
+    #: exact AST node types this checker wants to see
+    interests: tuple[type[ast.AST], ...] = ()
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def handle(self, node: ast.AST,
+               ancestors: Sequence[ast.AST]) -> None:
+        """Called for every node whose type is in :attr:`interests`."""
+
+    def finish(self) -> None:
+        """Called once after the walk (module-level aggregation)."""
+
+    def report(self, node: ast.AST, message: str,
+               code: str | None = None) -> None:
+        code = code or self.code
+        line = getattr(node, "lineno", 1)
+        if self.ctx.is_suppressed(code, line):
+            return
+        self.findings.append(Finding(
+            code=code,
+            message=message,
+            path=self.ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None) or line,
+            end_col=getattr(node, "end_col_offset", None) or 0,
+            snippet=self.ctx.snippet(line),
+        ))
+
+
+def run_checkers(ctx: FileContext,
+                 checker_types: Iterable[type[Checker]]
+                 ) -> list[Finding]:
+    """Instantiate the checkers and drive them over one shared walk."""
+    checkers = [cls(ctx) for cls in checker_types]
+    for checker in checkers:
+        if not checker.code or checker.code not in RULES:
+            raise ValueError(
+                f"{type(checker).__name__} has unregistered code "
+                f"{checker.code!r}")
+    dispatch: dict[type[ast.AST], list[Checker]] = {}
+    for checker in checkers:
+        for node_type in checker.interests:
+            dispatch.setdefault(node_type, []).append(checker)
+
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for checker in dispatch.get(type(node), ()):
+            checker.handle(node, stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        stack.pop()
+
+    visit(ctx.tree)
+    findings: list[Finding] = []
+    for checker in checkers:
+        checker.finish()
+        findings.extend(checker.findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def scoped_walk(scope: ast.AST) -> Iterable[ast.AST]:
+    """Yield nodes of one function/module scope.
+
+    Descends into loops, conditionals and class bodies but *not* into
+    nested function/lambda scopes — those are dispatched separately, so
+    scope-local inference (accumulators, set bindings) stays correct.
+    """
+    todo = list(ast.iter_child_nodes(scope))
+    while todo:
+        node = todo.pop(0)
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            todo.extend(ast.iter_child_nodes(node))

@@ -14,6 +14,7 @@ timely feedback enables — and quantifies the cost of *delayed* feedback
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,7 +52,10 @@ def default_curve_for(dataset: EvalDataset, seed: int = 0
     and longer half-lives — GSM8K-style tasks emerge late; multiple
     choice saturates early.
     """
-    rng = np.random.default_rng(abs(hash((dataset.name, seed))) % 2**32)
+    # crc32, not hash(): builtin string hashing is randomized per
+    # process, which would give every run a different quality curve
+    rng = np.random.default_rng(
+        [zlib.crc32(dataset.name.encode("utf-8")), seed & 0xFFFFFFFF])
     difficulty = min(1.0, (dataset.inference_seconds / 900.0
                            + dataset.metric_cpu_seconds / 1800.0) / 2.0)
     floor = float(rng.uniform(0.02, 0.30) * (1.0 - 0.5 * difficulty))

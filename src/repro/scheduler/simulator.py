@@ -13,10 +13,11 @@ separately by the evaluation coordinator (``repro.core.evalsched``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Callable
 
-from repro.scheduler.job import FinalStatus, Job, JobState
+from repro.scheduler.job import FinalStatus, Job
 from repro.scheduler.policy import ReservationPolicy, SchedulingPolicy
 from repro.scheduler.queue import JobQueue
 from repro.sim.engine import Engine
@@ -345,7 +346,7 @@ class SchedulerSimulator:
         """Integral of occupancy over time (for utilization accounting)."""
         if len(self.occupancy) < 2:
             return 0.0
-        total = 0.0
-        for (t0, gpus), (t1, _) in zip(self.occupancy, self.occupancy[1:]):
-            total += gpus * (t1 - t0)
-        return total
+        return math.fsum(
+            gpus * (t1 - t0)
+            for (t0, gpus), (t1, _)
+            in zip(self.occupancy, self.occupancy[1:]))

@@ -18,7 +18,6 @@ data skipping (§6.1 "Fast Fault Detection and Recovery").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
