@@ -42,6 +42,8 @@ from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
 from repro.core.recovery.controller import RecoveryPlan
 from repro.failures.logs import LogGenerator
 from repro.failures.taxonomy import STORAGE_FAULT_KINDS, FailureCategory
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.scheduler.job import FinalStatus, Job
 from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
 from repro.sim.engine import Engine
@@ -98,14 +100,22 @@ class _Recovery:
     plan: RecoveryPlan | None = None
     #: True while the restore is parked waiting out a storage outage
     deferred: bool = False
+    #: open observability span covering fault → resume
+    span: Span | None = None
 
 
 class ChaosHarness:
     """Wires one :class:`ChaosScenario` into a running simulation."""
 
-    def __init__(self, scenario: ChaosScenario) -> None:
+    def __init__(self, scenario: ChaosScenario,
+                 tracer: TracerLike | None = None) -> None:
         self.scenario = scenario
         self.engine = Engine()
+        # the tracer observes through the listener seam; with the
+        # default NULL_TRACER every instrumentation point is a no-op
+        # and the run's artifacts are byte-identical to an untraced one
+        self.tracer = tracer or NULL_TRACER
+        self.tracer.attach(self.engine)
         self.nodes = [Node(name=f"node-{i:03d}", spec=seren_node_spec())
                       for i in range(scenario.n_nodes)]
         self._by_name = {node.name: node for node in self.nodes}
@@ -123,7 +133,7 @@ class ChaosHarness:
         self.scheduler = SchedulerSimulator(
             SchedulerConfig(total_gpus=scenario.scheduler_gpus,
                             reserved_fraction=0.5),
-            engine=self.engine)
+            engine=self.engine, tracer=self.tracer)
         self.scheduler.hooks.append(self._on_scheduler_event)
 
         self.faults = scenario.build_faults()
@@ -154,13 +164,14 @@ class ChaosHarness:
                               backoff=2.0, max_delay=120.0,
                               deadline=scenario.storage_persist_deadline,
                               jitter=0.0),
-            clock=self._clock)
+            clock=self._clock, tracer=self.tracer)
 
         self.catalog = CheckpointCatalog()
         self.controller = RecoveryController(
             DiagnosisSystem(), self.catalog, self.nodes)
         self.pretrain = PretrainProcessFactory.build(
-            self.engine, scenario, self._on_checkpoint, self._on_done)
+            self.engine, scenario, self._on_checkpoint, self._on_done,
+            tracer=self.tracer)
 
         self.checker = InvariantChecker(
             scheduler=self.scheduler, nodes=self._by_name,
@@ -269,8 +280,15 @@ class ChaosHarness:
             self.engine.run(until=scenario.duration)
         finally:
             # unhook the invariant checker so a reused engine (or a
-            # second harness in one process) never fires a stale one
+            # second harness in one process) never fires a stale one,
+            # and the tracer's event-count listener with it
             self.engine.remove_listener(self.checker.check)
+            self.tracer.detach(self.engine)
+        for recovery in self.recoveries:
+            # a recovery still open at the horizon (stalled gang,
+            # deferred restore) shows up in the trace as unresolved
+            if recovery.span is not None and recovery.span.end is None:
+                self.tracer.end(recovery.span, outcome="unresolved")
         if self._pretrain_stopped_at is not None:
             self.pretrain_downtime += (self.engine.now
                                        - self._pretrain_stopped_at)
@@ -292,6 +310,10 @@ class ChaosHarness:
         self._log("fault_injected",
                   f"#{index} kind={fault.kind} "
                   f"reason={fault.reason or '-'} target={fault.target}")
+        self.tracer.instant(f"fault:{fault.kind}", "chaos",
+                            index=index, target=fault.target,
+                            reason=fault.reason)
+        self.tracer.count("chaos.faults_injected")
         if fault.kind == "failure":
             if fault.target == "pretrain":
                 self._fail_pretrain(index, fault)
@@ -325,8 +347,7 @@ class ChaosHarness:
         if fault.category is FailureCategory.INFRASTRUCTURE:
             self.checker.record_infra_plan(index, plan)
         self._apply_cordons(plan)
-        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
-        self.recoveries.append(recovery)
+        recovery = self._track_recovery(index, fault, plan)
         if plan.restart:
             step = min(plan.restart_checkpoint_step or 0, step_at_failure)
             self._restart_pretrain(step, step_at_failure, recovery)
@@ -355,8 +376,7 @@ class ChaosHarness:
         if fault.category is FailureCategory.INFRASTRUCTURE:
             self.checker.record_infra_plan(index, plan)
         self._apply_cordons(plan)
-        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
-        self.recoveries.append(recovery)
+        recovery = self._track_recovery(index, fault, plan)
         if plan.restart:
             self._resubmit(victim_job, recovery)
         else:
@@ -380,8 +400,7 @@ class ChaosHarness:
         plan = self.controller.handle_anomaly(event, tester)
         self._log_plan(plan)
         self._apply_cordons(plan)
-        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
-        self.recoveries.append(recovery)
+        recovery = self._track_recovery(index, fault, plan)
         if plan.restart:
             step = min(plan.restart_checkpoint_step or 0, step_at_failure)
             self._restart_pretrain(step, step_at_failure, recovery)
@@ -403,10 +422,22 @@ class ChaosHarness:
         end = fault.time + fault.duration
         self._log("storage_fault_begin",
                   f"#{index} kind={fault.kind} until={end:.3f}")
+        self.tracer.complete(f"window:{fault.kind}", fault.time, end,
+                             "chaos.storage", index=index)
         self.engine.call_at(end, lambda: self._log(
             "storage_fault_end", f"#{index} kind={fault.kind}"))
 
     # -- recovery mechanics -------------------------------------------------
+
+    def _track_recovery(self, index: int, fault: InjectedFault,
+                        plan: RecoveryPlan) -> _Recovery:
+        """Open one fault → resume episode (and its trace span)."""
+        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
+        recovery.span = self.tracer.begin(
+            f"recovery:{fault.kind}", "chaos.recovery", index=index,
+            target=fault.target, reason=fault.reason)
+        self.recoveries.append(recovery)
+        return recovery
 
     def _diagnose(self, fault: InjectedFault, victim: str) -> RecoveryPlan:
         log = LogGenerator(seed=fault.log_seed).failed_log(
@@ -482,6 +513,10 @@ class ChaosHarness:
         self.placements.update({name: PRETRAIN_JOB_ID for name in hosts})
         resume_at = self.engine.now + self.scenario.restart_delay
         recovery.resume_time = resume_at
+        if recovery.span is not None:
+            self.tracer.end(recovery.span, at=resume_at,
+                            outcome="restarted", step=actual,
+                            lost=step_at_failure - actual)
         if self._pretrain_stopped_at is not None:
             self.pretrain_downtime += resume_at - self._pretrain_stopped_at
             self._pretrain_stopped_at = None
@@ -532,6 +567,7 @@ class ChaosHarness:
         for qstep, reason in fresh:
             self.catalog.mark_bad(qstep)
             self.checker.record_quarantine(qstep)
+            self.tracer.count("checkpoint.quarantined")
             self._log("ckpt_quarantined",
                       f"step={qstep} reason={reason}")
 
@@ -543,6 +579,7 @@ class ChaosHarness:
         lands after the outage window closes.
         """
         self.restores_deferred += 1
+        self.tracer.count("chaos.restores_deferred")
         if not recovery.deferred:
             recovery.deferred = True
             self.checker.record_restore_deferred()
@@ -582,6 +619,10 @@ class ChaosHarness:
             final_status=FinalStatus.COMPLETED,
         )
         recovery.resume_time = clone.submit_time
+        if recovery.span is not None:
+            self.tracer.end(recovery.span, at=clone.submit_time,
+                            outcome="resubmitted",
+                            clone=clone.job_id)
         self.scheduler.submit(clone)
         self._log("job_resubmitted",
                   f"{job.job_id} -> {clone.job_id} "
@@ -593,7 +634,7 @@ class PretrainProcessFactory:
 
     @staticmethod
     def build(engine: Engine, scenario: ChaosScenario, on_checkpoint,
-              on_done):
+              on_done, tracer: TracerLike | None = None):
         from repro.training.pretrain import PretrainProcess
 
         return PretrainProcess(
@@ -603,9 +644,11 @@ class PretrainProcessFactory:
             total_iterations=scenario.total_iterations,
             steps_per_checkpoint=scenario.steps_per_checkpoint,
             on_checkpoint=on_checkpoint,
-            on_done=on_done)
+            on_done=on_done,
+            tracer=tracer)
 
 
-def run_scenario(scenario: ChaosScenario) -> ChaosResult:
+def run_scenario(scenario: ChaosScenario,
+                 tracer: TracerLike | None = None) -> ChaosResult:
     """Convenience one-shot: build a harness and run it."""
-    return ChaosHarness(scenario).run()
+    return ChaosHarness(scenario, tracer=tracer).run()

@@ -9,6 +9,7 @@ Subcommands::
     acme-repro checkpoint --model 123b --gpus 2048
     acme-repro report --jobs 6000
     acme-repro chaos --scenario smoke --seed 0
+    acme-repro trace storage-storm --seed 0 --out trace.json
     acme-repro lint src --format json
 
 (``python -m repro ...`` works identically.)
@@ -185,6 +186,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.chaos import (BUNDLED_SCENARIOS, ChaosHarness,
+                             InvariantViolation)
+    from repro.obs import Tracer, chrome_trace_json, flame_summary
+
+    scenario = BUNDLED_SCENARIOS[args.scenario]
+    if args.seed is not None:
+        scenario = replace(scenario, seed=args.seed)
+    tracer = Tracer()
+    harness = ChaosHarness(scenario, tracer=tracer)
+    try:
+        harness.run()
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        return 2
+    payload = chrome_trace_json(tracer, end_time=scenario.duration)
+    out = Path(args.out)
+    out.write_text(payload)
+    print(flame_summary(tracer, end_time=scenario.duration))
+    print(f"\nwrote Chrome-trace JSON ({len(payload)} bytes, "
+          f"{len(tracer.spans)} spans) to {out}")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import runner
 
@@ -268,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json-out", default=None,
                        help="write event log + summary as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="run a chaos scenario under the tracer; export "
+                      "a Chrome-trace JSON (docs/OBSERVABILITY.md)")
+    trace.add_argument("scenario", nargs="?", default="smoke",
+                       choices=sorted(_bundled_scenario_names()),
+                       help="bundled scenario to trace")
+    trace.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace JSON output path")
+    trace.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
         "lint", help="reprolint: determinism & sim-safety static "

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.cluster.storage import (MonotonicClock, SharedStorage,
                                    StorageError)
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.training.model import TransformerConfig
 
 StateDict = dict[str, np.ndarray]
@@ -247,11 +248,16 @@ class _CheckpointerBase:
     """
 
     def __init__(self, storage, retry: RetryPolicy | None = None,
-                 secondary=None, clock=None, retry_seed: int = 0) -> None:
+                 secondary=None, clock=None, retry_seed: int = 0,
+                 tracer: TracerLike | None = None) -> None:
         self.storage = storage
         self.secondary = secondary
         self.retry = retry or RetryPolicy()
         self.clock = clock or MonotonicClock()
+        # persist/restore spans are stamped with this pipeline's own
+        # clock (the sim harness injects an engine-backed one), so the
+        # trace shows retry stalls in simulated seconds
+        self.tracer = tracer or NULL_TRACER
         self._retry_rng = np.random.default_rng(retry_seed)
         self.health = PersistHealth.HEALTHY
         self.saves = 0
@@ -314,6 +320,10 @@ class _CheckpointerBase:
             error=None if error is None
             else f"{type(error).__name__}: {error}")
         self.last_result = result
+        self.tracer.complete(
+            "checkpoint.persist", started, self.clock.now(),
+            "checkpoint", step=step, ok=ok, attempts=attempts,
+            replicated=replicated)
         if not ok:
             self.failed_saves += 1
             self.health = PersistHealth.FAILED
@@ -384,6 +394,26 @@ class _CheckpointerBase:
         losing progress.  Returns None when no readable generation
         exists at all.
         """
+        started = self.clock.now()
+        quarantined_before = len(self.quarantined)
+        try:
+            loaded = self._restore_walk(step)
+        except StorageError:
+            self.tracer.complete(
+                "checkpoint.restore", started, self.clock.now(),
+                "checkpoint", planned=step, outcome="unreachable",
+                quarantined=len(self.quarantined) - quarantined_before)
+            raise
+        self.tracer.complete(
+            "checkpoint.restore", started, self.clock.now(),
+            "checkpoint", planned=step,
+            outcome="ok" if loaded is not None else "empty",
+            restored=None if loaded is None else loaded[0],
+            quarantined=len(self.quarantined) - quarantined_before)
+        return loaded
+
+    def _restore_walk(self, step: int | None
+                      ) -> tuple[int, StateDict] | None:
         for candidate in self._generation_steps(step):
             key = _checkpoint_key(candidate)
             corrupt = 0

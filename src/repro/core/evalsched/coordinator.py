@@ -26,6 +26,7 @@ from repro.cluster.storage import SharedStorage
 from repro.core.evalsched.loading import ModelStager
 from repro.core.evalsched.packing import (elastic_decompose, lpt_pack)
 from repro.evaluation.datasets import EvalDataset
+from repro.obs.tracer import NULL_TRACER, TracerLike
 
 GB = 10 ** 9
 
@@ -77,12 +78,16 @@ class TrialCoordinator:
     """Simulates both strategies for a dataset round."""
 
     def __init__(self, config: CoordinatorConfig,
-                 storage: SharedStorage | None = None) -> None:
+                 storage: SharedStorage | None = None,
+                 tracer: TracerLike | None = None) -> None:
         self.config = config
         # Seren-style storage: 25 Gb/s storage NIC per node (§6.2).
         self.storage = storage or SharedStorage(
             backend_bandwidth=400e9, node_nic_bandwidth=25e9 / 8.0)
         self.stager = ModelStager(self.storage, config.model_bytes)
+        # trial times are computed analytically, so spans are recorded
+        # post-hoc with explicit start/end (tracer.complete)
+        self.tracer = tracer or NULL_TRACER
 
     # -- baseline ------------------------------------------------------------
 
@@ -113,6 +118,12 @@ class TrialCoordinator:
             makespan = max(makespan, end)
             durations.append(duration)
             events.append((dataset.name, start, end))
+            self.tracer.complete(
+                f"trial:{dataset.name}", start, end,
+                "evalsched.baseline", load_seconds=load,
+                inference_seconds=dataset.inference_seconds,
+                metric_seconds=(dataset.metric_cpu_seconds
+                                / cfg.baseline_metric_workers))
         busy = math.fsum(d.inference_seconds for d in datasets)
         return EvaluationRound(
             strategy="baseline", makespan=makespan,
@@ -134,6 +145,9 @@ class TrialCoordinator:
         assignments = lpt_pack(shards, gpus,
                                prioritize_cpu_metrics=True)
         cache_factor = 0.05 if cfg.preprocess_cache else 1.0
+        self.tracer.complete("stage_model", 0.0, precursor,
+                             "evalsched.decoupled",
+                             nodes=cfg.n_nodes)
         inference_seconds: list[float] = []
         occupancies: list[float] = []
         gpu_makespan = 0.0
@@ -154,6 +168,16 @@ class TrialCoordinator:
                 metric_finish = max(metric_finish, cursor + metric_wall)
                 events.append((dataset.name, cursor
                                - dataset.inference_seconds, cursor))
+                self.tracer.complete(
+                    f"trial:{dataset.name}",
+                    cursor - dataset.inference_seconds, cursor,
+                    "evalsched.decoupled",
+                    inference_seconds=dataset.inference_seconds)
+                if metric_wall > 0.0:
+                    self.tracer.complete(
+                        f"metric:{dataset.name}", cursor,
+                        cursor + metric_wall, "evalsched.metrics",
+                        workers=cfg.metric_workers)
             occupancies.append(cursor - precursor)
             gpu_makespan = max(gpu_makespan, cursor)
         self.stager.clear()

@@ -1,0 +1,45 @@
+"""Simulation observability: spans, counters, and trace export.
+
+The paper's characterization rests on always-on cluster telemetry
+(§2.3: DCGM, IPMI, Prometheus); ``repro.monitor`` models that *hardware*
+side.  This package is the matching *execution* side: it records where
+simulated time goes inside a run — which jobs held GPUs, how long each
+checkpoint persist stalled, how a recovery round unfolded — as
+structured spans and metric timelines on the **simulated clock**.
+
+Design points:
+
+* **Zero dependencies.** Only the standard library; traces serialize to
+  the Chrome-trace / Perfetto JSON event format.
+* **Simulated time.** A :class:`Tracer` reads its clock through a seam
+  (usually ``engine.now``), so traces are byte-for-byte reproducible
+  across runs of a seeded scenario.
+* **Null fast path.** Every instrumented module defaults to
+  :data:`NULL_TRACER`, whose methods are no-ops, so tracing costs
+  ~nothing when disabled and golden artifacts are unaffected.
+
+Entry points: attach a :class:`Tracer` to an engine (or pass one to
+``ChaosHarness``), then export with
+:func:`~repro.obs.export.chrome_trace_json` or summarize with
+:func:`~repro.obs.flame.flame_summary`; the CLI wraps both as
+``python -m repro trace <scenario>``.
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_json
+from repro.obs.flame import flame_summary
+from repro.obs.metrics import Counter, Gauge
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TracerLike
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "TracerLike",
+    "chrome_trace",
+    "chrome_trace_json",
+    "flame_summary",
+]

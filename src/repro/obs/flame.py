@@ -1,0 +1,69 @@
+"""Text flame summary: where did the simulated time go?
+
+Aggregates spans by ``(category, name-with-ids-stripped)`` so the ten
+thousand ``run:job-0042`` spans of one scenario fold into a single
+``run:*`` row, then renders a fixed-width table sorted by total time.
+The output is deterministic and diff-friendly — suitable for golden
+files and quick terminal triage alike.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.tracer import Tracer
+
+#: ``name:specific-instance`` → ``name:*`` (one row per span family)
+_INSTANCE_RE = re.compile(r":.+\Z")
+
+
+def _family(name: str) -> str:
+    return _INSTANCE_RE.sub(":*", name)
+
+
+def flame_summary(tracer: Tracer, end_time: float | None = None,
+                  bar_width: int = 24) -> str:
+    """Render the per-family time table as text."""
+    clip = tracer.end_time() if end_time is None else end_time
+    durations: dict[tuple[str, str], list[float]] = {}
+    unfinished: dict[tuple[str, str], int] = {}
+    for span in tracer.spans:
+        key = (span.category or "trace", _family(span.name))
+        durations.setdefault(key, []).append(
+            span.duration(clip_end=clip))
+        if span.end is None:
+            unfinished[key] = unfinished.get(key, 0) + 1
+
+    if not durations:
+        return "flame summary: no spans recorded"
+
+    totals = {key: math.fsum(values)
+              for key, values in durations.items()}
+    # longest total first; name breaks ties so the order is stable
+    order = sorted(totals, key=lambda key: (-totals[key], key))
+    grand = math.fsum(totals.values()) or 1.0
+
+    name_width = max(len(f"{cat}/{fam}") for cat, fam in order)
+    header = (f"{'span':<{name_width}}  {'count':>6}  "
+              f"{'total(s)':>12}  {'mean(s)':>10}  share")
+    lines = [header, "-" * len(header)]
+    for key in order:
+        category, family = key
+        values = durations[key]
+        total = totals[key]
+        share = total / grand
+        bar = "#" * max(1, round(share * bar_width)) if total else ""
+        label = f"{category}/{family}"
+        open_note = (f" ({unfinished[key]} open)"
+                     if key in unfinished else "")
+        lines.append(
+            f"{label:<{name_width}}  {len(values):>6}  "
+            f"{total:>12.3f}  {total / len(values):>10.3f}  "
+            f"{share:>6.1%} {bar}{open_note}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{len(tracer.spans)} spans, {len(tracer.instants)} instants, "
+        f"{len(tracer.counters)} counters, {len(tracer.gauges)} gauges; "
+        f"trace end {clip:.3f}s")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Counter and gauge timelines on the simulated clock.
+
+Both record ``(time, value)`` samples in event order.  Consecutive
+samples at the same simulated time are coalesced (the last write wins)
+— many engine callbacks execute at one timestamp, and a timeline point
+per callback would bloat traces without adding information.
+"""
+
+from __future__ import annotations
+
+
+class Timeline:
+    """Shared sample storage for counters and gauges."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: (time, value) in record order; times are non-decreasing
+        self.samples: list[tuple[float, float]] = []
+
+    def _record(self, at: float, value: float) -> None:
+        if self.samples and self.samples[-1][0] == at:
+            self.samples[-1] = (at, value)
+        else:
+            self.samples.append((at, value))
+
+    @property
+    def last(self) -> float:
+        """Most recent value (0.0 before the first sample)."""
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class Counter(Timeline):
+    """A monotonically accumulating quantity (events seen, retries)."""
+
+    def add(self, delta: float, at: float) -> None:
+        """Accumulate ``delta`` at simulated time ``at``."""
+        self._record(at, self.last + delta)
+
+
+class Gauge(Timeline):
+    """A point-in-time level (queue length, GPUs in use)."""
+
+    def set(self, value: float, at: float) -> None:
+        """Record the level ``value`` at simulated time ``at``."""
+        self._record(at, value)

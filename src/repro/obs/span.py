@@ -1,0 +1,42 @@
+"""The span model: one named interval of simulated time.
+
+A span is deliberately dumb data — the :class:`~repro.obs.tracer.Tracer`
+owns the clock and the lifecycle; exporters own the rendering.  Spans
+nest through ``parent_id`` (the enclosing span recorded by the tracer's
+scope stack at begin time), which is how the flame summary attributes
+self-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One interval on the simulated clock.
+
+    ``end`` stays ``None`` while the span is open; exporters clip open
+    spans to the end of the trace and mark them ``unfinished`` rather
+    than dropping the (often most interesting) interrupted work.
+    """
+
+    span_id: int
+    name: str
+    category: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def duration(self, clip_end: float | None = None) -> float:
+        """Span length; open spans are measured to ``clip_end``."""
+        end = self.end if self.end is not None else clip_end
+        if end is None:
+            return 0.0
+        return max(end - self.start, 0.0)

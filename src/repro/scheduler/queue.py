@@ -27,8 +27,19 @@ class JobQueue:
         self._ids.add(job.job_id)
 
     def remove(self, job: Job) -> None:
-        """Drop a queued job by identity."""
-        self._jobs.remove(job)
+        """Drop a queued job by ``job_id``.
+
+        Keyed by id, matching ``__contains__`` and ``push`` — removal by
+        instance equality let ``job in queue`` be True while
+        ``remove(job)`` raised ``ValueError`` for a distinct instance
+        sharing the id (e.g. a resubmitted clone).
+        """
+        if job.job_id not in self._ids:
+            raise ValueError(f"job {job.job_id} is not queued")
+        for index, queued in enumerate(self._jobs):
+            if queued.job_id == job.job_id:
+                del self._jobs[index]
+                break
         self._ids.discard(job.job_id)
 
     def __len__(self) -> int:

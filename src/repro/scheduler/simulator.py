@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.scheduler.job import FinalStatus, Job
 from repro.scheduler.policy import ReservationPolicy, SchedulingPolicy
 from repro.scheduler.queue import JobQueue
@@ -75,10 +77,15 @@ class SchedulerSimulator:
 
     def __init__(self, config: SchedulerConfig,
                  policy: SchedulingPolicy | None = None,
-                 engine: Engine | None = None) -> None:
+                 engine: Engine | None = None,
+                 tracer: TracerLike | None = None) -> None:
         self.config = config
         self.policy = policy or ReservationPolicy()
         self.engine = engine or Engine()
+        self.tracer = tracer or NULL_TRACER
+        #: open queue-wait / run spans, by job id (observability)
+        self._wait_spans: dict[str, Span] = {}
+        self._run_spans: dict[str, Span] = {}
         self.queue = JobQueue()
         self.free_reserved = config.reserved_gpus
         self.free_shared = config.shared_gpus
@@ -149,6 +156,7 @@ class SchedulerSimulator:
         self.free_shared += allocation.from_shared
         self._apply_pending_cordon()
         self.finished.append(job)
+        self._end_run_span(job, "fail")
         self._record_occupancy()
         self._notify("fail", job)
         self._try_schedule()
@@ -212,11 +220,18 @@ class SchedulerSimulator:
                                    lambda: self._on_cpu_finish(job))
             return
         self.queue.push(job)
+        self._wait_spans[job.job_id] = self.tracer.begin(
+            f"wait:{job.job_id}", "scheduler.queue",
+            job_type=job.job_type.value, gpus=job.gpu_demand)
+        self.tracer.set_gauge("scheduler.queue_length", len(self.queue))
         self._try_schedule()
 
     def _on_cpu_finish(self, job: Job) -> None:
         job.mark_finished(self.engine.now)
         self.finished.append(job)
+        self.tracer.complete(
+            f"run:{job.job_id}", job.start_time or 0.0, self.engine.now,
+            "scheduler.cpu", job_type=job.job_type.value)
         self._notify("finish", job)
 
     def _on_finish(self, job: Job) -> None:
@@ -226,9 +241,15 @@ class SchedulerSimulator:
         self.free_shared += allocation.from_shared
         self._apply_pending_cordon()
         self.finished.append(job)
+        self._end_run_span(job, "finish")
         self._record_occupancy()
         self._notify("finish", job)
         self._try_schedule()
+
+    def _end_run_span(self, job: Job, outcome: str) -> None:
+        span = self._run_spans.pop(job.job_id, None)
+        if span is not None:
+            self.tracer.end(span, outcome=outcome)
 
     # -- scheduling core ------------------------------------------------------
 
@@ -295,6 +316,10 @@ class SchedulerSimulator:
         job.mark_preempted(self.engine.now)
         self.preemptions += 1
         self.queue.push(job)
+        self._end_run_span(job, "preempt")
+        self._wait_spans[job.job_id] = self.tracer.begin(
+            f"wait:{job.job_id}", "scheduler.queue", preempted=True,
+            job_type=job.job_type.value, gpus=job.gpu_demand)
         self._record_occupancy()
         self._notify("preempt", job)
 
@@ -330,6 +355,14 @@ class SchedulerSimulator:
         self._allocations[job.job_id] = allocation
         job.mark_started(self.engine.now)
         self.started.append(job)
+        wait = self._wait_spans.pop(job.job_id, None)
+        if wait is not None:
+            self.tracer.end(wait, outcome="scheduled", pool=pool)
+        self._run_spans[job.job_id] = self.tracer.begin(
+            f"run:{job.job_id}", "scheduler.run", pool=pool,
+            gpus=job.gpu_demand, job_type=job.job_type.value,
+            borrowed=allocation.from_reserved if pool == "shared" else 0)
+        self.tracer.set_gauge("scheduler.queue_length", len(self.queue))
         self._record_occupancy()
         self._notify("start", job)
         allocation.finish_item = self.engine.call_after(
@@ -339,6 +372,7 @@ class SchedulerSimulator:
         in_use = (self.config.total_gpus - self.free_reserved
                   - self.free_shared - self.cordoned_gpus)
         self.occupancy.append((self.engine.now, in_use))
+        self.tracer.set_gauge("scheduler.gpus_in_use", in_use)
 
     # -- reporting ------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
@@ -142,7 +143,10 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.available = capacity
-        self._waiters: list[tuple[int, Event]] = []
+        # deque, not list: _drain pops from the head, and a chaos storm
+        # can park thousands of waiters here — list.pop(0) made every
+        # drain O(queue length)
+        self._waiters: deque[tuple[int, Event]] = deque()
 
     def acquire(self, amount: int = 1) -> Event:
         """Request units; the returned event fires when granted."""
@@ -168,7 +172,7 @@ class Resource:
 
     def _drain(self) -> None:
         while self._waiters and self._waiters[0][0] <= self.available:
-            amount, event = self._waiters.pop(0)
+            amount, event = self._waiters.popleft()
             self.available -= amount
             event.succeed(amount)
 
@@ -280,7 +284,17 @@ class Engine:
         return combined
 
     def any_of(self, events: Iterable[Event]) -> Event:
-        """An event that fires when the first input event fires."""
+        """An event that fires when the first input event fires.
+
+        An empty input is rejected: unlike :meth:`all_of` (vacuously
+        satisfied), "the first of nothing" can never fire, and silently
+        returning a dead event hangs the waiting process forever.
+        """
+        events = list(events)
+        if not events:
+            raise SimulationError(
+                "any_of() with no events would never fire; waiting on "
+                "nothing is a caller bug")
         combined = Event(self)
 
         def on_fire(event: Event) -> None:

@@ -24,6 +24,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sim.engine import Engine
 
 
@@ -209,7 +211,8 @@ class PretrainProcess:
     def __init__(self, engine: Engine, name: str, step_time: float,
                  total_iterations: int, steps_per_checkpoint: int,
                  on_checkpoint: Callable[[int], None] | None = None,
-                 on_done: Callable[[int], None] | None = None) -> None:
+                 on_done: Callable[[int], None] | None = None,
+                 tracer: TracerLike | None = None) -> None:
         if step_time <= 0:
             raise ValueError("step_time must be positive")
         if total_iterations <= 0:
@@ -234,6 +237,8 @@ class PretrainProcess:
         self.done_at: float | None = None
         self._segment_start: tuple[float, int] | None = None
         self._tick_item = None
+        self.tracer = tracer or NULL_TRACER
+        self._segment_span: Span | None = None
 
     @property
     def done(self) -> bool:
@@ -248,6 +253,9 @@ class PretrainProcess:
         self.running = True
         start_time = self.engine.now + delay
         self._segment_start = (start_time, self.iteration)
+        self._segment_span = self.tracer.begin(
+            f"segment:{self.name}", "pretrain", at=start_time,
+            start_iteration=self.iteration)
         self._tick_item = self.engine.call_at(
             start_time + self.step_time, self._tick)
 
@@ -289,6 +297,9 @@ class PretrainProcess:
         self.iteration += 1
         if self.iteration % self.steps_per_checkpoint == 0:
             self.checkpoint_steps.append(self.iteration)
+            self.tracer.instant("pretrain.checkpoint", "pretrain",
+                                step=self.iteration)
+            self.tracer.set_gauge("pretrain.iteration", self.iteration)
             if self.on_checkpoint is not None:
                 self.on_checkpoint(self.iteration)
         if self.iteration >= self.total_iterations:
@@ -296,6 +307,8 @@ class PretrainProcess:
             self._tick_item = None
             self.done_at = self.engine.now
             self._close_segment()
+            self.tracer.instant("pretrain.done", "pretrain",
+                                step=self.iteration)
             if self.on_done is not None:
                 self.on_done(self.iteration)
             return
@@ -308,6 +321,10 @@ class PretrainProcess:
         self.segments.append(Submission(
             start_time, self.engine.now, start_iter, self.iteration))
         self._segment_start = None
+        if self._segment_span is not None:
+            self.tracer.end(self._segment_span,
+                            end_iteration=self.iteration)
+            self._segment_span = None
 
 
 def fig14_campaigns(seed: int = 7) -> dict[str, PretrainRun]:

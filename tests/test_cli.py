@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -79,6 +81,25 @@ class TestModelCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTrace:
+    def test_trace_writes_chrome_json_and_summary(self, tmp_path,
+                                                  capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "smoke", "--seed", "0",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        spans = [event for event in payload["traceEvents"]
+                 if event["ph"] == "X"]
+        assert spans
+        output = capsys.readouterr().out
+        assert "spans" in output
+        assert "wrote Chrome-trace JSON" in output
+
+    def test_trace_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "no-such-scenario"])
 
 
 class TestValidateAndExport:

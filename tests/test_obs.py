@@ -1,0 +1,312 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the recording API (spans, instants, counters, gauges), the
+null-tracer fast path, the Chrome-trace exporter, the flame summary,
+and the two properties the layer exists to uphold: a seeded scenario
+traced twice yields byte-identical artifacts, and attaching a tracer
+never perturbs the simulation it observes.
+"""
+
+import json
+from pathlib import Path
+
+from repro.chaos import BUNDLED_SCENARIOS, run_scenario
+from repro.obs import (NULL_TRACER, Counter, Gauge, NullTracer, Span,
+                       Tracer, chrome_trace, chrome_trace_json,
+                       flame_summary)
+from repro.obs.tracer import _NULL_SPAN
+from repro.sim.engine import Engine
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+class ManualClock:
+    """A settable time source for unit tests."""
+
+    def __init__(self, time=0.0):
+        self.time = time
+
+    def __call__(self):
+        return self.time
+
+
+def manual_tracer(start=0.0):
+    clock = ManualClock(start)
+    return Tracer(clock=clock), clock
+
+
+class TestSpan:
+    def test_duration_of_finished_span(self):
+        span = Span(span_id=1, name="s", category="c",
+                    start=2.0, end=5.5)
+        assert span.finished
+        assert span.duration() == 3.5
+
+    def test_open_span_clips_to_horizon(self):
+        span = Span(span_id=1, name="s", category="c", start=2.0)
+        assert not span.finished
+        assert span.duration() == 0.0
+        assert span.duration(clip_end=10.0) == 8.0
+
+    def test_duration_never_negative(self):
+        span = Span(span_id=1, name="s", category="c", start=5.0)
+        assert span.duration(clip_end=1.0) == 0.0
+
+
+class TestTimelines:
+    def test_counter_accumulates(self):
+        counter = Counter("events")
+        counter.add(1.0, at=1.0)
+        counter.add(2.0, at=3.0)
+        assert counter.samples == [(1.0, 1.0), (3.0, 3.0)]
+        assert counter.last == 3.0
+
+    def test_gauge_records_levels(self):
+        gauge = Gauge("queue")
+        gauge.set(4.0, at=1.0)
+        gauge.set(2.0, at=2.0)
+        assert gauge.samples == [(1.0, 4.0), (2.0, 2.0)]
+
+    def test_same_timestamp_samples_coalesce(self):
+        counter = Counter("events")
+        for _ in range(5):
+            counter.add(1.0, at=7.0)
+        assert counter.samples == [(7.0, 5.0)]
+        assert len(counter) == 1
+
+    def test_last_is_zero_before_first_sample(self):
+        assert Counter("x").last == 0.0
+
+
+class TestTracer:
+    def test_begin_end_stamps_clock_times(self):
+        tracer, clock = manual_tracer()
+        clock.time = 1.5
+        span = tracer.begin("work", "cat", detail=7)
+        clock.time = 4.0
+        tracer.end(span, outcome="done")
+        assert (span.start, span.end) == (1.5, 4.0)
+        assert span.args == {"detail": 7, "outcome": "done"}
+        assert tracer.spans == [span]
+
+    def test_end_is_idempotent_on_end_time(self):
+        tracer, clock = manual_tracer()
+        span = tracer.begin("work")
+        clock.time = 2.0
+        tracer.end(span)
+        clock.time = 9.0
+        tracer.end(span, note="late")        # must not move the end
+        assert span.end == 2.0
+        assert span.args["note"] == "late"
+
+    def test_explicit_at_overrides_clock(self):
+        tracer, clock = manual_tracer()
+        clock.time = 50.0
+        span = tracer.begin("work", at=1.0)
+        tracer.end(span, at=2.0)
+        assert (span.start, span.end) == (1.0, 2.0)
+
+    def test_scoped_spans_nest(self):
+        tracer, _ = manual_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert all(span.finished for span in tracer.spans)
+
+    def test_complete_records_analytic_interval(self):
+        tracer, _ = manual_tracer()
+        span = tracer.complete("trial", 3.0, 8.0, "eval", workers=2)
+        assert (span.start, span.end) == (3.0, 8.0)
+        assert span.args == {"workers": 2}
+
+    def test_instant_is_zero_length_and_separate(self):
+        tracer, clock = manual_tracer()
+        clock.time = 6.0
+        mark = tracer.instant("fault", "chaos")
+        assert (mark.start, mark.end) == (6.0, 6.0)
+        assert tracer.instants == [mark]
+        assert tracer.spans == []
+
+    def test_counter_and_gauge_are_lazy_singletons(self):
+        tracer, _ = manual_tracer()
+        assert tracer.counter("c") is tracer.counter("c")
+        tracer.count("c", 2.0, at=1.0)
+        tracer.set_gauge("g", 9.0, at=1.0)
+        assert tracer.counters["c"].last == 2.0
+        assert tracer.gauges["g"].last == 9.0
+
+    def test_open_spans_and_end_time(self):
+        tracer, clock = manual_tracer()
+        first = tracer.begin("a")
+        clock.time = 4.0
+        second = tracer.begin("b")
+        tracer.end(first)
+        assert tracer.open_spans == [second]
+        tracer.instant("late", at=11.0)
+        assert tracer.end_time() == 11.0
+
+    def test_attach_counts_engine_events_and_detach_stops(self):
+        engine = Engine()
+        tracer = Tracer()
+        tracer.attach(engine)
+        for time in (1.0, 2.0):
+            engine.call_at(time, lambda: None)
+        engine.run()
+        assert tracer.now == 2.0             # clock bound to engine
+        assert tracer.counters["engine.events"].last == 2.0
+        tracer.detach(engine)
+        engine.call_at(3.0, lambda: None)
+        engine.run()
+        assert tracer.counters["engine.events"].last == 2.0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        span = tracer.begin("work", detail=1)
+        tracer.end(span, outcome="done")
+        tracer.complete("x", 0.0, 1.0)
+        tracer.instant("mark")
+        tracer.count("c")
+        tracer.set_gauge("g", 5.0)
+        tracer.counter("c").add(1.0, at=0.0)
+        tracer.gauge("g").set(1.0, at=0.0)
+        with tracer.span("scope") as scoped:
+            pass
+        assert span is _NULL_SPAN
+        assert scoped is _NULL_SPAN
+        assert tracer.counter("c").samples == []
+
+    def test_null_span_is_never_mutated(self):
+        NULL_TRACER.end(NULL_TRACER.begin("x"), note="ignored")
+        assert _NULL_SPAN.args == {}
+        assert (_NULL_SPAN.start, _NULL_SPAN.end) == (0.0, 0.0)
+
+    def test_attach_is_a_no_op(self):
+        engine = Engine()
+        NULL_TRACER.attach(engine)
+        engine.call_at(1.0, lambda: None)
+        engine.run()
+        NULL_TRACER.detach(engine)
+
+
+class TestChromeTrace:
+    def make_tracer(self):
+        tracer, clock = manual_tracer()
+        span = tracer.begin("run:j1", "sched", gpus=8)
+        clock.time = 2.0
+        tracer.end(span)
+        tracer.begin("run:j2", "sched")      # left open
+        tracer.instant("fault", "chaos", at=1.0)
+        tracer.count("faults", at=1.0)
+        tracer.set_gauge("queue", 3.0, at=1.5)
+        return tracer
+
+    def test_metadata_names_process_and_category_threads(self):
+        payload = chrome_trace(self.make_tracer(), end_time=4.0)
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"repro-sim", "chaos", "sched"}
+
+    def test_span_events_use_microseconds(self):
+        payload = chrome_trace(self.make_tracer(), end_time=4.0)
+        closed = next(e for e in payload["traceEvents"]
+                      if e["ph"] == "X" and e["name"] == "run:j1")
+        assert closed["ts"] == 0.0
+        assert closed["dur"] == 2_000_000.0
+        assert closed["args"] == {"gpus": 8}
+
+    def test_open_span_clipped_and_flagged(self):
+        payload = chrome_trace(self.make_tracer(), end_time=4.0)
+        open_event = next(e for e in payload["traceEvents"]
+                          if e["ph"] == "X" and e["name"] == "run:j2")
+        assert open_event["args"]["unfinished"] is True
+        assert open_event["dur"] == 2_000_000.0   # clipped at 4s
+
+    def test_instants_and_counters_present(self):
+        payload = chrome_trace(self.make_tracer(), end_time=4.0)
+        kinds = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= kinds
+        instant = next(e for e in payload["traceEvents"]
+                       if e["ph"] == "i")
+        assert instant["s"] == "p"
+        counters = {e["name"] for e in payload["traceEvents"]
+                    if e["ph"] == "C"}
+        assert counters == {"faults", "queue"}
+
+    def test_non_scalar_args_are_stringified(self):
+        tracer, _ = manual_tracer()
+        tracer.complete("x", 0.0, 1.0, items=[1, 2])
+        payload = chrome_trace(tracer)
+        event = next(e for e in payload["traceEvents"]
+                     if e["ph"] == "X")
+        assert event["args"]["items"] == "[1, 2]"
+
+    def test_json_text_is_canonical(self):
+        text = chrome_trace_json(self.make_tracer(), end_time=4.0)
+        assert text.endswith("\n")
+        assert json.loads(text)["otherData"]["clock"] == "simulated"
+        assert text == chrome_trace_json(self.make_tracer(),
+                                         end_time=4.0)
+
+
+class TestFlameSummary:
+    def test_empty_tracer(self):
+        tracer, _ = manual_tracer()
+        assert "no spans" in flame_summary(tracer)
+
+    def test_span_families_fold(self):
+        tracer, _ = manual_tracer()
+        tracer.complete("run:job-1", 0.0, 2.0, "sched")
+        tracer.complete("run:job-2", 2.0, 3.0, "sched")
+        summary = flame_summary(tracer)
+        assert "sched/run:*" in summary
+        assert "run:job-1" not in summary
+        assert "2 spans" in summary
+
+    def test_open_spans_noted(self):
+        tracer, _ = manual_tracer()
+        tracer.begin("recovery:hang", "chaos")
+        summary = flame_summary(tracer, end_time=5.0)
+        assert "(1 open)" in summary
+        assert "trace end 5.000s" in summary
+
+
+class TestDeterminism:
+    def trace_once(self, name="smoke"):
+        scenario = BUNDLED_SCENARIOS[name]
+        tracer = Tracer()
+        result = run_scenario(scenario, tracer=tracer)
+        return result, tracer, chrome_trace_json(
+            tracer, end_time=scenario.duration)
+
+    def test_same_seed_yields_byte_identical_trace(self):
+        _, _, first = self.trace_once()
+        _, _, second = self.trace_once()
+        assert first == second
+
+    def test_tracing_does_not_perturb_the_simulation(self):
+        """A traced run must replay the untraced run exactly."""
+        untraced = run_scenario(BUNDLED_SCENARIOS["smoke"])
+        traced, tracer, _ = self.trace_once()
+        assert (traced.event_log_lines()
+                == untraced.event_log_lines())
+        assert tracer.spans                  # and it did record
+
+    def test_traced_run_still_matches_golden_event_log(self):
+        """Instrumentation must not drift the pinned chaos goldens."""
+        golden = json.loads(
+            (DATA_DIR / "chaos_golden.json").read_text())
+        traced, _, _ = self.trace_once()
+        assert traced.event_log_lines() == golden["event_log"]
+
+    def test_trace_covers_every_layer(self):
+        _, tracer, _ = self.trace_once()
+        categories = {span.category for span in tracer.spans}
+        assert "scheduler.run" in categories
+        assert "pretrain" in categories
+        assert "checkpoint" in categories
+        assert "engine.events" in tracer.counters

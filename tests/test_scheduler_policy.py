@@ -37,6 +37,26 @@ class TestQueue:
         assert len(queue) == 1
         assert queue.oldest() is b
 
+    def test_remove_matches_by_job_id_not_instance(self):
+        """Regression: ``in`` matched by job_id but ``remove`` compared
+        instances, so removing an equal-id clone corrupted ``_ids``."""
+        queue = JobQueue()
+        queue.push(job("a"))
+        twin = job("a")                     # distinct instance, same id
+        assert twin in queue
+        queue.remove(twin)
+        assert twin not in queue
+        assert len(queue) == 0
+        queue.push(job("a"))                # id bookkeeping stayed sane
+        assert len(queue) == 1
+
+    def test_remove_unknown_job_raises(self):
+        queue = JobQueue()
+        queue.push(job("a"))
+        with pytest.raises(ValueError):
+            queue.remove(job("ghost"))
+        assert len(queue) == 1
+
     def test_by_type_filter(self):
         queue = JobQueue()
         queue.push(job("a", JobType.PRETRAIN))

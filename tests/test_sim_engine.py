@@ -146,6 +146,21 @@ class TestEvents:
         engine.run()
         assert got == [(1.0, "soon")]
 
+    def test_any_of_empty_raises_instead_of_hanging(self):
+        """Regression: any_of([]) used to return an event that could
+        never fire, silently stalling any process waiting on it."""
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.any_of([])
+
+    def test_any_of_consumes_generators_safely(self):
+        engine = Engine()
+        got = []
+        engine.any_of(engine.timeout(t, t) for t in (2.0, 1.0)
+                      ).subscribe(lambda ev: got.append(ev.value))
+        engine.run()
+        assert got == [1.0]
+
 
 class TestProcess:
     def test_process_sleeps_on_numeric_yield(self):
@@ -265,6 +280,29 @@ class TestResource:
         resource.acquire(1)
         engine.run()
         assert resource.queue_length == 2
+
+    def test_deep_waiter_queue_drains_in_fifo_order(self):
+        """Regression for the O(n^2) drain: a deep waiter queue (the
+        chaos-storm shape) must grant strictly in arrival order and
+        leave the queue empty."""
+        engine = Engine()
+        resource = engine.resource(1)
+        order = []
+        resource.acquire(1)
+
+        def granted(index):
+            order.append(index)
+            engine.call_after(0.0, lambda: resource.release(1))
+
+        for index in range(500):
+            resource.acquire(1).subscribe(
+                lambda ev, i=index: granted(i))
+        assert resource.queue_length == 500
+        engine.call_at(1.0, lambda: resource.release(1))
+        engine.run()
+        assert order == list(range(500))
+        assert resource.queue_length == 0
+        assert resource.in_use == 0
 
 
 class TestListeners:
