@@ -30,6 +30,8 @@ from repro.chaos.invariants import InvariantChecker
 from repro.chaos.report import ChaosSummary, summarize
 from repro.chaos.scenario import (GPUS_PER_NODE, ChaosScenario,
                                   InjectedFault)
+from repro.cluster.fattree import FatTree, FatTreeConfig
+from repro.cluster.linkhealth import LinkHealth, leaf_link, nic_link
 from repro.cluster.machine import Node, NodeHealth, seren_node_spec
 from repro.cluster.storage import (CorruptingStorage, FlakyStorage,
                                    SlowStorage, StorageError)
@@ -38,10 +40,14 @@ from repro.core.checkpoint import (CheckpointError, InMemoryStorage,
                                    _checkpoint_key)
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
-                                 CollectiveTester, RecoveryController)
+                                 CollectiveTester,
+                                 FabricCollectiveTester,
+                                 RecoveryController)
 from repro.core.recovery.controller import RecoveryPlan
 from repro.failures.logs import LogGenerator
-from repro.failures.taxonomy import STORAGE_FAULT_KINDS, FailureCategory
+from repro.failures.taxonomy import (NETWORK_FAULT_KINDS,
+                                     STORAGE_FAULT_KINDS,
+                                     FailureCategory)
 from repro.obs.span import Span
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.scheduler.job import FinalStatus, Job
@@ -139,6 +145,44 @@ class ChaosHarness:
         self.faults = scenario.build_faults()
         storage_faults = [fault for fault in self.faults
                           if fault.kind in STORAGE_FAULT_KINDS]
+        network_faults = [fault for fault in self.faults
+                          if fault.kind in NETWORK_FAULT_KINDS]
+
+        # -- fabric health overlay (armed up front from the schedule,
+        # like the storage fault windows; strict no-op when empty) --
+        self.fabric_config = FatTreeConfig(
+            nodes=scenario.n_nodes,
+            nodes_per_leaf=scenario.nodes_per_leaf)
+        self.link_health = LinkHealth()
+        self.node_index = {node.name: index
+                           for index, node in enumerate(self.nodes)}
+        self._leaf_by_name = {
+            node.name: index // scenario.nodes_per_leaf
+            for index, node in enumerate(self.nodes)}
+        for fault in network_faults:
+            end = fault.time + fault.duration
+            if fault.link is None:
+                raise ValueError(
+                    f"network fault {fault.kind} has no link target")
+            if fault.kind == "link_degraded":
+                self.link_health.link_degraded(
+                    fault.link, fault.time, end,
+                    scenario.link_degraded_factor)
+            elif fault.kind == "switch_down":
+                leaf = int(fault.link.split(":", 1)[1])
+                self.link_health.switch_down(self.fabric_config, leaf,
+                                             fault.time, end)
+            else:
+                self.link_health.link_down(fault.link, fault.time, end)
+        self.fabric = FatTree(self.fabric_config,
+                              health=self.link_health)
+        #: gate for the topology-aware placement path: scenarios
+        #: without network faults take the exact legacy name-order
+        #: path, keeping their goldens byte-identical
+        self._network_aware = bool(network_faults)
+        #: fabric segments currently cordoned by localization
+        self.cordoned_segments: set[str] = set()
+        self.gang_migrations = 0
 
         def _windows(kind: str) -> list[tuple[float, float]]:
             return [(fault.time, fault.time + fault.duration)
@@ -168,7 +212,8 @@ class ChaosHarness:
 
         self.catalog = CheckpointCatalog()
         self.controller = RecoveryController(
-            DiagnosisSystem(), self.catalog, self.nodes)
+            DiagnosisSystem(tracer=self.tracer), self.catalog,
+            self.nodes, leaf_of=self._leaf_by_name)
         self.pretrain = PretrainProcessFactory.build(
             self.engine, scenario, self._on_checkpoint, self._on_done,
             tracer=self.tracer)
@@ -180,6 +225,9 @@ class ChaosHarness:
             self.outage_windows, horizon=scenario.duration,
             wedge_slack=(scenario.storage_retry_delay
                          + scenario.restart_delay))
+        self.checker.set_network_context(
+            self.link_health, scenario.network_min_factor,
+            self.cordoned_segments)
         self.engine.add_listener(self.checker.check)
 
         self.event_log: list[tuple[float, str, str]] = []
@@ -323,6 +371,8 @@ class ChaosHarness:
             self._anomaly(index, fault)
         elif fault.kind in STORAGE_FAULT_KINDS:
             self._storage_fault(index, fault)
+        elif fault.kind in NETWORK_FAULT_KINDS:
+            self._network_fault(index, fault)
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
@@ -427,6 +477,169 @@ class ChaosHarness:
         self.engine.call_at(end, lambda: self._log(
             "storage_fault_end", f"#{index} kind={fault.kind}"))
 
+    def _network_fault(self, index: int, fault: InjectedFault) -> None:
+        """A fabric link/switch fault window opens.
+
+        Like storage windows, the degradation itself is already armed
+        inside the :class:`LinkHealth` overlay built at init; this
+        reacts to it — slowing or interrupting the gang, localizing the
+        sick link, and cordoning what the test convicts.
+        """
+        end = fault.time + fault.duration
+        self._log("network_fault_begin",
+                  f"#{index} kind={fault.kind} link={fault.link} "
+                  f"until={end:.3f}")
+        self.tracer.complete(f"window:{fault.kind}", fault.time, end,
+                             "chaos.network", index=index,
+                             link=fault.link)
+        self.engine.call_at(end, lambda i=index, f=fault:
+                            self._network_fault_end(i, f))
+        if fault.kind == "link_degraded":
+            # a slow link does not kill the job — it stretches every
+            # step until monitoring notices and reacts
+            self._refresh_gang_factor()
+            self.engine.call_after(
+                self.scenario.degraded_detect_delay,
+                lambda i=index, f=fault: self._detect_degradation(i, f))
+            return
+        self._hard_network_fault(index, fault)
+
+    def _hard_network_fault(self, index: int,
+                            fault: InjectedFault) -> None:
+        """A link or switch died outright: collectives on it fail now."""
+        gang_hosts = sorted(self.placements)
+        down_crossed: list[str] = []
+        if len(gang_hosts) > 1:
+            group = [self.node_index[name] for name in gang_hosts]
+            down_crossed = self.fabric.down_links_crossed(
+                group, self.engine.now)
+        if down_crossed and self.pretrain.running:
+            step_at_failure = self.pretrain.interrupt(fault.kind)
+            self._pretrain_stopped_at = self.engine.now
+            self._log("pretrain_interrupt",
+                      f"step={step_at_failure} reason={fault.reason} "
+                      f"links={','.join(down_crossed)}")
+            plan = self._localize(fault, restart=True)
+            self.checker.record_infra_plan(index, plan)
+            self._apply_cordons(plan)
+            self._apply_segment_cordons(plan)
+            recovery = self._track_recovery(index, fault, plan)
+            step = min(plan.restart_checkpoint_step or 0,
+                       step_at_failure)
+            self._restart_pretrain(step, step_at_failure, recovery)
+            return
+        # The fault missed the gang's collective path (or the gang is
+        # already down): still localize and cordon, so placement routes
+        # around the sick fabric — broken links do not heal because
+        # nobody was using them.  No restart is planned.
+        plan = self._localize(fault, restart=False)
+        self._apply_cordons(plan)
+        self._apply_segment_cordons(plan)
+        self._refresh_gang_factor()
+
+    def _detect_degradation(self, index: int,
+                            fault: InjectedFault) -> None:
+        """Monitoring noticed a slow link; migrate if the gang suffers."""
+        end = fault.time + fault.duration
+        if self.engine.now >= end:
+            return  # the window closed before detection fired
+        if not self.pretrain.running:
+            return  # gang already down; recovery will re-place it
+        gang_hosts = sorted(self.placements)
+        if len(gang_hosts) <= 1:
+            return
+        group = [self.node_index[name] for name in gang_hosts]
+        factor = self.fabric.group_health_factor(group, self.engine.now)
+        if factor >= self.scenario.network_min_factor:
+            self._log("degradation_tolerated",
+                      f"#{index} gang factor {factor:.3f} at or above "
+                      f"threshold {self.scenario.network_min_factor}")
+            return
+        # The gang is communication-bound on a sick path: pause (the
+        # iteration in flight is kept — this is a migration, not a
+        # failure), localize, and resume on healthy fabric.
+        step = self.pretrain.interrupt(fault.kind)
+        self._pretrain_stopped_at = self.engine.now
+        self._log("pretrain_interrupt",
+                  f"step={step} reason=degraded_link "
+                  f"factor={factor:.3f}")
+        plan = self._localize(fault, restart=False)
+        if plan.cordoned_nodes or plan.cordoned_segments:
+            self.checker.record_infra_plan(index, plan)
+        self._apply_cordons(plan)
+        self._apply_segment_cordons(plan)
+        recovery = self._track_recovery(index, fault, plan)
+        self._restart_pretrain(step, step, recovery, restore=False)
+
+    def _network_fault_end(self, index: int,
+                           fault: InjectedFault) -> None:
+        """A fault window closed: repair healed segments, restore speed."""
+        self._log("network_fault_end",
+                  f"#{index} kind={fault.kind} link={fault.link}")
+        now = self.engine.now
+        healed = [segment for segment in sorted(self.cordoned_segments)
+                  if (self.link_health.factor(segment, now)
+                      >= self.scenario.network_min_factor)]
+        for segment in healed:
+            self.cordoned_segments.discard(segment)
+            self._log("segment_repaired", segment)
+        self._refresh_gang_factor()
+
+    def _localize(self, fault: InjectedFault,
+                  restart: bool) -> RecoveryPlan:
+        """Run topology-aware localization against the live fabric."""
+        tester = self._build_fabric_tester()
+        plan = self.controller.handle_network_fault(
+            f"{fault.kind} on {fault.link}", tester, restart=restart)
+        self._log_plan(plan)
+        return plan
+
+    def _build_fabric_tester(self) -> FabricCollectiveTester:
+        """Snapshot live link health into a pass/fail probe oracle."""
+        now = self.engine.now
+        node_factors = {
+            name: self.link_health.factor(nic_link(index), now)
+            for name, index in sorted(self.node_index.items())}
+        segment_factors = {
+            leaf_link(leaf): self.link_health.factor(
+                leaf_link(leaf), now)
+            for leaf in range(self.fabric_config.leaf_count)}
+        return FabricCollectiveTester(
+            self._leaf_by_name, node_factors=node_factors,
+            segment_factors=segment_factors,
+            min_factor=self.scenario.network_min_factor)
+
+    def _apply_segment_cordons(self, plan: RecoveryPlan) -> None:
+        for segment in sorted(plan.cordoned_segments):
+            if segment in self.cordoned_segments:
+                continue
+            self.cordoned_segments.add(segment)
+            self.checker.record_segment_conviction(self.engine.now,
+                                                   segment)
+            self.tracer.count("network.segments_cordoned")
+            self._log("segment_cordon", segment)
+
+    def _refresh_gang_factor(self) -> None:
+        """Re-derive the gang's step factor from live fabric health."""
+        gang_hosts = sorted(self.placements)
+        factor = 1.0
+        if len(gang_hosts) > 1:
+            group = [self.node_index[name] for name in gang_hosts]
+            factor = self.fabric.group_health_factor(group,
+                                                     self.engine.now)
+        if factor <= 0.0:
+            # a downed link is an interruption, not a slowdown; the
+            # hard-fault path owns it
+            return
+        stretch = 1.0 / factor
+        if stretch != self.pretrain.step_factor:
+            self.pretrain.set_step_factor(stretch)
+            self.tracer.set_gauge("network.gang_bandwidth_factor",
+                                  factor)
+            self._log("gang_step_factor",
+                      f"bandwidth_factor={factor:.3f} "
+                      f"step_stretch={stretch:.3f}")
+
     # -- recovery mechanics -------------------------------------------------
 
     def _track_recovery(self, index: int, fault: InjectedFault,
@@ -509,8 +722,24 @@ class ChaosHarness:
             self._log("pretrain_stalled",
                       "not enough healthy nodes to re-place the gang")
             return
+        previous_hosts = set(self.placements)
         self.placements.clear()
         self.placements.update({name: PRETRAIN_JOB_ID for name in hosts})
+        if self._network_aware:
+            down_crossed: list[str] = []
+            if len(hosts) > 1:
+                group = [self.node_index[name] for name in hosts]
+                down_crossed = self.fabric.down_links_crossed(
+                    group, self.engine.now)
+            self.checker.record_gang_placement(self.engine.now,
+                                               down_crossed)
+            if previous_hosts and set(hosts) != previous_hosts:
+                self.gang_migrations += 1
+                self.tracer.count("network.gang_migrations")
+                self._log("gang_migrated",
+                          f"{','.join(sorted(previous_hosts))} -> "
+                          f"{','.join(sorted(hosts))}")
+            self._refresh_gang_factor()
         resume_at = self.engine.now + self.scenario.restart_delay
         recovery.resume_time = resume_at
         if recovery.span is not None:
@@ -598,14 +827,52 @@ class ChaosHarness:
         Repaired nodes re-enter this pool, so a flaky node that keeps
         passing repair can rejoin the gang — and be convicted again,
         which is what drives cordon escalation.
+
+        Scenarios with network faults take the topology-aware path
+        instead: nodes behind sick NICs are skipped, a single leaf with
+        enough capacity is preferred (full bandwidth, no uplink
+        exposure), and cross-leaf groups only assemble over uplinks
+        that are neither cordoned nor running below the health
+        threshold.
         """
         candidates = sorted(node.name for node in self.nodes
                             if node.name not in self.pool_node_names)
+        need = self.scenario.gang_nodes
+        if not self._network_aware:
+            healthy = [name for name in candidates
+                       if self._by_name[name].schedulable]
+            if len(healthy) < need:
+                return None
+            return healthy[:need]
+        now = self.engine.now
+        threshold = self.scenario.network_min_factor
         healthy = [name for name in candidates
-                   if self._by_name[name].schedulable]
-        if len(healthy) < self.scenario.gang_nodes:
+                   if self._by_name[name].schedulable
+                   and (self.link_health.factor(
+                       nic_link(self.node_index[name]), now)
+                       >= threshold)]
+        if len(healthy) < need:
             return None
-        return healthy[:self.scenario.gang_nodes]
+        if need == 1:
+            return healthy[:1]
+        by_leaf: dict[int, list[str]] = {}
+        for name in healthy:
+            by_leaf.setdefault(self._leaf_by_name[name],
+                               []).append(name)
+        for leaf in sorted(by_leaf):
+            if len(by_leaf[leaf]) >= need:
+                return by_leaf[leaf][:need]
+        assembled: list[str] = []
+        for leaf in sorted(by_leaf):
+            segment = leaf_link(leaf)
+            if (segment in self.cordoned_segments
+                    or self.link_health.factor(segment, now)
+                    < threshold):
+                continue
+            assembled.extend(by_leaf[leaf])
+            if len(assembled) >= need:
+                return assembled[:need]
+        return None
 
     def _resubmit(self, job: Job, recovery: _Recovery) -> None:
         self.resubmissions += 1

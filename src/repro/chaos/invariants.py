@@ -8,9 +8,9 @@ first inconsistent state instead of letting it smear into the summary.
 Invariants (the ISSUE's list, plus accounting identities that make the
 first two checkable):
 
-1. **Counters** — no GPU counter in the scheduler is ever negative, and
-   free + allocated + cordoned (+ pending cordons) always equals the
-   configured total.
+1. **Counters** — no GPU counter in the scheduler is ever negative,
+   free + allocated + cordoned always equals the configured total, and
+   a pending cordon never exceeds the allocated GPUs left to drain it.
 2. **Gang all-or-nothing** — every live allocation holds exactly the
    job's full demand, and the job is in the RUNNING state.
 3. **Cordon isolation** — no placement (gang node or scheduler capacity)
@@ -21,7 +21,7 @@ first two checkable):
    infrastructure failure that hit a running target produced a recovery
    plan that restarts, cordons, or both.
 
-Storage-fault invariants (this PR's additions):
+Storage-fault invariants:
 
 6. **No corrupt restore** — a restore never resumes from a generation
    that was corrupted on write or quarantined, and never from a step
@@ -32,12 +32,26 @@ Storage-fault invariants (this PR's additions):
 8. **Waste accounting includes fallback loss** — the extra iterations
    lost by falling back past corrupt generations must equal the sum of
    (planned - actual) over all fallback restores.
+
+Network-fault invariants (this PR's additions):
+
+9.  **No placement across a downed link** — gang placement never lands
+    on a node set whose collective path crosses a link that is down at
+    placement time.
+10. **Degraded windows end → bandwidth restored** (checked at the end
+    of the run) — once every network fault window has closed, the
+    gang's step factor must be back to 1.0 and no fabric segment may
+    still be cordoned.
+11. **Localization never convicts a healthy segment** — a segment
+    conviction must coincide with that segment actually running below
+    the NCCL-test pass threshold.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.linkhealth import LinkHealth
 from repro.cluster.machine import Node
 from repro.core.recovery.controller import RecoveryPlan
 from repro.scheduler.simulator import SchedulerSimulator
@@ -89,6 +103,19 @@ class InvariantChecker:
     deferred_unresolved: int = 0
     #: sum of (planned - actual) over fallback restores, per invariant 8
     fallback_lost: int = 0
+    # -- network-fault state (populated via set_network_context) --
+    #: the fabric health overlay the scenario armed (None = no faults)
+    network_health: LinkHealth | None = None
+    #: NCCL-test pass threshold segment convictions are checked against
+    network_min_factor: float = 0.5
+    #: live cordoned fabric segments (shared reference with the harness)
+    cordoned_segments: set[str] = field(default_factory=set)
+    #: (time, segment) for every conviction, per invariant 11
+    segment_conviction_records: list[tuple[float, str]] = field(
+        default_factory=list)
+    #: (time, down links crossed) for every gang placement, invariant 9
+    gang_placement_records: list[tuple[float, tuple[str, ...]]] = field(
+        default_factory=list)
 
     # -- per-event check ----------------------------------------------------
 
@@ -110,16 +137,23 @@ class InvariantChecker:
             if value < 0:
                 self._fail(time, f"scheduler.{counter} is negative "
                                  f"({value})")
+        # A pending cordon is capacity still physically held by running
+        # jobs — those GPUs are already counted under ``allocated`` and
+        # move to ``cordoned`` only as allocations drain, so pending is
+        # bounded by allocated rather than added to the identity.
         booked = (sched.free_reserved + sched.free_shared
-                  + sched.cordoned_gpus + sched._pending_cordon
-                  + sched.gpus_allocated)
+                  + sched.cordoned_gpus + sched.gpus_allocated)
         if booked != sched.config.total_gpus:
             self._fail(time, "GPU accounting broken: free "
                              f"{sched.free_reserved}+{sched.free_shared} "
                              f"+ cordoned {sched.cordoned_gpus} "
-                             f"(+{sched._pending_cordon} pending) "
                              f"+ allocated {sched.gpus_allocated} "
                              f"!= total {sched.config.total_gpus}")
+        if sched._pending_cordon > sched.gpus_allocated:
+            self._fail(time, "pending cordon "
+                             f"{sched._pending_cordon} exceeds allocated "
+                             f"{sched.gpus_allocated}: nothing left to "
+                             "drain it from")
 
     def _check_gangs(self, time: float) -> None:
         for job_id, allocation in sorted(
@@ -159,7 +193,8 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"infrastructure fault #{index} never produced a "
                     "recovery plan")
-            if not plan.restart and not plan.cordoned_nodes:
+            if (not plan.restart and not plan.cordoned_nodes
+                    and not plan.cordoned_segments):
                 raise InvariantViolation(
                     f"infrastructure fault #{index} produced a plan with "
                     "neither a restart nor a cordon")
@@ -183,6 +218,22 @@ class InvariantChecker:
                 f"fallback-generation loss mismatch: harness reports "
                 f"{fallback_lost_iterations} iterations, restore "
                 f"records sum to {self.fallback_lost}")
+        self._check_network_healed()
+
+    def _check_network_healed(self) -> None:
+        """Invariant 10: windows over → bandwidth and cordons restored."""
+        if self.network_health is None or self.network_health.empty:
+            return
+        if self.horizon <= self.network_health.last_end():
+            return  # the scenario ended inside a fault window
+        if self.pretrain is not None and self.pretrain.step_factor != 1.0:
+            raise InvariantViolation(
+                "all network fault windows closed but the gang still "
+                f"runs at step factor {self.pretrain.step_factor:.3f}")
+        if self.cordoned_segments:
+            raise InvariantViolation(
+                "all network fault windows closed but segments are "
+                f"still cordoned: {sorted(self.cordoned_segments)}")
 
     # -- bookkeeping for the harness ---------------------------------------
 
@@ -246,3 +297,41 @@ class InvariantChecker:
     def record_restore_resolved(self) -> None:
         """A previously deferred restore completed."""
         self.deferred_unresolved -= 1
+
+    # -- network-fault bookkeeping -----------------------------------------
+
+    def set_network_context(self, health: LinkHealth,
+                            min_factor: float,
+                            cordoned_segments: set[str]) -> None:
+        """Install the fabric overlay + live cordon set for checking.
+
+        ``cordoned_segments`` is the harness's live set (shared by
+        reference), so the end-of-run check sees its final state.
+        """
+        self.network_health = health
+        self.network_min_factor = float(min_factor)
+        self.cordoned_segments = cordoned_segments
+
+    def record_gang_placement(self, time: float,
+                              down_crossed: list[str]) -> None:
+        """Invariant 9: a gang placement must not cross a downed link."""
+        self.gang_placement_records.append((time, tuple(down_crossed)))
+        if down_crossed:
+            raise InvariantViolation(
+                f"t={time:.3f}: gang placed across downed link(s) "
+                f"{sorted(down_crossed)}")
+
+    def record_segment_conviction(self, time: float,
+                                  segment: str) -> None:
+        """Invariant 11: only actually-sick segments get convicted."""
+        self.segment_conviction_records.append((time, segment))
+        if self.network_health is None:
+            raise InvariantViolation(
+                f"t={time:.3f}: segment {segment} convicted with no "
+                "network fault context armed")
+        factor = self.network_health.factor(segment, time)
+        if factor >= self.network_min_factor:
+            raise InvariantViolation(
+                f"t={time:.3f}: localization convicted segment "
+                f"{segment} running at factor {factor:.3f} — at or "
+                f"above the {self.network_min_factor:.3f} threshold")

@@ -12,7 +12,9 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.analysis.report import render_key_values
-from repro.failures.taxonomy import STORAGE_FAULT_KINDS, FailureCategory
+from repro.failures.taxonomy import (NETWORK_FAULT_KINDS,
+                                     STORAGE_FAULT_KINDS,
+                                     FailureCategory)
 from repro.scheduler.job import FinalStatus
 
 
@@ -62,6 +64,12 @@ class ChaosSummary:
     restores_deferred: int = 0
     storage_stall_hours: float = 0.0
     persist_health: str = "healthy"
+    # -- network fabric --
+    network_faults: int = 0
+    segment_convictions: int = 0
+    segments_cordoned_end: int = 0
+    gang_migrations: int = 0
+    network_slowdown_hours: float = 0.0
     # -- validation --
     invariant_checks: int = 0
 
@@ -114,6 +122,13 @@ class ChaosSummary:
                 "persist health": self.persist_health,
             }, title="storage & checkpointing"),
             render_key_values({
+                "network faults": self.network_faults,
+                "segment convictions": self.segment_convictions,
+                "segments cordoned (end)": self.segments_cordoned_end,
+                "gang migrations": self.gang_migrations,
+                "slowdown (h)": self.network_slowdown_hours,
+            }, title="network fabric"),
+            render_key_values({
                 "cordoned": self.nodes_cordoned,
                 "escalated (faulty)": self.nodes_escalated,
                 "invariant checks": self.invariant_checks,
@@ -151,10 +166,13 @@ def summarize(harness) -> ChaosSummary:
     elapsed = pretrain.done_at or harness.engine.now
     goodput = (pretrain.iteration * scenario.step_time / elapsed
                if elapsed > 0 else 0.0)
+    # Slowdown is waste too: the gang held its GPUs while every step
+    # ran stretched on a degraded fabric (§5.2's "slow" failure mode).
     wasted_gpu_seconds = (
         pretrain.lost_iterations * scenario.step_time
         * scenario.pretrain_gpus
         + harness.pretrain_downtime * scenario.pretrain_gpus
+        + pretrain.slowdown_seconds * scenario.pretrain_gpus
         + harness.scheduler_lost_gpu_seconds)
 
     finished = harness.scheduler.finished
@@ -201,5 +219,12 @@ def summarize(harness) -> ChaosSummary:
         restores_deferred=harness.restores_deferred,
         storage_stall_hours=harness.storage_stall_seconds / 3600.0,
         persist_health=harness.checkpointer.health.value,
+        network_faults=sum(count for kind, count in by_kind.items()
+                           if kind in NETWORK_FAULT_KINDS),
+        segment_convictions=sum(
+            harness.controller.segment_convictions.values()),
+        segments_cordoned_end=len(harness.cordoned_segments),
+        gang_migrations=harness.gang_migrations,
+        network_slowdown_hours=pretrain.slowdown_seconds / 3600.0,
         invariant_checks=harness.checker.checks_run,
     )

@@ -21,7 +21,10 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.failures.taxonomy import (STORAGE_CHAOS_REASON,
+from repro.cluster.linkhealth import leaf_link, nic_link
+from repro.failures.taxonomy import (NETWORK_CHAOS_REASONS,
+                                     NETWORK_FAULT_KINDS,
+                                     STORAGE_CHAOS_REASON,
                                      STORAGE_FAULT_KINDS, TAXONOMY,
                                      FailureCategory, taxonomy_by_reason)
 from repro.scheduler.job import Job, JobType
@@ -36,21 +39,27 @@ class InjectedFault:
 
     #: absolute simulated time of injection, seconds
     time: float
-    #: "failure" (a Table 3 reason), "loss_spike", "hang", or one of the
+    #: "failure" (a Table 3 reason), "loss_spike", "hang", one of the
     #: storage kinds ("storage_outage" / "storage_slowdown" /
-    #: "ckpt_corruption")
+    #: "ckpt_corruption"), or one of the network kinds ("link_down" /
+    #: "link_degraded" / "switch_down")
     kind: str
-    #: taxonomy reason key for kind == "failure" and storage kinds
+    #: taxonomy reason key for kind == "failure", storage, and network
+    #: kinds
     reason: str | None
-    #: "pretrain" (hits the gang), "scheduler" (kills a running job), or
-    #: "storage" (perturbs the checkpoint backend)
+    #: "pretrain" (hits the gang), "scheduler" (kills a running job),
+    #: "storage" (perturbs the checkpoint backend), or "network"
+    #: (degrades the fabric)
     target: str
     #: victim selector, reduced modulo the target's node pool at runtime
     node_index: int
     #: seed for the synthetic runtime log of this fault
     log_seed: int
-    #: fault-window length in seconds for storage kinds (0 otherwise)
+    #: fault-window length in seconds for storage/network kinds
     duration: float = 0.0
+    #: affected fabric link id for network kinds ("nic:{node}" /
+    #: "leaf:{leaf}"); None otherwise
+    link: str | None = None
 
     @property
     def category(self) -> FailureCategory | None:
@@ -110,6 +119,26 @@ class ChaosScenario:
     storage_retry_delay: float = 600.0
     #: total clock budget one persist may burn across retries
     storage_persist_deadline: float = 120.0
+    # -- network fault schedule (degrades the fabric) --
+    n_network_faults: int = 0
+    #: relative weights of (link_down, link_degraded, switch_down)
+    network_fault_mix: tuple[float, float, float] = (0.45, 0.35, 0.2)
+    link_down_duration: float = 1800.0
+    link_degraded_duration: float = 3600.0
+    #: bandwidth fraction a degraded link retains during its window
+    link_degraded_factor: float = 0.35
+    switch_down_duration: float = 1200.0
+    #: how long monitoring takes to notice a slow (not dead) gang link
+    degraded_detect_delay: float = 900.0
+    #: NCCL-test pass threshold: a path below this factor fails probes,
+    #: and the gang migrates off segments this sick
+    network_min_factor: float = 0.5
+    #: fat-tree leaf domain size for chaos runs (kept small so modest
+    #: fleets still span several leaves and uplink faults matter)
+    nodes_per_leaf: int = 4
+    #: aim network faults at links the gang crosses (vs the whole
+    #: fabric) — mirrors pretrain_target_fraction for the fabric axis
+    network_target_gang: bool = True
     #: explicit fault schedule; overrides sampling when non-empty
     faults: tuple[InjectedFault, ...] = ()
 
@@ -133,6 +162,24 @@ class ChaosScenario:
             raise ValueError("storage_retry_delay must be positive")
         if self.storage_persist_deadline <= 0:
             raise ValueError("storage_persist_deadline must be positive")
+        if self.n_network_faults < 0:
+            raise ValueError("n_network_faults must be non-negative")
+        if (len(self.network_fault_mix) != 3
+                or any(w < 0 for w in self.network_fault_mix)
+                or sum(self.network_fault_mix) <= 0):
+            raise ValueError("network_fault_mix must be 3 non-negative "
+                             "weights with a positive sum")
+        if min(self.link_down_duration, self.link_degraded_duration,
+               self.switch_down_duration) <= 0:
+            raise ValueError("network fault durations must be positive")
+        if not 0.0 < self.link_degraded_factor < 1.0:
+            raise ValueError("link_degraded_factor must be in (0, 1)")
+        if self.degraded_detect_delay <= 0:
+            raise ValueError("degraded_detect_delay must be positive")
+        if not 0.0 < self.network_min_factor <= 1.0:
+            raise ValueError("network_min_factor must be in (0, 1]")
+        if self.nodes_per_leaf <= 0:
+            raise ValueError("nodes_per_leaf must be positive")
         if self.pretrain_gpus % GPUS_PER_NODE:
             raise ValueError("pretrain_gpus must be a multiple of 8")
         if self.scheduler_gpus % GPUS_PER_NODE:
@@ -188,6 +235,51 @@ class ChaosScenario:
                 duration=durations[kind]))
         return faults
 
+    def build_network_faults(self) -> list[InjectedFault]:
+        """The resolved network-fault schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 3``) so adding network
+        faults never perturbs the node-fault, background-job, or
+        storage streams — chaos goldens without network faults stay
+        byte-identical.  Windows close by 80% of the horizon plus the
+        longest duration, so end-of-run checks can require the fabric
+        to have healed.
+        """
+        if self.n_network_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 3)
+        weights = np.array(self.network_fault_mix, dtype=float)
+        weights /= weights.sum()
+        durations = {
+            "link_down": self.link_down_duration,
+            "link_degraded": self.link_degraded_duration,
+            "switch_down": self.switch_down_duration,
+        }
+        leaf_count = -(-self.n_nodes // self.nodes_per_leaf)  # ceil
+        gang_leaves = -(-self.gang_nodes // self.nodes_per_leaf)
+        node_hi = (self.gang_nodes if self.network_target_gang
+                   else self.n_nodes)
+        leaf_hi = (max(gang_leaves, 1) if self.network_target_gang
+                   else leaf_count)
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.8 * self.duration,
+                                    self.n_network_faults))
+        faults = []
+        for index, time in enumerate(times):
+            kind = NETWORK_FAULT_KINDS[
+                int(rng.choice(len(NETWORK_FAULT_KINDS), p=weights))]
+            node = int(rng.integers(0, node_hi))
+            leaf = int(rng.integers(0, leaf_hi))
+            if kind == "switch_down" or float(rng.uniform()) >= 0.5:
+                link = leaf_link(leaf)
+            else:
+                link = nic_link(node)
+            faults.append(InjectedFault(
+                float(time), kind, NETWORK_CHAOS_REASONS[kind],
+                "network", node, self.seed * 1000 + 700 + index,
+                duration=durations[kind], link=link))
+        return faults
+
     def build_faults(self) -> list[InjectedFault]:
         """The resolved fault schedule, sorted by time."""
         if self.faults:
@@ -227,6 +319,7 @@ class ChaosScenario:
                                         spec.reason, target, node,
                                         log_seed))
         faults.extend(self.build_storage_faults())
+        faults.extend(self.build_network_faults())
         return sorted(faults, key=lambda f: (f.time, f.log_seed))
 
     def build_background_jobs(self) -> list[Job]:
@@ -284,4 +377,17 @@ BUNDLED_SCENARIOS: dict[str, ChaosScenario] = {
         pretrain_target_fraction=1.0, n_storage_faults=5,
         storage_fault_mix=(0.25, 0.25, 0.5),
         ckpt_corruption_duration=3600.0),
+    # network-storm drills the fabric path: three-node leaf domains make
+    # the 4-node gang span two leaves, so downed/degraded uplinks and
+    # NICs interrupt it, the localization procedure convicts segments
+    # (a leaf needs two healthy members for an uplink conviction, hence
+    # the wider domains), and placement migrates the gang around the
+    # cordoned fabric.
+    "network-storm": ChaosScenario(
+        name="network-storm", seed=8, n_nodes=12, duration=8.0 * 3600.0,
+        pretrain_gpus=32, scheduler_gpus=32, n_background_jobs=10,
+        n_faults=2, loss_spike_fraction=0.0, hang_fraction=0.0,
+        category_filter="infrastructure",
+        pretrain_target_fraction=1.0, n_network_faults=5,
+        network_fault_mix=(0.5, 0.3, 0.2), nodes_per_leaf=3),
 }

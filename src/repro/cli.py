@@ -152,8 +152,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import (BUNDLED_SCENARIOS, InvariantViolation,
                              run_scenario)
 
-    scenario = BUNDLED_SCENARIOS[args.scenario]
+    scenario_name = args.scenario
     overrides = {}
+    if args.network_faults is not None:
+        # Accepts either a fault count ("--network-faults 4") or the
+        # name of a network-centric bundled scenario to switch to.
+        if args.network_faults in BUNDLED_SCENARIOS:
+            scenario_name = args.network_faults
+        else:
+            try:
+                overrides["n_network_faults"] = int(args.network_faults)
+            except ValueError:
+                print("--network-faults expects an integer or one of: "
+                      + ", ".join(sorted(BUNDLED_SCENARIOS)))
+                return 2
+    scenario = BUNDLED_SCENARIOS[scenario_name]
     if args.seed is not None:
         overrides["seed"] = args.seed
     if args.duration_hours is not None:
@@ -289,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the simulated horizon")
     chaos.add_argument("--faults", type=int, default=None,
                        help="override the number of injected faults")
+    chaos.add_argument("--network-faults", default=None,
+                       metavar="N|SCENARIO",
+                       help="override the network fault count, or name "
+                            "a network scenario (e.g. network-storm)")
     chaos.add_argument("--storage-faults", type=int, default=None,
                        help="override the number of storage faults")
     chaos.add_argument("--log", action="store_true",

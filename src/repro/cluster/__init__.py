@@ -12,6 +12,13 @@ from repro.cluster.network import Link, FairShareLink, NetworkFabric
 from repro.cluster.storage import SharedStorage, LoadRequest
 from repro.cluster.topology import ClusterTopology
 from repro.cluster.fattree import FatTree, FatTreeConfig, factor_table
+from repro.cluster.linkhealth import (
+    LinkFault,
+    LinkHealth,
+    leaf_link,
+    nic_link,
+    pod_link,
+)
 
 __all__ = [
     "GpuSpec",
@@ -32,4 +39,9 @@ __all__ = [
     "FatTree",
     "FatTreeConfig",
     "factor_table",
+    "LinkFault",
+    "LinkHealth",
+    "leaf_link",
+    "nic_link",
+    "pod_link",
 ]

@@ -15,6 +15,14 @@ paper settles on (64 GPUs = 8 nodes, §4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.linkhealth import (
+    LinkHealth,
+    leaf_link,
+    nic_link,
+    pod_link,
+)
 
 
 @dataclass(frozen=True)
@@ -53,10 +61,19 @@ class FatTreeConfig:
 
 
 class FatTree:
-    """Locality queries over the leaf–spine fabric."""
+    """Locality queries over the leaf–spine fabric.
 
-    def __init__(self, config: FatTreeConfig) -> None:
+    An optional :class:`~repro.cluster.linkhealth.LinkHealth` overlay
+    makes bandwidth queries time-aware: pass the sim clock via ``at``
+    and downed/degraded links shrink the group factor.  With no overlay
+    (or an empty one, or ``at=None``) every query is byte-identical to
+    the static model.
+    """
+
+    def __init__(self, config: FatTreeConfig,
+                 health: Optional[LinkHealth] = None) -> None:
         self.config = config
+        self.health = health
 
     def leaf_of(self, node: int) -> int:
         """Leaf switch index of a node."""
@@ -81,12 +98,51 @@ class FatTree:
         pods = {self.pod_of(node) for node in nodes}
         return 1 if len(pods) == 1 else 2
 
-    def group_bandwidth_factor(self, nodes: list[int]) -> float:
+    def group_links(self, nodes: list[int]) -> list[str]:
+        """Fabric links a collective over ``nodes`` depends on.
+
+        Every member's NIC, plus leaf uplinks when the group crosses
+        leaves, plus pod uplinks when it crosses pods.  A single-node
+        group generates no fabric traffic and depends on no link.
+        Sorted for deterministic iteration.
+        """
+        if not nodes:
+            raise ValueError("empty node group")
+        if len(set(nodes)) == 1:
+            return []
+        links = {nic_link(node) for node in nodes}
+        leaves = {self.leaf_of(node) for node in nodes}
+        if len(leaves) > 1:
+            links.update(leaf_link(leaf) for leaf in sorted(leaves))
+            pods = {self.pod_of(node) for node in nodes}
+            if len(pods) > 1:
+                links.update(pod_link(pod) for pod in sorted(pods))
+        return sorted(links)
+
+    def group_health_factor(self, nodes: list[int], at: float) -> float:
+        """Minimum live-health factor across the group's links."""
+        if self.health is None or self.health.empty:
+            return 1.0
+        return self.health.group_factor(self.group_links(nodes), at)
+
+    def down_links_crossed(self, nodes: list[int],
+                           at: float) -> list[str]:
+        """Links in the group's path that are down at ``at`` (sorted)."""
+        if self.health is None or self.health.empty:
+            return []
+        return [link for link in self.group_links(nodes)
+                if self.health.is_down(link, at)]
+
+    def group_bandwidth_factor(self, nodes: list[int],
+                               at: Optional[float] = None) -> float:
         """Effective per-node bandwidth derating for a collective.
 
         Within one leaf the NIC is the only constraint (factor 1.0);
         crossing leaves divides by the leaf oversubscription; crossing
-        pods additionally divides by the pod oversubscription.
+        pods additionally divides by the pod oversubscription.  When a
+        sim time ``at`` is given and a health overlay is attached, the
+        static factor is further scaled by the sickest link on the
+        group's path (0.0 when a crossed link is down).
         """
         tiers = self.tiers_crossed(nodes)
         factor = 1.0
@@ -94,12 +150,15 @@ class FatTree:
             factor /= self.config.leaf_oversubscription
         if tiers >= 2:
             factor /= self.config.pod_oversubscription
+        if at is not None:
+            factor *= self.group_health_factor(nodes, at)
         return factor
 
-    def group_bandwidth(self, nodes: list[int]) -> float:
+    def group_bandwidth(self, nodes: list[int],
+                        at: Optional[float] = None) -> float:
         """Per-node effective collective bandwidth, bytes/s."""
         return (self.config.nic_bandwidth
-                * self.group_bandwidth_factor(nodes))
+                * self.group_bandwidth_factor(nodes, at=at))
 
     def contiguous_group(self, first_node: int, count: int) -> list[int]:
         """Nodes [first, first+count) — how gang placement lays out."""

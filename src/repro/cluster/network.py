@@ -14,7 +14,9 @@ dynamics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.linkhealth import LinkHealth
 
 
 @dataclass(frozen=True)
@@ -46,7 +48,9 @@ def max_min_fair_rates(links: dict[str, float],
     Progressive filling: repeatedly find the bottleneck link (smallest
     equal-share rate among unfrozen flows), freeze its flows at that rate,
     and subtract.  Per-flow ``rate_cap`` is treated as a virtual one-flow
-    link.
+    link.  A link capacity of zero (e.g. a downed link under a
+    :class:`~repro.cluster.linkhealth.LinkHealth` overlay) pins every
+    flow crossing it to rate 0.
 
     Returns a mapping flow_id -> bytes/s.
     """
@@ -56,8 +60,8 @@ def max_min_fair_rates(links: dict[str, float],
     for flow in flows:
         for link in flow.links:
             if link not in remaining:
-                raise KeyError(f"flow {flow.flow_id} uses unknown link "
-                               f"{link!r}")
+                raise ValueError(f"flow {flow.flow_id} uses unknown "
+                                 f"link {link!r}")
     while active:
         # Share each link equally among the active flows crossing it.
         link_users: dict[str, int] = {}
@@ -68,6 +72,9 @@ def max_min_fair_rates(links: dict[str, float],
         for link, users in link_users.items():
             share = remaining[link] / users
             bottleneck_rate = min(bottleneck_rate, share)
+        # Float subtraction can leave a link epsilon-negative; a share
+        # below zero is physically zero (downed-link flows freeze at 0).
+        bottleneck_rate = max(bottleneck_rate, 0.0)
         # Per-flow caps can bind before any link does.
         capped = [flow for flow in active.values()
                   if flow.rate_cap <= bottleneck_rate]
@@ -112,6 +119,12 @@ class FairShareLink:
     def transfer_time(self, size_bytes: float, concurrent: int = 1,
                       per_flow_cap: float = float("inf")) -> float:
         """Seconds to move ``size_bytes`` at the fair-share steady rate."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if size_bytes == 0:
+            # An empty transfer completes instantly even when the fair
+            # share is zero (per_flow_cap 0 / fully contended link).
+            return 0.0
         return size_bytes / self.rate_for(concurrent, per_flow_cap)
 
 
@@ -121,10 +134,16 @@ class NetworkFabric:
     Links follow the paper's architecture: per-node application NIC(s),
     per-node storage NIC, per-GPU PCIe, per-GPU NVLink, and an aggregate
     storage backend.
+
+    An optional :class:`~repro.cluster.linkhealth.LinkHealth` overlay
+    makes capacities time-dependent: pass the sim clock via ``at`` to
+    :meth:`rates` / :meth:`transfer_times` and downed or degraded links
+    shrink accordingly.  An absent or empty overlay is a strict no-op.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, health: Optional[LinkHealth] = None) -> None:
         self._links: dict[str, Link] = {}
+        self.health = health
 
     def add_link(self, link: Link) -> None:
         """Register a named link; duplicate names are rejected."""
@@ -140,17 +159,26 @@ class NetworkFabric:
         """Whether a link with this name exists."""
         return name in self._links
 
-    def rates(self, flows: Sequence[Flow]) -> dict[str, float]:
-        """Max-min fair rates for the given flows."""
+    def rates(self, flows: Sequence[Flow],
+              at: float = 0.0) -> dict[str, float]:
+        """Max-min fair rates for the given flows at sim time ``at``."""
         capacities = {name: link.bandwidth
                       for name, link in self._links.items()}
+        if self.health is not None and not self.health.empty:
+            capacities = {name: bandwidth * self.health.factor(name, at)
+                          for name, bandwidth in capacities.items()}
         return max_min_fair_rates(capacities, flows)
 
     def transfer_times(self, flows: Sequence[Flow],
-                       sizes: dict[str, float]) -> dict[str, float]:
-        """Steady-state completion time per flow (no rate re-negotiation)."""
-        rates = self.rates(flows)
-        return {flow_id: sizes[flow_id] / rate
+                       sizes: dict[str, float],
+                       at: float = 0.0) -> dict[str, float]:
+        """Steady-state completion time per flow (no rate re-negotiation).
+
+        A flow pinned to rate 0 (downed link) never completes: inf.
+        """
+        rates = self.rates(flows, at=at)
+        return {flow_id: (sizes[flow_id] / rate if rate > 0.0
+                          else float("inf"))
                 for flow_id, rate in rates.items()}
 
     @property
@@ -168,6 +196,8 @@ def allreduce_time(size_bytes: float, world: int, bandwidth: float,
     """
     if world <= 1:
         return 0.0
+    if bandwidth <= 0:
+        return float("inf")
     steps = 2 * (world - 1)
     volume = 2.0 * (world - 1) / world * size_bytes
     return volume / bandwidth + steps * latency
@@ -183,5 +213,7 @@ def alltoall_time(size_bytes: float, world: int, bandwidth: float,
     """
     if world <= 1:
         return 0.0
+    if bandwidth <= 0:
+        return float("inf")
     volume = (world - 1) / world * size_bytes
     return volume / bandwidth + (world - 1) * latency

@@ -12,6 +12,11 @@ Mirrors Fig. 15:
 * :class:`DiagnosisSystem` wires both together behind one
   ``diagnose(log_lines)`` call and tracks how often each path fired —
   the basis of the paper's "~90% less manual intervention" claim.
+
+Every stage reads its tracer through the ``tracer=None →``
+:data:`~repro.obs.NULL_TRACER` seam, so a traced chaos run shows where
+diagnosis time goes (compression, rule match, retrieval, voting) while
+untraced runs pay nothing.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.core.diagnosis.self_consistency import sample_and_vote
 from repro.core.diagnosis.templates import TemplateMiner
 from repro.core.diagnosis.vector_store import VectorStore
 from repro.failures.taxonomy import FailureCategory, taxonomy_by_reason
+from repro.obs import NULL_TRACER, TracerLike
 
 _MITIGATION_FALLBACK = "Escalate to the operations team for manual triage."
 
@@ -49,12 +55,14 @@ class LogAgent:
     """Learns filter rules from streaming log segments."""
 
     def __init__(self, rules: FilterRules, llm: TemplateLLM | None = None,
-                 min_support: int = 5) -> None:
+                 min_support: int = 5,
+                 tracer: TracerLike | None = None) -> None:
         self.rules = rules
         self.llm = llm or TemplateLLM()
         self.miner = TemplateMiner()
         self.min_support = min_support
         self.rules_written = 0
+        self.tracer = tracer or NULL_TRACER
 
     def observe_segment(self, lines: list[str]) -> list[str]:
         """Consume a raw segment; returns the error lines found in it.
@@ -70,8 +78,9 @@ class LogAgent:
             pattern = self.llm.propose_filter_regex(template.masked)
             if self.rules.add(pattern):
                 self.rules_written += 1
-        compressor = LogCompressor(self.rules)
-        return compressor.compress(lines).error_lines
+        with self.tracer.span("diagnosis:compress", "diagnosis"):
+            compressor = LogCompressor(self.rules)
+            return compressor.compress(lines).error_lines
 
 
 class FailureAgent:
@@ -80,7 +89,8 @@ class FailureAgent:
     def __init__(self, diagnoser: RuleBasedDiagnoser | None = None,
                  llm: LLMClient | None = None,
                  store: VectorStore | None = None,
-                 consistency_samples: int = 3) -> None:
+                 consistency_samples: int = 3,
+                 tracer: TracerLike | None = None) -> None:
         self.diagnoser = diagnoser or RuleBasedDiagnoser()
         self.llm = llm or TemplateLLM()
         self.store = store or VectorStore()
@@ -89,20 +99,24 @@ class FailureAgent:
         self.rule_path_count = 0
         self.agent_path_count = 0
         self.unknown_count = 0
+        self.tracer = tracer or NULL_TRACER
 
     def diagnose(self, error_lines: list[str],
                  compression: CompressionResult) -> Diagnosis:
         """Identify the root cause of the given error evidence."""
         if not error_lines:
             self.unknown_count += 1
+            self.tracer.count("diagnosis.unknown")
             return Diagnosis(
                 reason="Unknown", category=FailureCategory.FRAMEWORK,
                 recoverable=False, mitigation=_MITIGATION_FALLBACK,
                 path="unknown", confidence=0.0, compression=compression)
 
-        matched = self.diagnoser.diagnose(error_lines)
+        with self.tracer.span("diagnosis:rules", "diagnosis"):
+            matched = self.diagnoser.diagnose(error_lines)
         if matched is not None:
             self.rule_path_count += 1
+            self.tracer.count("diagnosis.rule_hits")
             category = self.diagnoser.category_of(matched)
             return Diagnosis(
                 reason=matched, category=category,
@@ -120,16 +134,19 @@ class FailureAgent:
         def one_sample() -> str:
             return self.llm.classify_error(error_lines).reason
 
-        reason, agreement = sample_and_vote(one_sample,
-                                            self.consistency_samples)
-        verdict = self._verdict_for(reason, error_lines)
+        with self.tracer.span("diagnosis:vote", "diagnosis"):
+            reason, agreement = sample_and_vote(one_sample,
+                                                self.consistency_samples)
+            verdict = self._verdict_for(reason, error_lines)
         if verdict.confidence < 0.3:
-            hits = self.store.query(evidence_text, top_k=1)
+            with self.tracer.span("diagnosis:retrieve", "diagnosis"):
+                hits = self.store.query(evidence_text, top_k=1)
             if hits and hits[0].similarity > 0.85:
                 past_reason = hits[0].document.metadata.get("reason")
                 if past_reason and past_reason != "Unknown":
                     verdict = self._verdict_for(past_reason, error_lines)
         self.agent_path_count += 1
+        self.tracer.count("diagnosis.agent_path")
         doc_id = f"incident-{len(self.store):06d}"
         self.store.add(doc_id, evidence_text, {"reason": verdict.reason})
         self._learn_rule(error_lines, verdict.reason)
@@ -218,13 +235,17 @@ class DiagnosisSystem:
 
     def __init__(self, llm: TemplateLLM | None = None,
                  consistency_samples: int = 3,
-                 segment_lines: int = 500) -> None:
+                 segment_lines: int = 500,
+                 tracer: TracerLike | None = None) -> None:
         llm = llm or TemplateLLM()
+        self.tracer = tracer or NULL_TRACER
         self.filter_rules = FilterRules()
-        self.log_agent = LogAgent(self.filter_rules, llm)
+        self.log_agent = LogAgent(self.filter_rules, llm,
+                                  tracer=self.tracer)
         self.failure_agent = FailureAgent(llm=llm,
                                           consistency_samples=(
-                                              consistency_samples))
+                                              consistency_samples),
+                                          tracer=self.tracer)
         self.segment_lines = segment_lines
         self.stats = DiagnosisStats()
 
@@ -234,7 +255,9 @@ class DiagnosisSystem:
         for start in range(0, len(log_lines), self.segment_lines):
             segment = log_lines[start:start + self.segment_lines]
             error_lines.extend(self.log_agent.observe_segment(segment))
-        compression = LogCompressor(self.filter_rules).compress(log_lines)
+        with self.tracer.span("diagnosis:compress", "diagnosis"):
+            compression = LogCompressor(
+                self.filter_rules).compress(log_lines)
         diagnosis = self.failure_agent.diagnose(error_lines, compression)
         self.stats.total += 1
         if diagnosis.path == "rules":

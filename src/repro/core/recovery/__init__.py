@@ -8,6 +8,10 @@
 """
 
 from repro.core.recovery.nccl_test import (CollectiveTester,
+                                           FabricCollectiveTester,
+                                           LinkLocalizationResult,
+                                           leaf_segment,
+                                           localize_network_faults,
                                            two_round_nccl_test, World)
 from repro.core.recovery.detector import (LossSpikeDetector, HangDetector,
                                           AnomalyEvent)
@@ -18,6 +22,10 @@ from repro.core.recovery.controller import (RecoveryController,
 __all__ = [
     "CheckpointCatalog",
     "CollectiveTester",
+    "FabricCollectiveTester",
+    "LinkLocalizationResult",
+    "leaf_segment",
+    "localize_network_faults",
     "two_round_nccl_test",
     "World",
     "LossSpikeDetector",

@@ -24,6 +24,8 @@ from repro.cluster.machine import Node
 from repro.core.diagnosis.agents import Diagnosis, DiagnosisSystem
 from repro.core.recovery.detector import AnomalyEvent
 from repro.core.recovery.nccl_test import (CollectiveTester,
+                                           FabricCollectiveTester,
+                                           localize_network_faults,
                                            two_round_nccl_test)
 from repro.failures.taxonomy import FailureCategory
 
@@ -44,6 +46,9 @@ class RecoveryPlan:
     restart: bool
     restart_checkpoint_step: int | None
     cordoned_nodes: set[str] = field(default_factory=set)
+    #: fabric path segments (leaf uplinks) cordoned by localization —
+    #: placement must not span them until they are repaired
+    cordoned_segments: set[str] = field(default_factory=set)
     skip_batches: bool = False
     actions: list[RecoveryAction] = field(default_factory=list)
 
@@ -96,10 +101,14 @@ class RecoveryController:
 
     def __init__(self, diagnosis_system: DiagnosisSystem,
                  checkpoints: CheckpointCatalog,
-                 nodes: list[Node]) -> None:
+                 nodes: list[Node],
+                 leaf_of: dict[str, int] | None = None) -> None:
         self.diagnosis_system = diagnosis_system
         self.checkpoints = checkpoints
         self.nodes = {node.name: node for node in nodes}
+        #: node name -> leaf switch index; required by the network
+        #: fault path (localization needs to know the topology)
+        self.leaf_of = dict(leaf_of or {})
         self.incidents: list[RecoveryPlan] = []
         #: NCCL-test convictions per node, across incidents.  A node
         #: convicted repeatedly is not flaky software — it is broken
@@ -111,6 +120,9 @@ class RecoveryController:
         #: incidents the automatic system absorbs (retry/fallback), so
         #: they do not count against :meth:`automation_rate`.
         self.storage_alerts: list[tuple[int, str]] = []
+        #: localization convictions per fabric segment, across
+        #: incidents — the fabric-side analogue of conviction_counts.
+        self.segment_convictions: dict[str, int] = {}
 
     def record_storage_alert(self, step: int, detail: str) -> None:
         """Note a degraded/failed checkpoint persist at ``step``."""
@@ -170,6 +182,57 @@ class RecoveryController:
         self.incidents.append(plan)
         return plan
 
+    # -- network fault path ---------------------------------------------------
+
+    def handle_network_fault(self, detail: str,
+                             tester: FabricCollectiveTester,
+                             restart: bool = True) -> RecoveryPlan:
+        """Localize a fabric fault and cordon what the test convicts.
+
+        Runs the topology-aware localization over the schedulable pool:
+        convicted *segments* are cordoned (placement must route around
+        them until repair), convicted *nodes* go through the usual
+        cordon/escalation path, and ambiguous segments are flagged for
+        the fabric team rather than cordoned — localization must never
+        convict a healthy segment.  ``restart=False`` is the degraded
+        path: the job migrates but resumes in place (no iteration
+        loss), so no checkpoint restart is planned.
+        """
+        if not self.leaf_of:
+            raise ValueError("controller has no topology map; pass "
+                             "leaf_of to handle network faults")
+        plan = RecoveryPlan(diagnosis=None, restart=False,
+                            restart_checkpoint_step=None)
+        schedulable = [name for name, node in self.nodes.items()
+                       if node.schedulable]
+        result = localize_network_faults(schedulable, tester,
+                                         self.leaf_of)
+        plan.actions.append(RecoveryAction(
+            "localize",
+            f"{detail}: {result.tests_run} collectives, "
+            f"{len(result.faulty_nodes)} node(s) and "
+            f"{len(result.faulty_segments)} segment(s) convicted"))
+        for segment in sorted(result.faulty_segments):
+            self.segment_convictions[segment] = (
+                self.segment_convictions.get(segment, 0) + 1)
+            plan.cordoned_segments.add(segment)
+            plan.actions.append(RecoveryAction("cordon_segment", segment))
+        for segment in sorted(result.ambiguous_segments):
+            plan.actions.append(RecoveryAction(
+                "notify",
+                f"segment {segment} implicated but not convicted; "
+                "flagged for fabric team"))
+        for name in sorted(result.unresolved):
+            plan.actions.append(RecoveryAction(
+                "notify",
+                f"{name} unresolved (no trustworthy probe path)"))
+        for name in sorted(result.faulty_nodes):
+            self._convict_node(plan, name)
+        if restart:
+            self._restart_from_latest(plan)
+        self.incidents.append(plan)
+        return plan
+
     # -- helpers --------------------------------------------------------------
 
     def _isolate_faulty_nodes(self, plan: RecoveryPlan,
@@ -183,19 +246,22 @@ class RecoveryController:
             "nccl_test",
             f"{result.tests_run} collectives, "
             f"{len(result.faulty)} faulty"))
-        for name in result.faulty:
-            self.conviction_counts[name] = (
-                self.conviction_counts.get(name, 0) + 1)
-            plan.cordoned_nodes.add(name)
-            if self.conviction_counts[name] >= self.ESCALATION_THRESHOLD:
-                self.nodes[name].mark_faulty()
-                plan.actions.append(RecoveryAction(
-                    "escalate",
-                    f"{name}: {self.conviction_counts[name]} convictions; "
-                    "marked faulty for hardware replacement"))
-            else:
-                self.nodes[name].cordon()
-                plan.actions.append(RecoveryAction("cordon", name))
+        for name in sorted(result.faulty):
+            self._convict_node(plan, name)
+
+    def _convict_node(self, plan: RecoveryPlan, name: str) -> None:
+        self.conviction_counts[name] = (
+            self.conviction_counts.get(name, 0) + 1)
+        plan.cordoned_nodes.add(name)
+        if self.conviction_counts[name] >= self.ESCALATION_THRESHOLD:
+            self.nodes[name].mark_faulty()
+            plan.actions.append(RecoveryAction(
+                "escalate",
+                f"{name}: {self.conviction_counts[name]} convictions; "
+                "marked faulty for hardware replacement"))
+        else:
+            self.nodes[name].cordon()
+            plan.actions.append(RecoveryAction("cordon", name))
 
     def _restart_from_latest(self, plan: RecoveryPlan) -> None:
         latest = self.checkpoints.latest()

@@ -1,4 +1,4 @@
-"""Two-round NCCL test for locating faulty nodes (§6.1).
+"""Two-round NCCL test for locating faulty nodes and links (§6.1).
 
 The paper's procedure for frequent NVLink errors:
 
@@ -12,12 +12,19 @@ The paper's procedure for frequent NVLink errors:
 The collective itself is abstracted behind :class:`CollectiveTester` so
 the algorithm is exactly the production pairing logic, independent of the
 transport.
+
+:func:`localize_network_faults` extends the scheme from node conviction
+to *link localization* — the paper's NVLink-vs-node distinction.  When a
+world fails only across a shared leaf/spine path, the path segment is
+convicted, not its endpoint nodes: pairing stays inside one leaf first
+(so NIC/node faults surface without touching the fabric), then a cycle
+of cross-leaf probes over cleared representatives sweeps the uplinks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -120,5 +127,226 @@ def two_round_nccl_test(nodes: Sequence[str],
         else:
             result.faulty.add(suspect)
     result.cleared.update(healthy_pool)
+    result.tests_run = tester.tests_run
+    return result
+
+
+# -- link localization --------------------------------------------------------
+
+
+def leaf_segment(leaf: int) -> str:
+    """Segment id of a leaf's uplink path (matches linkhealth naming)."""
+    return f"leaf:{leaf}"
+
+
+class FabricCollectiveTester:
+    """Allgather tester whose failures come from the fabric, not a set.
+
+    A collective fails when any participant is in the injected faulty
+    set, any participant's NIC runs below ``min_factor`` of nominal, or
+    — for worlds spanning leaves — any crossed leaf uplink does.  This
+    is the observable the localization algorithm works against: it sees
+    only pass/fail per world, never the factors directly.
+
+    ``node_factors`` maps node name -> NIC health factor and
+    ``segment_factors`` maps segment id -> uplink health factor; both
+    default missing entries to 1.0 (healthy).
+    """
+
+    def __init__(self, leaf_of: Mapping[str, int],
+                 node_factors: Mapping[str, float] | None = None,
+                 segment_factors: Mapping[str, float] | None = None,
+                 faulty_nodes: Iterable[str] = (),
+                 min_factor: float = 0.5) -> None:
+        self.leaf_of = dict(leaf_of)
+        self.node_factors = dict(node_factors or {})
+        self.segment_factors = dict(segment_factors or {})
+        self.faulty_nodes = frozenset(faulty_nodes)
+        self.min_factor = min_factor
+        self.tests_run = 0
+
+    def _node_ok(self, node: str) -> bool:
+        if node in self.faulty_nodes:
+            return False
+        return self.node_factors.get(node, 1.0) >= self.min_factor
+
+    def run_allgather(self, world: World) -> bool:
+        """True if the collective succeeds."""
+        if not world.members:
+            raise ValueError("empty world")
+        self.tests_run += 1
+        if any(member in self.faulty_nodes for member in world.members):
+            return False
+        if len(world.members) == 1:
+            # A single-node world exercises no fabric traffic.
+            return True
+        if any(self.node_factors.get(member, 1.0) < self.min_factor
+               for member in world.members):
+            return False
+        leaves = {self.leaf_of[member] for member in world.members}
+        if len(leaves) > 1:
+            for leaf in sorted(leaves):
+                factor = self.segment_factors.get(leaf_segment(leaf), 1.0)
+                if factor < self.min_factor:
+                    return False
+        return True
+
+
+@dataclass
+class LinkLocalizationResult:
+    """Outcome of the topology-aware localization procedure."""
+
+    #: nodes convicted (bad NIC or bad node — indistinguishable here)
+    faulty_nodes: set[str] = field(default_factory=set)
+    #: leaf-uplink segments convicted with two independent witnesses
+    faulty_segments: set[str] = field(default_factory=set)
+    #: segments implicated but not pinned (single witness / all-fail)
+    ambiguous_segments: set[str] = field(default_factory=set)
+    cleared: set[str] = field(default_factory=set)
+    #: suspects that could not be resolved (no usable probe path)
+    unresolved: set[str] = field(default_factory=set)
+    suspects_after_round1: set[str] = field(default_factory=set)
+    tests_run: int = 0
+
+
+def localize_network_faults(nodes: Sequence[str],
+                            tester: FabricCollectiveTester,
+                            leaf_of: Mapping[str, int]
+                            ) -> LinkLocalizationResult:
+    """Locate faulty nodes *and* faulty leaf uplinks among ``nodes``.
+
+    Four rounds, each reusing the two-round machinery at one tier:
+
+    1. **Intra-leaf sweep** — pairwise worlds confined to one leaf, so a
+       failure implicates a node/NIC, never an uplink.
+    2. **Node conviction** — each suspect re-paired with a cleared node
+       from its *own* leaf; fail convicts, pass clears.  Suspects in a
+       leaf with no cleared partner are deferred to round 4.
+    3. **Uplink cycle sweep** — one cleared representative per leaf,
+       tested pairwise around a cycle so every uplink gets two
+       independent witnesses.  A leaf incident to two failing worlds is
+       convicted; a failure explained by an already-convicted endpoint
+       clears its partner; anything else is ambiguous (never convicted
+       — invariant: a healthy segment must not be cordoned).  A lone
+       rep (its leaf has no partner, so round 1 never exercised its
+       NIC) cannot pin its uplink: NIC and uplink are indistinguishable
+       by collectives, so the *node* is convicted conservatively and
+       the segment only flagged as ambiguous.
+    4. **Deferred resolution** — deferred suspects probe cross-leaf
+       through an exonerated uplink; a failure conservatively convicts
+       the node (matching the base algorithm's bias) unless its own
+       uplink is known-bad, in which case it stays unresolved.
+    """
+    if len(set(nodes)) != len(nodes):
+        raise ValueError("duplicate node names")
+    result = LinkLocalizationResult()
+    if not nodes:
+        result.tests_run = tester.tests_run
+        return result
+
+    by_leaf: dict[int, list[str]] = {}
+    for node in nodes:
+        by_leaf.setdefault(leaf_of[node], []).append(node)
+    leaves = sorted(by_leaf)
+
+    # Round 1: intra-leaf pairwise sweep (no fabric traffic crossed).
+    suspects_by_leaf: dict[int, list[str]] = {}
+    cleared_by_leaf: dict[int, list[str]] = {}
+    for leaf in leaves:
+        suspects_by_leaf[leaf] = []
+        cleared_by_leaf[leaf] = []
+        for world in _make_worlds(by_leaf[leaf]):
+            if tester.run_allgather(world):
+                cleared_by_leaf[leaf].extend(world.members)
+            else:
+                suspects_by_leaf[leaf].extend(world.members)
+        result.suspects_after_round1.update(suspects_by_leaf[leaf])
+
+    # Round 2: convict suspects against an intra-leaf cleared probe.
+    deferred: list[str] = []
+    for leaf in leaves:
+        pool = cleared_by_leaf[leaf]
+        for suspect in suspects_by_leaf[leaf]:
+            if not pool:
+                deferred.append(suspect)
+                continue
+            if tester.run_allgather(World((suspect, pool[0]))):
+                result.cleared.add(suspect)
+                pool.append(suspect)
+            else:
+                result.faulty_nodes.add(suspect)
+    for leaf in leaves:
+        result.cleared.update(cleared_by_leaf[leaf])
+    result.cleared -= result.faulty_nodes
+
+    # Round 3: cycle sweep over the leaf uplinks.
+    rep_leaves = [leaf for leaf in leaves if cleared_by_leaf[leaf]]
+    reps = {leaf: cleared_by_leaf[leaf][0] for leaf in rep_leaves}
+    if len(rep_leaves) == 2:
+        first, second = rep_leaves
+        if not tester.run_allgather(World((reps[first], reps[second]))):
+            # One witness cannot tell which uplink is sick.
+            result.ambiguous_segments.add(leaf_segment(first))
+            result.ambiguous_segments.add(leaf_segment(second))
+    elif len(rep_leaves) >= 3:
+        count = len(rep_leaves)
+        fails: list[tuple[int, int]] = []
+        incident: dict[int, int] = {leaf: 0 for leaf in rep_leaves}
+        for index in range(count):
+            left = rep_leaves[index]
+            right = rep_leaves[(index + 1) % count]
+            if not tester.run_allgather(World((reps[left], reps[right]))):
+                fails.append((left, right))
+                incident[left] += 1
+                incident[right] += 1
+        if len(fails) == count:
+            # Every world failed: spine trouble or too many sick
+            # uplinks to separate.  Convicting here could hit a healthy
+            # segment, so everything stays ambiguous.
+            for leaf in rep_leaves:
+                result.ambiguous_segments.add(leaf_segment(leaf))
+        else:
+            for leaf in rep_leaves:
+                if incident[leaf] == 2:
+                    if len(by_leaf[leaf]) == 1:
+                        # Round 1 never exercised this lone rep's NIC
+                        # (a single-node world moves no fabric bytes),
+                        # so its NIC and its uplink are observationally
+                        # identical.  Convict the node — the safe,
+                        # conservative call — and flag the segment
+                        # rather than risk cordoning a healthy uplink.
+                        result.faulty_nodes.add(reps[leaf])
+                        result.cleared.discard(reps[leaf])
+                        result.ambiguous_segments.add(leaf_segment(leaf))
+                    else:
+                        result.faulty_segments.add(leaf_segment(leaf))
+            for left, right in fails:
+                if incident[left] < 2 and incident[right] < 2:
+                    # Neither endpoint was convicted: one witness only.
+                    result.ambiguous_segments.add(leaf_segment(left))
+                    result.ambiguous_segments.add(leaf_segment(right))
+
+    # Round 4: resolve suspects whose leaf had no intra-leaf probe.
+    bad_segments = result.faulty_segments | result.ambiguous_segments
+    probe_leaves = [leaf for leaf in rep_leaves
+                    if leaf_segment(leaf) not in bad_segments]
+    if not rep_leaves:
+        # No cleared node anywhere: no trusted partner exists, cordon
+        # everything suspicious (matches two_round_nccl_test).
+        result.faulty_nodes.update(deferred)
+        deferred = []
+    for suspect in deferred:
+        own_leaf = leaf_of[suspect]
+        if leaf_segment(own_leaf) in bad_segments or not probe_leaves:
+            # A cross-leaf probe would test the sick uplink, not the
+            # node — or there is no trustworthy path at all.
+            result.unresolved.add(suspect)
+            continue
+        probe = reps[probe_leaves[0]]
+        if tester.run_allgather(World((suspect, probe))):
+            result.cleared.add(suspect)
+        else:
+            result.faulty_nodes.add(suspect)
+
     result.tests_run = tester.tests_run
     return result

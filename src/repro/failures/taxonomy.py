@@ -123,6 +123,21 @@ STORAGE_FAULT_KINDS: tuple[str, ...] = (
 #: The taxonomy reason storage chaos faults are charged against.
 STORAGE_CHAOS_REASON = "S3StorageError"
 
+#: Chaos fault kinds that degrade the network fabric rather than a
+#: node or the storage path: a dead link, a link at fractional
+#: bandwidth, and a dead leaf switch (all its incident links down).
+NETWORK_FAULT_KINDS: tuple[str, ...] = (
+    "link_down", "link_degraded", "switch_down")
+
+#: Table 3 reasons network chaos faults are charged against: hard link
+#: losses surface as NVLink errors, degradations and switch losses as
+#: generic network errors.
+NETWORK_CHAOS_REASONS: dict[str, str] = {
+    "link_down": "NVLinkError",
+    "link_degraded": "NetworkError",
+    "switch_down": "NetworkError",
+}
+
 
 def storage_spec() -> FailureSpec:
     """The Table 3 row backing the storage fault domain."""

@@ -231,6 +231,13 @@ class PretrainProcess:
         self.running = False
         self.restarts = 0
         self.lost_iterations = 0
+        #: per-step time multiplier (>= 1.0) while the fabric under the
+        #: gang is degraded; 1.0 exactly when healthy, so runs without
+        #: network faults keep byte-identical step timestamps
+        self._step_factor = 1.0
+        #: extra seconds accrued versus nominal step_time (slowdown,
+        #: not downtime — the job runs, just slower)
+        self.slowdown_seconds = 0.0
         self.checkpoint_steps: list[int] = []
         #: closed (start_time, end_time, start_iter, end_iter) segments
         self.segments: list[Submission] = []
@@ -243,6 +250,29 @@ class PretrainProcess:
     @property
     def done(self) -> bool:
         return self.done_at is not None
+
+    @property
+    def step_factor(self) -> float:
+        return self._step_factor
+
+    def set_step_factor(self, factor: float) -> None:
+        """Stretch (or restore) the per-step time by ``factor``.
+
+        The chaos harness sets this to 1 / bandwidth-factor while a
+        degraded link sits under the gang — the comm-bound worst case,
+        where step time scales inversely with collective bandwidth.
+        Takes effect from the *next* scheduled step; the step already
+        in flight completes at its original time.
+        """
+        if factor < 1.0:
+            raise ValueError("step factor must be >= 1")
+        self._step_factor = factor
+
+    def _step_delay(self) -> float:
+        """Seconds until the next step lands; accrues slowdown."""
+        delay = self.step_time * self._step_factor
+        self.slowdown_seconds += delay - self.step_time
+        return delay
 
     def start(self, delay: float = 0.0) -> None:
         """Begin (or resume) stepping ``delay`` seconds from now."""
@@ -257,7 +287,7 @@ class PretrainProcess:
             f"segment:{self.name}", "pretrain", at=start_time,
             start_iteration=self.iteration)
         self._tick_item = self.engine.call_at(
-            start_time + self.step_time, self._tick)
+            start_time + self._step_delay(), self._tick)
 
     def interrupt(self, reason: str = "") -> int:
         """Stop stepping *now* (a fault hit the gang).
@@ -312,7 +342,8 @@ class PretrainProcess:
             if self.on_done is not None:
                 self.on_done(self.iteration)
             return
-        self._tick_item = self.engine.call_after(self.step_time, self._tick)
+        self._tick_item = self.engine.call_after(self._step_delay(),
+                                                 self._tick)
 
     def _close_segment(self) -> None:
         if self._segment_start is None:

@@ -328,3 +328,20 @@ class TestChaosCli:
         payload = json.loads(out_path.read_text())
         assert payload["summary"]["scenario"] == "smoke"
         assert payload["event_log"]
+
+    def test_network_faults_flag_selects_scenario(self, capsys):
+        assert main(["chaos", "--network-faults", "network-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "network-storm" in out
+        assert "network fabric" in out
+
+    def test_network_faults_flag_overrides_count(self, capsys):
+        assert main(["chaos", "--scenario", "smoke",
+                     "--network-faults", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "network faults: 0" in out
+
+    def test_network_faults_flag_rejects_garbage(self, capsys):
+        assert main(["chaos", "--network-faults", "not-a-thing"]) == 2
+        out = capsys.readouterr().out
+        assert "--network-faults expects" in out

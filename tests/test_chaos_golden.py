@@ -11,6 +11,8 @@ regenerated:
         --json-out tests/data/chaos_golden.json
     PYTHONPATH=src python -m repro chaos --scenario storage-storm \\
         --json-out tests/data/chaos_storage_storm_golden.json
+    PYTHONPATH=src python -m repro chaos --scenario network-storm \\
+        --json-out tests/data/chaos_network_storm_golden.json
 """
 
 import json
@@ -24,6 +26,7 @@ DATA_DIR = Path(__file__).parent / "data"
 GOLDENS = {
     "smoke": DATA_DIR / "chaos_golden.json",
     "storage-storm": DATA_DIR / "chaos_storage_storm_golden.json",
+    "network-storm": DATA_DIR / "chaos_network_storm_golden.json",
 }
 
 
@@ -65,6 +68,24 @@ def test_summary_matches_golden(scenario):
         + ", ".join(f"{key}: golden={golden.get(key)!r} "
                     f"current={current.get(key)!r}" for key in drifted)
         + f"\n{regen_hint(scenario)}")
+
+
+def test_network_storm_golden_demonstrates_localization():
+    """The pinned storm must keep proving the fabric-recovery path:
+    at least one segment conviction, followed (not just accompanied)
+    by a gang migration, with every segment healed by the horizon."""
+    golden = json.loads(GOLDENS["network-storm"].read_text())
+    summary = golden["summary"]
+    assert summary["network_faults"] >= 1
+    assert summary["segment_convictions"] >= 1
+    assert summary["gang_migrations"] >= 1
+    assert summary["segments_cordoned_end"] == 0
+    log = golden["event_log"]
+    first_conviction = next(
+        index for index, line in enumerate(log)
+        if "recovery_cordon_segment" in line)
+    assert any("gang_migrated" in line
+               for line in log[first_conviction:])
 
 
 def test_storage_storm_golden_demonstrates_fallback():

@@ -408,3 +408,44 @@ class TestMessyLogs:
         log = LogGenerator(seed=12).healthy_log(n_steps=200)
         messy = make_messy(log, seed=2, ansi=True)
         assert any("\x1b[" in line for line in messy.lines)
+
+
+class TestDiagnosisTracing:
+    def test_stages_emit_spans_and_counters(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(clock=lambda: 0.0)
+        system = DiagnosisSystem(tracer=tracer)
+        log = LogGenerator(seed=3).failed_log("ECCError", n_steps=50)
+        diagnosis = system.diagnose(log.lines)
+        assert diagnosis.reason == "ECCError"
+        names = {span.name for span in tracer.spans}
+        assert "diagnosis:compress" in names
+        assert "diagnosis:rules" in names
+        # one path counter fired, matching the diagnosis path
+        if diagnosis.path == "rules":
+            assert tracer.counter("diagnosis.rule_hits").last == 1.0
+        else:
+            assert "diagnosis:vote" in names
+            assert tracer.counter("diagnosis.agent_path").last == 1.0
+
+    def test_agent_path_traces_the_vote(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(clock=lambda: 0.0)
+        system = DiagnosisSystem(tracer=tracer)
+        # strip the rule base so the LLM/voting path must run
+        system.failure_agent.diagnoser = RuleBasedDiagnoser(rules=[])
+        log = LogGenerator(seed=4).failed_log("ECCError", n_steps=50)
+        diagnosis = system.diagnose(log.lines)
+        assert diagnosis.path == "agent"
+        assert "diagnosis:vote" in {span.name for span in tracer.spans}
+        assert tracer.counter("diagnosis.agent_path").last == 1.0
+
+    def test_untraced_system_pays_nothing(self):
+        system = DiagnosisSystem()
+        from repro.obs import NULL_TRACER
+
+        assert system.tracer is NULL_TRACER
+        assert system.log_agent.tracer is NULL_TRACER
+        assert system.failure_agent.tracer is NULL_TRACER

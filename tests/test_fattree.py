@@ -97,3 +97,58 @@ class TestBisection:
         expected = (32 * small.config.nic_bandwidth
                     / small.config.leaf_oversubscription)
         assert small.bisection_bandwidth() == pytest.approx(expected)
+
+
+class TestHealthOverlay:
+    def make_tree(self):
+        from repro.cluster.linkhealth import LinkHealth
+
+        health = LinkHealth()
+        config = FatTreeConfig(nodes=16, nodes_per_leaf=4)
+        return FatTree(config, health=health), health
+
+    def test_group_links_single_node_has_none(self):
+        fabric, _ = self.make_tree()
+        assert fabric.group_links([3]) == []
+
+    def test_group_links_intra_leaf_is_nics_only(self):
+        fabric, _ = self.make_tree()
+        assert fabric.group_links([0, 1]) == ["nic:0", "nic:1"]
+
+    def test_group_links_cross_leaf_adds_uplinks(self):
+        fabric, _ = self.make_tree()
+        links = fabric.group_links([0, 4])
+        assert links == ["leaf:0", "leaf:1", "nic:0", "nic:4"]
+
+    def test_group_links_rejects_empty_group(self):
+        fabric, _ = self.make_tree()
+        with pytest.raises(ValueError):
+            fabric.group_links([])
+
+    def test_group_health_factor_tracks_worst_crossed_link(self):
+        fabric, health = self.make_tree()
+        health.link_degraded("leaf:1", start=0.0, end=100.0, factor=0.4)
+        assert fabric.group_health_factor([0, 4], 50.0) \
+            == pytest.approx(0.4)
+        # intra-leaf groups never cross the degraded uplink
+        assert fabric.group_health_factor([4, 5], 50.0) == 1.0
+        # and the window is over at its end
+        assert fabric.group_health_factor([0, 4], 100.0) == 1.0
+
+    def test_down_links_crossed(self):
+        fabric, health = self.make_tree()
+        health.link_down("nic:4", start=0.0, end=10.0)
+        assert fabric.down_links_crossed([0, 4], 5.0) == ["nic:4"]
+        assert fabric.down_links_crossed([0, 4], 10.0) == []
+
+    def test_group_bandwidth_factor_combines_static_and_live(self):
+        fabric, health = self.make_tree()
+        static = fabric.group_bandwidth_factor([0, 4])
+        health.link_degraded("leaf:0", start=0.0, end=10.0, factor=0.5)
+        live = fabric.group_bandwidth_factor([0, 4], at=5.0)
+        assert live == pytest.approx(static * 0.5)
+
+    def test_without_health_overlay_behaves_statically(self):
+        plain = tree(nodes=16, nodes_per_leaf=4)
+        assert plain.group_health_factor([0, 4], 0.0) == 1.0
+        assert plain.down_links_crossed([0, 4], 0.0) == []

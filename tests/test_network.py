@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cluster.linkhealth import LinkHealth
 from repro.cluster.network import (FairShareLink, Flow, Link, NetworkFabric,
                                    allreduce_time, alltoall_time,
                                    max_min_fair_rates)
@@ -30,6 +31,17 @@ class TestFairShareLink:
     def test_rejects_zero_concurrency(self):
         with pytest.raises(ValueError):
             FairShareLink(10.0).rate_for(0)
+
+    def test_zero_size_transfer_is_instant(self):
+        assert FairShareLink(10.0).transfer_time(0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareLink(10.0).transfer_time(-1.0)
+
+    def test_cap_below_fair_share_is_honored(self):
+        # Fair share would be 50; the 5.0 cap must win.
+        assert FairShareLink(100.0).rate_for(2, per_flow_cap=5.0) == 5.0
 
 
 class TestMaxMinFairness:
@@ -60,8 +72,9 @@ class TestMaxMinFairness:
         assert rates["capped"] == pytest.approx(10.0)
         assert rates["greedy"] == pytest.approx(90.0)
 
-    def test_unknown_link_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_link_raises_value_error(self):
+        # A clear ValueError naming flow and link, not a bare KeyError.
+        with pytest.raises(ValueError, match="flow a .* 'ghost'"):
             max_min_fair_rates({"l": 1.0}, [Flow("a", ("ghost",))])
 
     @given(st.lists(st.integers(1, 5), min_size=1, max_size=8),
@@ -90,6 +103,25 @@ class TestMaxMinFairness:
         values = list(rates.values())
         assert max(values) - min(values) < 1e-9
 
+    @given(st.lists(st.floats(0.5, 50.0), min_size=1, max_size=6),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_caps_respected_and_order_invariant(self, caps, rng):
+        """Properties: no flow exceeds its rate_cap, and the allocation
+        does not depend on the order flows are presented in."""
+        links = {"l": 40.0, "m": 60.0}
+        flows = [Flow(f"f{i}", ("l", "m") if i % 2 else ("l",),
+                      rate_cap=cap)
+                 for i, cap in enumerate(caps)]
+        rates = max_min_fair_rates(links, flows)
+        for flow in flows:
+            assert rates[flow.flow_id] <= flow.rate_cap + 1e-9
+        shuffled = list(flows)
+        rng.shuffle(shuffled)
+        again = max_min_fair_rates(links, shuffled)
+        for flow_id, rate in rates.items():
+            assert again[flow_id] == pytest.approx(rate)
+
 
 class TestFabric:
     def test_duplicate_link_rejected(self):
@@ -111,6 +143,42 @@ class TestFabric:
         fabric.add_link(Link("nic", 10.0))
         assert fabric.has_link("nic")
         assert fabric.link("nic").bandwidth == 10.0
+
+
+class TestFabricWithHealth:
+    def make_fabric(self, health):
+        fabric = NetworkFabric(health=health)
+        fabric.add_link(Link("nic", 10.0))
+        return fabric
+
+    def test_degraded_link_scales_rates(self):
+        health = LinkHealth()
+        health.link_degraded("nic", start=0.0, end=100.0, factor=0.5)
+        fabric = self.make_fabric(health)
+        rates = fabric.rates([Flow("a", ("nic",))], at=50.0)
+        assert rates["a"] == pytest.approx(5.0)
+
+    def test_window_over_restores_full_rate(self):
+        health = LinkHealth()
+        health.link_degraded("nic", start=0.0, end=100.0, factor=0.5)
+        fabric = self.make_fabric(health)
+        rates = fabric.rates([Flow("a", ("nic",))], at=100.0)
+        assert rates["a"] == pytest.approx(10.0)
+
+    def test_downed_link_means_infinite_transfer(self):
+        health = LinkHealth()
+        health.link_down("nic", start=0.0, end=100.0)
+        fabric = self.make_fabric(health)
+        times = fabric.transfer_times([Flow("a", ("nic",))],
+                                      {"a": 10.0}, at=10.0)
+        assert times["a"] == float("inf")
+
+    def test_empty_overlay_is_a_no_op(self):
+        healthy = NetworkFabric()
+        healthy.add_link(Link("nic", 10.0))
+        overlaid = self.make_fabric(LinkHealth())
+        flows = [Flow("a", ("nic",)), Flow("b", ("nic",))]
+        assert overlaid.rates(flows, at=5.0) == healthy.rates(flows)
 
 
 class TestCollectiveModels:

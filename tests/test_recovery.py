@@ -7,8 +7,10 @@ from hypothesis import strategies as st
 from repro.cluster.machine import Node, NodeHealth, seren_node_spec
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
-                                 CollectiveTester, HangDetector,
-                                 LossSpikeDetector, RecoveryController,
+                                 CollectiveTester, FabricCollectiveTester,
+                                 HangDetector, LossSpikeDetector,
+                                 RecoveryController, leaf_segment,
+                                 localize_network_faults,
                                  two_round_nccl_test, World)
 from repro.failures.logs import LogGenerator
 
@@ -33,6 +35,21 @@ class TestNcclTest:
         result = two_round_nccl_test(nodes, tester)
         assert result.faulty == {"n6"}
         assert result.cleared == set(nodes) - {"n6"}
+
+    def test_exactly_three_nodes_form_one_world(self):
+        nodes = ["a", "b", "c"]
+        tester = CollectiveTester({"b"})
+        result = two_round_nccl_test(nodes, tester)
+        # The lone world of three fails; with no passing world there is
+        # no trusted partner, so all three are conservatively convicted.
+        assert result.suspects_after_round1 == set(nodes)
+        assert result.faulty == set(nodes)
+
+    def test_exactly_three_healthy_nodes_all_clear(self):
+        nodes = ["a", "b", "c"]
+        result = two_round_nccl_test(nodes, CollectiveTester(set()))
+        assert result.faulty == set()
+        assert result.cleared == set(nodes)
 
     def test_no_faults_clears_everyone_in_one_round(self):
         nodes = [f"n{i}" for i in range(10)]
@@ -348,3 +365,162 @@ class TestCordonEscalation:
         node.mark_faulty()
         node.cordon()
         assert node.health is NodeHealth.FAULTY
+
+
+class TestLinkLocalization:
+    """Topology-aware localization: nodes vs leaf-uplink segments."""
+
+    def setup_method(self):
+        # 12 nodes, 6 leaves of 2 — the network-storm shape.
+        self.nodes = [f"n{i}" for i in range(12)]
+        self.leaf_of = {f"n{i}": i // 2 for i in range(12)}
+
+    def make_tester(self, node_factors=None, segment_factors=None,
+                    faulty=()):
+        return FabricCollectiveTester(
+            self.leaf_of, node_factors=node_factors,
+            segment_factors=segment_factors, faulty_nodes=faulty)
+
+    def test_healthy_fabric_clears_everyone(self):
+        tester = self.make_tester()
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of)
+        assert result.cleared == set(self.nodes)
+        assert not result.faulty_nodes
+        assert not result.faulty_segments
+        assert not result.ambiguous_segments
+
+    def test_degraded_uplink_convicts_the_segment_not_nodes(self):
+        tester = self.make_tester(segment_factors={"leaf:2": 0.3})
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of)
+        assert result.faulty_segments == {"leaf:2"}
+        assert not result.faulty_nodes
+        # intra-leaf traffic never crosses the uplink, so the members
+        # themselves test clean
+        assert {"n4", "n5"} <= result.cleared
+
+    def test_degraded_nic_convicts_the_node_not_its_uplink(self):
+        tester = self.make_tester(node_factors={"n5": 0.2})
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of)
+        assert result.faulty_nodes == {"n5"}
+        assert not result.faulty_segments
+        assert "n5" not in result.cleared
+
+    def test_mixed_nic_and_uplink_faults_both_pinned(self):
+        tester = self.make_tester(node_factors={"n0": 0.0},
+                                  segment_factors={"leaf:4": 0.0})
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of)
+        assert result.faulty_nodes == {"n0"}
+        assert result.faulty_segments == {"leaf:4"}
+        # n0's partner is exonerated via the cross-leaf probe
+        assert "n1" in result.cleared
+
+    def test_two_leaf_world_is_never_convicted_on_one_witness(self):
+        nodes = ["n0", "n1", "n2", "n3"]
+        leaf_of = {"n0": 0, "n1": 0, "n2": 1, "n3": 1}
+        tester = FabricCollectiveTester(
+            leaf_of, segment_factors={"leaf:1": 0.1})
+        result = localize_network_faults(nodes, tester, leaf_of)
+        # One cross-leaf witness cannot tell which uplink is sick:
+        # both stay ambiguous, neither is convicted (invariant 11).
+        assert not result.faulty_segments
+        assert result.ambiguous_segments == {"leaf:0", "leaf:1"}
+
+    def test_lone_rep_cannot_convict_its_uplink(self):
+        """Regression: a leaf with a single schedulable member has an
+        untested NIC; a cycle double-failure must convict the node, not
+        the (possibly healthy) uplink."""
+        nodes = ["n0", "n1", "n2", "n4", "n5", "n6", "n7"]  # n3 gone
+        tester = FabricCollectiveTester(
+            self.leaf_of, node_factors={"n2": 0.2})
+        result = localize_network_faults(nodes, tester, self.leaf_of)
+        assert result.faulty_nodes == {"n2"}
+        assert not result.faulty_segments
+        assert leaf_segment(1) in result.ambiguous_segments
+
+    def test_injected_faulty_node_detected(self):
+        tester = self.make_tester(faulty=("n7",))
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of)
+        assert "n7" in result.faulty_nodes
+
+    def test_empty_input(self):
+        result = localize_network_faults([], self.make_tester(),
+                                         self.leaf_of)
+        assert not result.faulty_nodes and not result.faulty_segments
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            localize_network_faults(["n0", "n0"], self.make_tester(),
+                                    self.leaf_of)
+
+    def test_single_node_world_moves_no_fabric_bytes(self):
+        tester = self.make_tester(node_factors={"n0": 0.0})
+        assert tester.run_allgather(World(("n0",)))  # NIC not exercised
+        assert not tester.run_allgather(World(("n0", "n1")))
+
+
+class TestHandleNetworkFault:
+    def make_controller(self):
+        nodes = [Node(name=f"n{i}", spec=seren_node_spec())
+                 for i in range(8)]
+        leaf_of = {f"n{i}": i // 2 for i in range(8)}
+        controller = RecoveryController(
+            DiagnosisSystem(), CheckpointCatalog([100, 200]), nodes,
+            leaf_of=leaf_of)
+        return controller, nodes, leaf_of
+
+    def test_requires_topology_map(self):
+        nodes = [Node(name="n0", spec=seren_node_spec())]
+        controller = RecoveryController(
+            DiagnosisSystem(), CheckpointCatalog(), nodes)
+        tester = FabricCollectiveTester({"n0": 0})
+        with pytest.raises(ValueError, match="topology"):
+            controller.handle_network_fault("link_down on nic:0", tester)
+
+    def test_segment_conviction_cordons_and_restarts(self):
+        controller, nodes, leaf_of = self.make_controller()
+        tester = FabricCollectiveTester(
+            leaf_of, segment_factors={"leaf:1": 0.0})
+        plan = controller.handle_network_fault("link_down on leaf:1",
+                                               tester)
+        assert plan.cordoned_segments == {"leaf:1"}
+        assert controller.segment_convictions == {"leaf:1": 1}
+        assert not plan.cordoned_nodes
+        kinds = [a.kind for a in plan.actions]
+        assert "localize" in kinds and "cordon_segment" in kinds
+        assert plan.restart and plan.restart_checkpoint_step == 200
+        # nodes stay schedulable: the fabric is sick, not the hosts
+        assert all(node.schedulable for node in nodes)
+
+    def test_node_conviction_goes_through_cordon_path(self):
+        controller, nodes, leaf_of = self.make_controller()
+        tester = FabricCollectiveTester(leaf_of,
+                                        node_factors={"n3": 0.1})
+        plan = controller.handle_network_fault("link_degraded on nic:3",
+                                               tester, restart=False)
+        assert plan.cordoned_nodes == {"n3"}
+        assert controller.conviction_counts == {"n3": 1}
+        assert not nodes[3].schedulable
+        assert not plan.restart  # degraded path resumes in place
+
+    def test_ambiguous_segment_notifies_instead_of_cordoning(self):
+        controller, nodes, leaf_of = self.make_controller()
+        # cordon leaf 0's partner so its lone rep cannot pin the uplink
+        nodes[1].cordon()
+        tester = FabricCollectiveTester(
+            leaf_of, segment_factors={"leaf:0": 0.0})
+        plan = controller.handle_network_fault("link_down on leaf:0",
+                                               tester)
+        assert "leaf:0" not in plan.cordoned_segments
+        assert any(a.kind == "notify" and "leaf:0" in a.detail
+                   for a in plan.actions)
+
+    def test_incidents_are_recorded(self):
+        controller, _, leaf_of = self.make_controller()
+        tester = FabricCollectiveTester(leaf_of)
+        controller.handle_network_fault("link flap", tester)
+        assert len(controller.incidents) == 1
