@@ -1,4 +1,9 @@
-"""Figures 4-6: workload categories, demand boxplots, queueing delays."""
+"""Figures 4-6: workload categories, demand boxplots, queueing delays.
+
+Populations are full-trace scale (100K jobs — the paper's Kalos trace
+spans ~248K jobs over six months); the engine/scheduler fast path keeps
+the whole file minutes-scale.  See docs/PERF.md.
+"""
 
 from conftest import run_once
 
@@ -6,7 +11,7 @@ from repro.analysis import figures
 from repro.analysis.report import (render_cdf_summary, render_key_values,
                                    render_table)
 
-N = 6000
+N = 100_000
 
 
 def test_fig4_workload_mix(benchmark, emit):
@@ -41,7 +46,7 @@ def test_fig5_demand_boxplots(benchmark, emit):
 
 
 def test_fig6_queueing_delays(benchmark, emit):
-    result = run_once(benchmark, figures.fig6, 3000)
+    result = run_once(benchmark, figures.fig6, N)
     sections = []
     for cluster, data in result.items():
         sections.append(render_key_values(

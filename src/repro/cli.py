@@ -199,6 +199,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import run_sweep
+
+    try:
+        seeds = [int(part) for part in args.seeds.split(",") if part]
+    except ValueError:
+        print("--seeds expects a comma-separated list of integers")
+        return 2
+    try:
+        result = run_sweep(args.scenario, seeds, workers=args.workers)
+    except ValueError as error:
+        print(f"invalid sweep: {error}")
+        return 2
+    merged = result.merged()
+    print(render_key_values({
+        "scenario": args.scenario,
+        "seeds": ",".join(str(seed) for seed in result.seeds),
+        "workers": args.workers,
+        "faults injected": merged.get("faults_injected", 0),
+        "restarts": merged.get("restarts", 0),
+        "pretrain iterations": merged.get("pretrain_iterations", 0),
+        "digest": result.digest(),
+    }, title=f"seed sweep ({len(result.runs)} runs)"))
+    if args.json_out:
+        Path(args.json_out).write_text(result.to_json())
+        print(f"\nwrote merged sweep to {args.json_out}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -313,6 +342,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json-out", default=None,
                        help="write event log + summary as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a chaos scenario under many seeds in "
+                      "parallel; merge deterministically")
+    sweep.add_argument("--scenario", default="smoke",
+                       choices=sorted(_bundled_scenario_names()))
+    sweep.add_argument("--seeds", default="0,1,2,3",
+                       help="comma-separated seed list")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = serial)")
+    sweep.add_argument("--json-out", default=None,
+                       help="write the merged artifact as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser(
         "trace", help="run a chaos scenario under the tracer; export "

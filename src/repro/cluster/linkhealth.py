@@ -29,11 +29,17 @@ integer coordinates used by :class:`~repro.cluster.fattree.FatTree`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.fastpath import fast_path_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.fattree import FatTreeConfig
+
+#: bounded per-(link, at) memo size; cleared wholesale when exceeded
+_MEMO_MAX = 8192
 
 
 def nic_link(node: int) -> str:
@@ -86,6 +92,10 @@ class LinkHealth:
 
     def __init__(self, faults: Iterable[LinkFault] = ()) -> None:
         self._faults: list[LinkFault] = list(faults)
+        #: per-link piecewise-constant factor timeline, built lazily:
+        #: (sorted boundaries, factor on [boundary[i], boundary[i+1]))
+        self._timelines: dict[str, tuple[list[float], list[float]]] = {}
+        self._memo: dict[tuple[str, float], float] = {}
 
     @property
     def empty(self) -> bool:
@@ -97,8 +107,11 @@ class LinkHealth:
         return tuple(self._faults)
 
     def add(self, fault: LinkFault) -> None:
-        """Register a fault window."""
+        """Register a fault window (invalidates cached timelines)."""
         self._faults.append(fault)
+        self._timelines.pop(fault.link, None)
+        if self._memo:
+            self._memo.clear()
 
     def link_down(self, link: str, start: float, end: float) -> None:
         """Take ``link`` fully down for ``[start, end)``."""
@@ -135,12 +148,62 @@ class LinkHealth:
 
         1.0 when healthy; the minimum factor across overlapping
         windows otherwise (a down window dominates a degraded one).
+
+        Fast path: a lazily built piecewise-constant timeline per link
+        answered by bisect, fronted by a bounded ``(link, at)`` memo —
+        chaos storms query the same (link, time) pairs repeatedly from
+        rate recomputation.  The timeline is exactly equivalent to the
+        window scan (:meth:`_factor_scan`): the factor is constant
+        between consecutive window boundaries.
         """
+        if not fast_path_enabled():
+            return self._factor_scan(link, at)
+        key = (link, at)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        timeline = self._timelines.get(link)
+        if timeline is None:
+            timeline = self._build_timeline(link)
+            self._timelines[link] = timeline
+        boundaries, factors = timeline
+        segment = bisect_right(boundaries, at) - 1
+        result = 1.0 if segment < 0 else factors[segment]
+        if len(self._memo) >= _MEMO_MAX:
+            self._memo.clear()
+        self._memo[key] = result
+        return result
+
+    def _factor_scan(self, link: str, at: float) -> float:
+        """Reference linear scan over all fault windows."""
         factor = 1.0
         for fault in self._faults:
             if fault.link == link and fault.active_at(at):
                 factor = min(factor, fault.factor)
         return factor
+
+    def _build_timeline(self, link: str
+                        ) -> tuple[list[float], list[float]]:
+        """Piecewise-constant factor timeline for one link.
+
+        Boundaries are the sorted distinct window starts/ends; the
+        factor on ``[boundaries[i], boundaries[i+1])`` is the minimum
+        over windows active there (evaluated at the segment start —
+        windows are half-open, so activity cannot change inside a
+        segment).  Beyond the last boundary every window has ended and
+        the factor is 1.0.
+        """
+        windows = [fault for fault in self._faults if fault.link == link]
+        boundaries = sorted({edge for fault in windows
+                             for edge in (fault.start, fault.end)})
+        factors = []
+        for start in boundaries:
+            factor = 1.0
+            for fault in windows:
+                if fault.active_at(start):
+                    factor = min(factor, fault.factor)
+            factors.append(factor)
+        return boundaries, factors
 
     def is_down(self, link: str, at: float) -> bool:
         """Whether ``link`` carries no traffic at ``at``."""

@@ -9,6 +9,20 @@ roughly as 1/N until trials spread across nodes.
 The model is analytic (progressive filling) rather than packet-level: the
 paper's observations are about steady-state throughput, not transport
 dynamics.
+
+Two implementations back :func:`max_min_fair_rates`:
+
+* :func:`max_min_fair_rates_scalar` — the original pure-python
+  progressive filling, kept bit-for-bit as the reference path;
+* a numpy-vectorized filling over the flow/link incidence matrix, used
+  on the fast path once the flow count justifies the array setup cost.
+
+Both run the same algorithm; results agree to float-summation noise
+(≤1e-9 relative), which the property tests in
+``tests/test_network_properties.py`` pin.  Small flow sets additionally
+hit a bounded result cache keyed by the used-link capacities and flow
+tuples — the model-loading stress test asks for the same handful of
+configurations thousands of times per run.
 """
 
 from __future__ import annotations
@@ -16,7 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.cluster.linkhealth import LinkHealth
+from repro.sim.fastpath import fast_path_enabled
 
 
 @dataclass(frozen=True)
@@ -41,6 +58,27 @@ class Flow:
     rate_cap: float = float("inf")
 
 
+#: flow count at which the vectorized filling beats the scalar loop
+_VECTOR_MIN_FLOWS = 32
+#: bounded small-N result cache (cleared wholesale when full)
+_RATE_CACHE_MAX = 4096
+_rate_cache: dict[tuple, dict[str, float]] = {}
+
+
+def clear_rate_cache() -> None:
+    """Drop all cached small-N results (test isolation hook)."""
+    _rate_cache.clear()
+
+
+def _validate_links(links: dict[str, float],
+                    flows: Sequence[Flow]) -> None:
+    for flow in flows:
+        for link in flow.links:
+            if link not in links:
+                raise ValueError(f"flow {flow.flow_id} uses unknown "
+                                 f"link {link!r}")
+
+
 def max_min_fair_rates(links: dict[str, float],
                        flows: Sequence[Flow]) -> dict[str, float]:
     """Compute max-min fair flow rates over shared links.
@@ -52,16 +90,47 @@ def max_min_fair_rates(links: dict[str, float],
     :class:`~repro.cluster.linkhealth.LinkHealth` overlay) pins every
     flow crossing it to rate 0.
 
+    Dispatches to a numpy filling for large flow sets on the fast path
+    and memoizes small flow sets; with the fast path off this *is*
+    :func:`max_min_fair_rates_scalar`.
+
     Returns a mapping flow_id -> bytes/s.
     """
+    _validate_links(links, flows)
+    if not fast_path_enabled():
+        return _fill_scalar(links, flows)
+    if len(flows) >= _VECTOR_MIN_FLOWS:
+        return _fill_vector(links, flows)
+    used = sorted({link for flow in flows for link in flow.links})
+    key = (tuple((name, links[name]) for name in used),
+           tuple((flow.flow_id, flow.links, flow.rate_cap)
+                 for flow in flows))
+    cached = _rate_cache.get(key)
+    if cached is not None:
+        return dict(cached)
+    rates = _fill_scalar(links, flows)
+    if len(_rate_cache) >= _RATE_CACHE_MAX:
+        _rate_cache.clear()
+    _rate_cache[key] = dict(rates)
+    return rates
+
+
+def max_min_fair_rates_scalar(links: dict[str, float],
+                              flows: Sequence[Flow]) -> dict[str, float]:
+    """Reference progressive filling (pure python, no cache).
+
+    The behaviour every optimized path must reproduce; the property
+    tests compare the vectorized filling against this function.
+    """
+    _validate_links(links, flows)
+    return _fill_scalar(links, flows)
+
+
+def _fill_scalar(links: dict[str, float],
+                 flows: Sequence[Flow]) -> dict[str, float]:
     remaining = dict(links)
     active: dict[str, Flow] = {flow.flow_id: flow for flow in flows}
     rates: dict[str, float] = {}
-    for flow in flows:
-        for link in flow.links:
-            if link not in remaining:
-                raise ValueError(f"flow {flow.flow_id} uses unknown "
-                                 f"link {link!r}")
     while active:
         # Share each link equally among the active flows crossing it.
         link_users: dict[str, int] = {}
@@ -95,6 +164,50 @@ def max_min_fair_rates(links: dict[str, float],
                 remaining[link] -= bottleneck_rate
             del active[flow.flow_id]
     return rates
+
+
+def _fill_vector(links: dict[str, float],
+                 flows: Sequence[Flow]) -> dict[str, float]:
+    """Numpy progressive filling over the flow/link incidence matrix.
+
+    Mirrors :func:`_fill_scalar` round for round — equal shares,
+    cap-before-freeze, the same ``1e-12`` freeze tolerance, duplicate
+    links in a flow counted per occurrence — but each round is a
+    handful of array ops instead of per-flow python loops.
+    """
+    used = sorted({link for flow in flows for link in flow.links})
+    index = {name: position for position, name in enumerate(used)}
+    n_flows, n_links = len(flows), len(used)
+    incidence = np.zeros((n_flows, n_links))
+    caps = np.empty(n_flows)
+    for row, flow in enumerate(flows):
+        for link in flow.links:
+            incidence[row, index[link]] += 1.0
+        caps[row] = flow.rate_cap
+    remaining = np.array([links[name] for name in used], dtype=float)
+    crosses = incidence > 0.0
+    active = np.ones(n_flows, dtype=bool)
+    rates = np.zeros(n_flows)
+    while active.any():
+        users = incidence[active].sum(axis=0)
+        shared = users > 0.0
+        shares = np.full(n_links, np.inf)
+        np.divide(remaining, users, out=shares, where=shared)
+        bottleneck = (max(float(shares[shared].min()), 0.0)
+                      if shared.any() else float("inf"))
+        capped = active & (caps <= bottleneck)
+        if capped.any():
+            rates[capped] = caps[capped]
+            remaining -= caps[capped] @ incidence[capped]
+            active &= ~capped
+            continue
+        frozen = active & (crosses
+                           & (shares <= bottleneck + 1e-12)).any(axis=1)
+        rates[frozen] = bottleneck
+        remaining -= bottleneck * incidence[frozen].sum(axis=0)
+        active &= ~frozen
+    return {flow.flow_id: float(rates[row])
+            for row, flow in enumerate(flows)}
 
 
 class FairShareLink:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.scheduler.job import JobType
+from repro.sim.fastpath import fast_path_enabled
 from repro.workload.trace import Trace
 
 
@@ -83,6 +84,9 @@ class DcgmSampler:
         self._jobs_by_type = {
             t: [job for job in trace.gpu_jobs() if job.job_type is t]
             for t in self._types}
+        self._util_by_type = {
+            t: np.array([job.gpu_utilization for job in jobs])
+            for t, jobs in self._jobs_by_type.items()}
 
     def sample(self) -> GpuSample:
         """One DCGM poll of a random GPU."""
@@ -117,13 +121,62 @@ class DcgmSampler:
     # -- convenience vectors ------------------------------------------------
 
     def metric_arrays(self, n: int) -> dict[str, np.ndarray]:
-        """Arrays over busy *and* idle samples for CDF analysis."""
-        samples = self.sample_many(n)
+        """Arrays over busy *and* idle samples for CDF analysis.
+
+        Fast path: all ``n`` polls are drawn as vectorized batches (one
+        array op per distribution per workload type) instead of ``n``
+        sequential :meth:`sample` calls.  The draws consume the RNG
+        stream in a different order, so individual values differ from
+        the sequential path — but each metric follows the *same*
+        distribution, which is all the CDF figures and the calibration
+        tests assert (statistical equivalence, pinned by
+        ``tests/test_monitor.py``).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not fast_path_enabled():
+            samples = self.sample_many(n)
+            return {
+                "gpu_utilization": np.array([s.gpu_utilization
+                                             for s in samples]),
+                "sm_activity": np.array([s.sm_activity for s in samples]),
+                "tc_activity": np.array([s.tc_activity for s in samples]),
+                "memory_fraction": np.array([s.memory_used_fraction
+                                             for s in samples]),
+            }
+        rng = self.rng
+        idle = rng.uniform(size=n) < self.idle_fraction
+        n_idle = int(idle.sum())
+        n_busy = n - n_idle
+        util = np.zeros(n)
+        sm = np.zeros(n)
+        tc = np.zeros(n)
+        mem = np.empty(n)
+        mem[idle] = rng.uniform(0.0, 0.02, size=n_idle)
+        busy = np.flatnonzero(~idle)
+        type_index = rng.choice(len(self._types), size=n_busy,
+                                p=self._weights)
+        for position, job_type in enumerate(self._types):
+            rows = busy[type_index == position]
+            count = rows.size
+            if count == 0:
+                continue
+            profile = _PROFILES[job_type]
+            utils = self._util_by_type[job_type]
+            util[rows] = utils[rng.integers(utils.size, size=count)]
+            sm_draw = np.clip(
+                rng.normal(profile.sm_mean, profile.sm_std, size=count),
+                0.02, 1.0)
+            sm[rows] = sm_draw
+            tc[rows] = np.clip(
+                sm_draw * profile.tc_ratio
+                * rng.uniform(0.85, 1.1, size=count), 0.0, 1.0)
+            mem[rows] = np.clip(
+                rng.normal(profile.mem_mean, profile.mem_std,
+                           size=count), 0.02, 0.98)
         return {
-            "gpu_utilization": np.array([s.gpu_utilization
-                                         for s in samples]),
-            "sm_activity": np.array([s.sm_activity for s in samples]),
-            "tc_activity": np.array([s.tc_activity for s in samples]),
-            "memory_fraction": np.array([s.memory_used_fraction
-                                         for s in samples]),
+            "gpu_utilization": util,
+            "sm_activity": sm,
+            "tc_activity": tc,
+            "memory_fraction": mem,
         }

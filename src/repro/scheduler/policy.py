@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.scheduler.job import Job, JobType
 from repro.scheduler.queue import JobQueue
+from repro.sim.fastpath import fast_path_enabled
 
 
 @dataclass(frozen=True)
@@ -28,9 +29,17 @@ class Candidate:
 
 
 class SchedulingPolicy:
-    """Base policy interface."""
+    """Base policy interface.
 
-    def candidates(self, queue: JobQueue) -> list[Candidate]:
+    ``candidates(queue, limit)`` returns jobs to attempt in priority
+    order; ``limit`` (the simulator's backfill depth) bounds how many
+    the caller will look at, which lets fast-path implementations stop
+    early instead of ordering the entire queue on every scheduling
+    round.  ``limit=None`` returns the full ordering.
+    """
+
+    def candidates(self, queue: JobQueue,
+                   limit: int | None = None) -> list[Candidate]:
         """Jobs to attempt, in priority order."""
         raise NotImplementedError
 
@@ -42,9 +51,33 @@ class FifoPolicy(SchedulingPolicy):
     head block everyone behind them.
     """
 
-    def candidates(self, queue: JobQueue) -> list[Candidate]:
+    def candidates(self, queue: JobQueue,
+                   limit: int | None = None) -> list[Candidate]:
         """Jobs to attempt, in priority order."""
-        return [Candidate(job, "shared") for job in queue.pending()]
+        jobs = queue.pending()
+        if limit is not None:
+            jobs = jobs[:limit]
+        return [Candidate(job, "shared") for job in jobs]
+
+
+def _ordered_head(policy: "PriorityPolicy | ReservationPolicy",
+                  queue: JobQueue, limit: int | None) -> list[Job]:
+    """First ``limit`` pending jobs in (priority class, arrival) order.
+
+    Fast path: the queue's incremental bucket index, O(limit).
+    Reference path: stable sort of the whole queue by (class, position)
+    — the original implementation, kept bit-for-bit for equivalence
+    testing.  Both orders are identical by construction (within a
+    class, bucket order *is* arrival order).
+    """
+    if limit is not None and fast_path_enabled():
+        queue.ensure_priority_index(policy.priority_of)
+        return queue.head_by_priority(limit)
+    ordered = sorted(enumerate(queue.pending()),
+                     key=lambda pair: (policy.priority_of(pair[1]),
+                                       pair[0]))
+    jobs = [job for _, job in ordered]
+    return jobs if limit is None else jobs[:limit]
 
 
 @dataclass
@@ -67,12 +100,11 @@ class PriorityPolicy(SchedulingPolicy):
         """Priority class of a job (lower runs first)."""
         return self.priorities.get(job.job_type, 2)
 
-    def candidates(self, queue: JobQueue) -> list[Candidate]:
+    def candidates(self, queue: JobQueue,
+                   limit: int | None = None) -> list[Candidate]:
         """Jobs to attempt, in priority order."""
-        ordered = sorted(enumerate(queue.pending()),
-                         key=lambda pair: (self.priority_of(pair[1]),
-                                           pair[0]))
-        return [Candidate(job, "shared") for _, job in ordered]
+        return [Candidate(job, "shared")
+                for job in _ordered_head(self, queue, limit)]
 
 
 @dataclass
@@ -101,14 +133,10 @@ class ReservationPolicy(SchedulingPolicy):
         """Priority class of a job (lower runs first)."""
         return self.priorities.get(job.job_type, 2)
 
-    def candidates(self, queue: JobQueue) -> list[Candidate]:
+    def candidates(self, queue: JobQueue,
+                   limit: int | None = None) -> list[Candidate]:
         """Jobs to attempt, in priority order."""
-        ordered = sorted(enumerate(queue.pending()),
-                         key=lambda pair: (self.priority_of(pair[1]),
-                                           pair[0]))
-        result = []
-        for _, job in ordered:
-            pool = ("reserved" if job.job_type in self.reserved_types
-                    else "shared")
-            result.append(Candidate(job, pool))
-        return result
+        reserved = self.reserved_types
+        return [Candidate(job, "reserved" if job.job_type in reserved
+                          else "shared")
+                for job in _ordered_head(self, queue, limit)]

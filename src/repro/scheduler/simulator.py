@@ -89,6 +89,10 @@ class SchedulerSimulator:
         self.queue = JobQueue()
         self.free_reserved = config.reserved_gpus
         self.free_shared = config.shared_gpus
+        #: pool capacities cached off the config properties — ``_fit``
+        #: runs hundreds of thousands of times in a full-trace replay
+        #: and the property recomputes a round() on every access
+        self._shared_capacity = config.shared_gpus
         self._allocations: dict[str, _Allocation] = {}
         self.started: list[Job] = []
         self.finished: list[Job] = []
@@ -255,10 +259,11 @@ class SchedulerSimulator:
 
     def _try_schedule(self) -> None:
         progress = True
+        depth = self.config.backfill_depth
         while progress:
             progress = False
-            candidates = self.policy.candidates(self.queue)
-            for candidate in candidates[:self.config.backfill_depth]:
+            candidates = self.policy.candidates(self.queue, limit=depth)
+            for candidate in candidates:
                 allocation = self._fit(candidate.job.gpu_demand,
                                        candidate.pool)
                 if allocation is None:
@@ -335,7 +340,7 @@ class SchedulerSimulator:
         if pool == "shared":
             if demand <= self.free_shared:
                 return _Allocation(0, demand)
-            if demand > self.config.shared_gpus:
+            if demand > self._shared_capacity:
                 # A best-effort job larger than the whole spare pool can
                 # never fit there; it borrows idle reserved capacity (the
                 # §2.2 best-effort mechanism) rather than starving forever.

@@ -25,20 +25,45 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
+
+#: lazy-deletion compaction thresholds: the heap is rebuilt when at
+#: least this many cancelled items are buried in it *and* they make up
+#: at least half of it.  Compaction is pure bookkeeping — (time, seq)
+#: is a strict total order, so heapify reproduces the exact pop order.
+_COMPACT_MIN_CANCELLED = 256
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven in an inconsistent way."""
 
 
-@dataclass(order=True)
 class _ScheduledItem:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One heap entry.
+
+    A slotted plain class rather than a dataclass: the generated
+    ``order=True`` ``__lt__`` allocates a comparison tuple per call,
+    and heap sift operations compare items millions of times in a
+    full-trace run.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledItem") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"_ScheduledItem(time={self.time!r}, seq={self.seq!r}, "
+                f"cancelled={self.cancelled!r})")
 
 
 class Event:
@@ -201,6 +226,7 @@ class Engine:
         self._heap: list[_ScheduledItem] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled = 0
         self._listeners: list[Callable[[float], None]] = []
 
     # -- scheduling -------------------------------------------------------
@@ -221,8 +247,28 @@ class Engine:
         return self.call_at(self.now + delay, callback)
 
     def cancel(self, item: _ScheduledItem) -> None:
-        """Cancel a previously scheduled callback (lazy removal)."""
+        """Cancel a previously scheduled callback (lazy removal).
+
+        Cancelled items stay buried in the heap until their time comes
+        up; a cancel-heavy run (a chaos storm killing thousands of
+        scheduled completions) used to grow the heap without bound.  A
+        counter now tracks the buried garbage and compacts the heap
+        once it dominates, keeping memory proportional to the *live*
+        event count.
+        """
+        if item.cancelled:
+            return
         item.cancelled = True
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled items and re-heapify (order-preserving)."""
+        self._heap = [item for item in self._heap if not item.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     # -- observation -------------------------------------------------------
 
@@ -315,18 +361,24 @@ class Engine:
         queued); ``max_events`` is a safety valve for runaway simulations.
         """
         processed = 0
-        while self._heap:
-            item = self._heap[0]
+        heap = self._heap
+        heappop = heapq.heappop
+        listeners = self._listeners
+        while heap:
+            item = heap[0]
             if item.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
+                self._cancelled -= 1
                 continue
             if until is not None and item.time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            heappop(heap)
             self.now = item.time
             item.callback()
-            for listener in self._listeners:
+            # compaction inside the callback may have replaced the heap
+            heap = self._heap
+            for listener in listeners:
                 listener(self.now)
             processed += 1
             self._events_processed += 1
@@ -340,7 +392,12 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        return sum(1 for item in self._heap if not item.cancelled)
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, cancelled garbage included."""
+        return len(self._heap)
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,53 @@
+"""The global fast-path switch for the simulation stack.
+
+Several hot paths in the simulator ship two implementations:
+
+* a **reference** path — the original, straightforward code whose
+  behaviour the chaos golden traces pin;
+* a **fast** path — an optimized implementation (numpy water-filling,
+  bisect timeline lookups, bucketed scheduler candidates, batched
+  samplers) that must be *behaviour-preserving*: for everything the
+  event log and golden traces observe, fast and reference runs are
+  byte-identical.
+
+This module owns the single switch both paths consult.  The fast path
+is **on by default** — the reference path exists so the equivalence
+test harness (``tests/test_fastpath_equivalence.py``) can run any
+scenario under both and diff the artifacts, and so a suspected
+fast-path bug can be bisected away with one call.
+
+The switch is deliberately global rather than threaded through every
+constructor: the equivalence guarantee is all-or-nothing (mixing paths
+inside one run proves nothing), and the simulation is single-threaded
+by design.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether optimized implementations should be used."""
+    return _ENABLED
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Set the switch; returns the previous value (for restore)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_fast_path(enabled: bool) -> Iterator[None]:
+    """Scoped override: ``with use_fast_path(False): run_scenario(...)``."""
+    previous = set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

@@ -1,0 +1,144 @@
+"""Process-parallel chaos seed sweeps with a deterministic merge.
+
+The robustness experiments (seed-sweep tables, fault-rate sensitivity)
+run the same scenario under many seeds.  Each run is independent and
+single-threaded, so the sweep is embarrassingly parallel — but the
+*artifact* must not depend on how the pool happened to schedule the
+work.  Two rules keep the merged result byte-identical across worker
+counts:
+
+* results are collected **in input-seed order** (``executor.map``
+  preserves it), never in completion order;
+* float aggregation uses :func:`math.fsum`, which is exact and hence
+  independent of grouping.
+
+``run_sweep(..., workers=1)`` runs serially in-process with no
+executor involved; the determinism test pins serial == parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from math import fsum
+from typing import Sequence
+
+from repro.obs.tracer import NULL_TRACER, TracerLike
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """One scenario run's artifact, reduced to mergeable form."""
+
+    seed: int
+    #: ``asdict`` of the run's :class:`~repro.chaos.report.ChaosSummary`
+    summary: dict
+    #: sha256 over the run's formatted event-log text
+    event_log_sha256: str
+    #: number of event-log entries
+    events: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All runs of one sweep, in input-seed order."""
+
+    scenario: str
+    seeds: tuple[int, ...]
+    runs: tuple[SeedRun, ...]
+
+    def merged(self) -> dict:
+        """Aggregate the per-seed summaries into one record.
+
+        Integer metrics are summed; float metrics are ``fsum``-ed (and
+        so independent of worker count and completion order); per-kind
+        dict metrics are merged key-wise.  Identification fields
+        (scenario name, seed) are dropped in favour of the sweep's own.
+        """
+        totals: dict = {"scenario": self.scenario,
+                        "seeds": list(self.seeds),
+                        "runs": len(self.runs)}
+        if not self.runs:
+            return totals
+        skip = {"scenario", "seed"}
+        for name, value in self.runs[0].summary.items():
+            if name in skip:
+                continue
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                totals[name] = sum(run.summary[name]
+                                   for run in self.runs)
+            elif isinstance(value, float):
+                totals[name] = fsum(run.summary[name]
+                                    for run in self.runs)
+            elif isinstance(value, dict):
+                merged: dict = {}
+                for run in self.runs:
+                    for key, count in run.summary[name].items():
+                        merged[key] = merged.get(key, 0) + count
+                totals[name] = {key: merged[key]
+                                for key in sorted(merged)}
+        totals["event_log_sha256"] = {
+            str(run.seed): run.event_log_sha256 for run in self.runs}
+        totals["events"] = sum(run.events for run in self.runs)
+        return totals
+
+    def to_json(self) -> str:
+        """Canonical JSON of the merged record (stable key order)."""
+        return json.dumps(self.merged(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON — the determinism pin."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def _run_seed(scenario_name: str, seed: int) -> SeedRun:
+    """Run one (scenario, seed) — module-level so workers can pickle it."""
+    from repro.chaos import BUNDLED_SCENARIOS
+    from repro.chaos.harness import run_scenario
+
+    scenario = BUNDLED_SCENARIOS[scenario_name].with_seed(seed)
+    result = run_scenario(scenario)
+    text = result.event_log_text()
+    return SeedRun(
+        seed=seed,
+        summary=asdict(result.summary),
+        event_log_sha256=hashlib.sha256(text.encode()).hexdigest(),
+        events=len(result.event_log),
+    )
+
+
+def run_sweep(scenario: str, seeds: Sequence[int], workers: int = 1,
+              tracer: TracerLike | None = None) -> SweepResult:
+    """Run ``scenario`` under every seed; merge deterministically.
+
+    ``workers`` > 1 fans runs out over a process pool; the merged
+    artifact is byte-identical to the serial run regardless of worker
+    count or scheduling.  Duplicate seeds are rejected — they would
+    silently double-count in the merge.
+    """
+    from repro.chaos import BUNDLED_SCENARIOS
+
+    if scenario not in BUNDLED_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from: "
+            + ", ".join(sorted(BUNDLED_SCENARIOS)))
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("duplicate seeds in sweep")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    trace = tracer if tracer is not None else NULL_TRACER
+    if workers == 1 or len(seeds) == 1:
+        runs = tuple(_run_seed(scenario, seed) for seed in seeds)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            runs = tuple(pool.map(_run_seed,
+                                  [scenario] * len(seeds), seeds))
+    trace.count("sweep.runs", float(len(runs)))
+    return SweepResult(scenario=scenario, seeds=seeds, runs=runs)

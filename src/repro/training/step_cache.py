@@ -1,0 +1,118 @@
+"""Memoized analytic step times for full-trace replays.
+
+:class:`~repro.training.step.StepTimeModel` is pure arithmetic over
+frozen inputs — the same (model, plan, gpu, bandwidths) configuration
+always yields the same :class:`~repro.training.step.StepBreakdown`.  A
+full-trace replay with fault injection re-evaluates a handful of such
+configurations millions of times, varying only the *health factor*
+(the fraction of nominal inter-node bandwidth the fabric currently
+delivers), which itself is piecewise-constant over the fault windows.
+
+:class:`StepTimeCache` exploits both: breakdowns are memoized by the
+full configuration tuple plus the health factor.  Because every key
+component is hashable and the model is deterministic, a cache hit is
+*exactly* the breakdown the model would recompute — the cache cannot
+perturb results, only skip arithmetic.
+
+Configurations with a live ``fabric`` attached are computed but never
+cached: the fabric is mutable (its health overlay accrues windows), so
+identity-keyed memoization could serve stale breakdowns.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import A100_SXM_80GB, GpuSpec
+from repro.obs.tracer import NULL_TRACER, TracerLike
+from repro.training.model import TransformerConfig
+from repro.training.parallelism import ParallelismPlan
+from repro.training.step import (
+    DEFAULT_INTER_NODE_BANDWIDTH,
+    DEFAULT_INTRA_NODE_BANDWIDTH,
+    StepBreakdown,
+    StepTimeModel,
+)
+
+#: bounded cache size; cleared wholesale when exceeded (a replay uses a
+#: few dozen live configurations, so eviction churn is not a concern)
+_CACHE_MAX = 4096
+
+
+class StepTimeCache:
+    """Memoizes :meth:`StepTimeModel.breakdown` by configuration.
+
+    ``health_factor`` scales the inter-node bandwidth (1.0 = nominal,
+    0.5 = a degraded fabric delivering half rate), matching how the
+    link-health overlay derates collectives that cross faulted links.
+
+    Hits and misses are counted on the tracer (``step_cache.hits`` /
+    ``step_cache.misses``) so a traced run shows whether the cache is
+    earning its keep.
+    """
+
+    def __init__(self, tracer: TracerLike | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._cache: dict[tuple, StepBreakdown] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all cached breakdowns (counters are kept)."""
+        self._cache.clear()
+
+    def breakdown(self, model: TransformerConfig, plan: ParallelismPlan,
+                  gpu: GpuSpec = A100_SXM_80GB,
+                  intra_node_bandwidth: float =
+                  DEFAULT_INTRA_NODE_BANDWIDTH,
+                  inter_node_bandwidth: float =
+                  DEFAULT_INTER_NODE_BANDWIDTH,
+                  compute_efficiency: float | None = None,
+                  overlap: float | None = None,
+                  health_factor: float = 1.0,
+                  fabric=None) -> StepBreakdown:
+        """The breakdown for this configuration, memoized.
+
+        Parameters mirror :class:`StepTimeModel`; ``health_factor``
+        additionally scales ``inter_node_bandwidth``.
+        """
+        if not 0.0 < health_factor <= 1.0:
+            raise ValueError("health_factor must be in (0, 1]")
+        effective_inter = inter_node_bandwidth * health_factor
+        if fabric is not None:
+            return StepTimeModel(
+                model, plan, gpu,
+                intra_node_bandwidth=intra_node_bandwidth,
+                inter_node_bandwidth=effective_inter,
+                compute_efficiency=compute_efficiency,
+                overlap=overlap, fabric=fabric).breakdown()
+        key = (model, plan, gpu, intra_node_bandwidth,
+               inter_node_bandwidth, compute_efficiency, overlap,
+               health_factor)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            self.tracer.count("step_cache.hits")
+            return cached
+        self.misses += 1
+        self.tracer.count("step_cache.misses")
+        result = StepTimeModel(
+            model, plan, gpu,
+            intra_node_bandwidth=intra_node_bandwidth,
+            inter_node_bandwidth=effective_inter,
+            compute_efficiency=compute_efficiency,
+            overlap=overlap).breakdown()
+        if len(self._cache) >= _CACHE_MAX:
+            self._cache.clear()
+        self._cache[key] = result
+        return result
+
+    def step_time(self, model: TransformerConfig, plan: ParallelismPlan,
+                  **kwargs) -> float:
+        """Total seconds per step for this configuration, memoized."""
+        return self.breakdown(model, plan, **kwargs).total
+
+
+#: shared module-level cache for callers that don't manage their own
+DEFAULT_STEP_CACHE = StepTimeCache()

@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.chaos import BUNDLED_SCENARIOS, run_scenario
+from repro.sim.fastpath import use_fast_path
 
 DATA_DIR = Path(__file__).parent / "data"
 GOLDENS = {
@@ -28,6 +29,9 @@ GOLDENS = {
     "storage-storm": DATA_DIR / "chaos_storage_storm_golden.json",
     "network-storm": DATA_DIR / "chaos_network_storm_golden.json",
 }
+#: every golden must hold bit-for-bit under BOTH implementations —
+#: the optimized fast path (the default) and the reference path
+FAST_PATH = [True, False]
 
 
 def regen_hint(scenario):
@@ -36,20 +40,23 @@ def regen_hint(scenario):
             f"tests/data/{GOLDENS[scenario].name}")
 
 
-def current_payload(scenario):
-    result = run_scenario(BUNDLED_SCENARIOS[scenario])
+def current_payload(scenario, fast=True):
+    with use_fast_path(fast):
+        result = run_scenario(BUNDLED_SCENARIOS[scenario])
     return {"summary": json.loads(result.summary.to_json()),
             "event_log": result.event_log_lines()}
 
 
+@pytest.mark.parametrize("fast", FAST_PATH,
+                         ids=["fast", "reference"])
 @pytest.mark.parametrize("scenario", sorted(GOLDENS))
-def test_event_log_matches_golden(scenario):
+def test_event_log_matches_golden(scenario, fast):
     golden = json.loads(GOLDENS[scenario].read_text())
-    current = current_payload(scenario)
+    current = current_payload(scenario, fast)
     for line_no, (want, got) in enumerate(
             zip(golden["event_log"], current["event_log"]), start=1):
         assert want == got, (
-            f"event log drifted at line {line_no}:\n"
+            f"event log drifted at line {line_no} (fast={fast}):\n"
             f"  golden:  {want}\n  current: {got}\n"
             f"{regen_hint(scenario)}")
     assert len(current["event_log"]) == len(golden["event_log"]), (
@@ -57,10 +64,12 @@ def test_event_log_matches_golden(scenario):
         f"vs current {len(current['event_log'])}\n{regen_hint(scenario)}")
 
 
+@pytest.mark.parametrize("fast", FAST_PATH,
+                         ids=["fast", "reference"])
 @pytest.mark.parametrize("scenario", sorted(GOLDENS))
-def test_summary_matches_golden(scenario):
+def test_summary_matches_golden(scenario, fast):
     golden = json.loads(GOLDENS[scenario].read_text())["summary"]
-    current = current_payload(scenario)["summary"]
+    current = current_payload(scenario, fast)["summary"]
     drifted = sorted(key for key in golden.keys() | current.keys()
                      if golden.get(key) != current.get(key))
     assert not drifted, (

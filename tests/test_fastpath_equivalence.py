@@ -1,0 +1,91 @@
+"""Fast-vs-reference equivalence harness.
+
+The backbone guarantee of the fast path: for everything a run's
+artifacts observe — the event log, the summary, the full observability
+export — an optimized run is **byte-identical** to a reference run.
+``run_both`` executes one scenario under each path and returns both
+artifact bundles; every test is a straight ``==`` on strings.
+
+These tests catch what the golden fixtures alone cannot: a fast-path
+bug that changes behaviour *symmetrically* with a regenerated golden
+would slip through ``test_chaos_golden``, but never through a direct
+fast-vs-reference diff of the same build.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import BUNDLED_SCENARIOS
+from repro.chaos.harness import ChaosHarness
+from repro.cluster.network import clear_rate_cache
+from repro.obs import Tracer, chrome_trace_json
+from repro.sim.fastpath import fast_path_enabled, set_fast_path, use_fast_path
+
+SCENARIOS = sorted(BUNDLED_SCENARIOS)
+
+
+def run_traced(scenario_name, fast):
+    """One traced run under the given path; returns its artifacts."""
+    clear_rate_cache()
+    with use_fast_path(fast):
+        tracer = Tracer()
+        harness = ChaosHarness(BUNDLED_SCENARIOS[scenario_name],
+                               tracer=tracer)
+        result = harness.run()
+    return {
+        "event_log": result.event_log_text(),
+        "summary": result.summary.to_json(),
+        "chrome_trace": chrome_trace_json(
+            tracer, end_time=result.scenario.duration),
+        "events_processed": harness.engine.events_processed,
+    }
+
+
+@pytest.fixture(params=SCENARIOS)
+def both_paths(request):
+    """(fast artifacts, reference artifacts) for one scenario."""
+    return (run_traced(request.param, fast=True),
+            run_traced(request.param, fast=False))
+
+
+def test_event_logs_byte_identical(both_paths):
+    fast, reference = both_paths
+    assert fast["event_log"] == reference["event_log"]
+
+
+def test_summaries_byte_identical(both_paths):
+    fast, reference = both_paths
+    assert fast["summary"] == reference["summary"]
+
+
+def test_obs_exports_byte_identical(both_paths):
+    """The full Chrome-trace export (spans, counters, gauges) matches."""
+    fast, reference = both_paths
+    assert fast["chrome_trace"] == reference["chrome_trace"]
+
+
+def test_same_event_count(both_paths):
+    """Both paths execute the exact same number of engine events."""
+    fast, reference = both_paths
+    assert fast["events_processed"] == reference["events_processed"]
+
+
+def test_switch_scoping_restores_previous_state():
+    assert fast_path_enabled()  # on by default
+    with use_fast_path(False):
+        assert not fast_path_enabled()
+        with use_fast_path(True):
+            assert fast_path_enabled()
+        assert not fast_path_enabled()
+    assert fast_path_enabled()
+    previous = set_fast_path(False)
+    assert previous is True
+    assert set_fast_path(previous) is False
+    assert fast_path_enabled()
+
+
+def test_chrome_trace_is_valid_json(both_paths):
+    fast, _ = both_paths
+    payload = json.loads(fast["chrome_trace"])
+    assert payload["traceEvents"]

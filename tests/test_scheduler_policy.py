@@ -113,3 +113,78 @@ class TestReservationPolicy:
         order = [c.job.job_id
                  for c in ReservationPolicy().candidates(queue)]
         assert order == ["pre", "debug", "eval"]
+
+
+class TestPriorityIndexFastPath:
+    """The bucket index must reproduce the reference stable sort."""
+
+    def _random_queue(self, seed, n):
+        import random
+
+        rng = random.Random(seed)
+        queue = JobQueue()
+        types = list(JobType)
+        for index in range(n):
+            queue.push(job(f"j{index}", job_type=rng.choice(types)))
+        # churn: remove a third, re-add some under new ids
+        for index in rng.sample(range(n), n // 3):
+            target = next(j for j in queue
+                          if j.job_id == f"j{index}")
+            queue.remove(target)
+        for index in range(n, n + n // 4):
+            queue.push(job(f"j{index}", job_type=rng.choice(types)))
+        return queue
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("policy_class",
+                             [PriorityPolicy, ReservationPolicy])
+    def test_bucket_head_equals_stable_sort(self, policy_class, seed):
+        from repro.sim.fastpath import use_fast_path
+
+        policy = policy_class()
+        for limit in (1, 3, 10, 1000):
+            queue = self._random_queue(seed, 60)
+            with use_fast_path(True):
+                fast = policy.candidates(queue, limit=limit)
+            with use_fast_path(False):
+                reference = policy.candidates(queue, limit=limit)
+            assert [(c.job.job_id, c.pool) for c in fast] == \
+                [(c.job.job_id, c.pool) for c in reference]
+
+    def test_unlimited_candidates_match_full_sort(self):
+        from repro.sim.fastpath import use_fast_path
+
+        policy = PriorityPolicy()
+        queue = self._random_queue(7, 40)
+        with use_fast_path(True):
+            fast = policy.candidates(queue)  # limit=None: full order
+        with use_fast_path(False):
+            reference = policy.candidates(queue)
+        assert [c.job.job_id for c in fast] == \
+            [c.job.job_id for c in reference]
+
+    def test_index_rebuilds_on_policy_switch(self):
+        queue = JobQueue()
+        queue.push(job("a", job_type=JobType.EVALUATION))
+        queue.push(job("b", job_type=JobType.PRETRAIN))
+        first = PriorityPolicy()
+        queue.ensure_priority_index(first.priority_of)
+        assert [j.job_id for j in queue.head_by_priority(2)] == \
+            ["b", "a"]
+        inverted = PriorityPolicy(priorities={
+            JobType.EVALUATION: 0, JobType.PRETRAIN: 9})
+        queue.ensure_priority_index(inverted.priority_of)
+        assert [j.job_id for j in queue.head_by_priority(2)] == \
+            ["a", "b"]
+
+    def test_index_requires_build(self):
+        with pytest.raises(RuntimeError, match="priority index"):
+            JobQueue().head_by_priority(1)
+
+    def test_same_bound_method_does_not_rebuild(self):
+        queue = JobQueue()
+        policy = PriorityPolicy()
+        queue.ensure_priority_index(policy.priority_of)
+        buckets = queue._buckets
+        queue.ensure_priority_index(policy.priority_of)
+        assert queue._buckets is buckets  # idempotent, no rebuild

@@ -414,3 +414,93 @@ class TestEngineProperties:
     def _assert_within(resource, capacity):
         assert 0 <= resource.in_use <= capacity
         assert resource.in_use + resource.available == capacity
+
+
+class TestLazyDeletionCompaction:
+    """Cancelled-event pileup: the heap must stay proportional to the
+    *live* event count, and compaction must never change pop order."""
+
+    def test_cancel_heavy_storm_pins_heap_size(self):
+        """Regression: a cancel-heavy run used to grow the heap without
+        bound; lazy-deletion compaction keeps it near the live count."""
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        engine = Engine()
+        live = [engine.call_at(1e9 + i, lambda: None)
+                for i in range(100)]
+        for wave in range(50):
+            items = [engine.call_at(1e6 + wave, lambda: None)
+                     for _ in range(400)]
+            for item in items:
+                engine.cancel(item)
+        # 20,000 cancellations later the physical heap must be bounded
+        # by the live count plus one un-compacted garbage allowance
+        assert engine.pending == len(live)
+        assert engine.heap_size <= 2 * (len(live)
+                                        + _COMPACT_MIN_CANCELLED)
+
+    def test_cancelled_counter_tracks_popped_garbage(self):
+        engine = Engine()
+        keep = []
+        item = engine.call_at(1.0, lambda: keep.append(engine.now))
+        stale = engine.call_at(2.0, lambda: keep.append(-1.0))
+        engine.cancel(stale)
+        engine.cancel(stale)  # double-cancel is a no-op
+        engine.run()
+        assert keep == [1.0]
+        assert engine.pending == 0
+        assert engine.heap_size == 0
+        assert item.cancelled is False
+
+    def test_compaction_preserves_pop_order(self):
+        """Interleave schedule/cancel so compaction fires mid-run, then
+        assert callbacks still execute in exact (time, seq) order."""
+        engine = Engine()
+        order = []
+
+        def record(tag):
+            return lambda: order.append((engine.now, tag))
+
+        expected = []
+        for i in range(600):
+            time = float(i % 7) + 10.0
+            item = engine.call_at(time, record(i))
+            if i % 3 == 0:
+                engine.cancel(item)
+            else:
+                expected.append((time, i))
+        expected.sort(key=lambda pair: (pair[0],))
+        engine.run()
+        # stable by seq within equal times: sort expectation the same way
+        assert [tag for _, tag in order] == sorted(
+            (tag for _, tag in expected),
+            key=lambda tag: (float(tag % 7), tag))
+
+    def test_cancel_inside_callback_during_run(self):
+        """A callback cancelling enough items to trigger compaction must
+        not derail the running loop (the loop re-reads the heap)."""
+        engine = Engine()
+        victims = [engine.call_at(100.0 + i, lambda: None)
+                   for i in range(1000)]
+        fired = []
+
+        def purge():
+            for victim in victims:
+                engine.cancel(victim)
+            fired.append("purge")
+
+        engine.call_at(1.0, purge)
+        engine.call_at(2.0, lambda: fired.append("after"))
+        engine.run()
+        assert fired == ["purge", "after"]
+        assert engine.pending == 0
+
+    def test_pending_is_live_count(self):
+        engine = Engine()
+        items = [engine.call_at(float(i), lambda: None)
+                 for i in range(10)]
+        assert engine.pending == 10
+        for item in items[:4]:
+            engine.cancel(item)
+        assert engine.pending == 6
+        assert engine.heap_size == 10  # garbage not yet collected

@@ -1,0 +1,117 @@
+"""StepTimeCache: memoized analytic step times stay exact."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.training.model import MODEL_7B, MODEL_123B
+from repro.training.parallelism import internevo_v1, internevo_v2
+from repro.training.step import StepTimeModel
+from repro.training.step_cache import DEFAULT_STEP_CACHE, StepTimeCache
+
+
+class TestMemoization:
+    def test_hit_returns_identical_breakdown(self):
+        cache = StepTimeCache()
+        plan = internevo_v1(2048)
+        direct = StepTimeModel(MODEL_123B, plan).breakdown()
+        first = cache.breakdown(MODEL_123B, plan)
+        second = cache.breakdown(MODEL_123B, plan)
+        assert first == direct
+        assert second is first  # a hit serves the cached object
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_distinct_configs_do_not_collide(self):
+        cache = StepTimeCache()
+        plan = internevo_v2(2048)
+        big = cache.step_time(MODEL_123B, plan)
+        small = cache.step_time(MODEL_7B, plan)
+        assert small < big
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = StepTimeCache()
+        cache.step_time(MODEL_7B, internevo_v2(64))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        cache.step_time(MODEL_7B, internevo_v2(64))
+        assert cache.misses == 2  # recomputed after clear
+
+
+class TestHealthFactor:
+    def test_health_factor_scales_inter_node_bandwidth(self):
+        cache = StepTimeCache()
+        plan = internevo_v2(2048, shard_group=2048)
+        degraded = cache.breakdown(MODEL_123B, plan, health_factor=0.5)
+        direct = StepTimeModel(
+            MODEL_123B, plan,
+            inter_node_bandwidth=0.5 * StepTimeModel(
+                MODEL_123B, plan).inter_node_bandwidth).breakdown()
+        assert degraded == direct
+
+    def test_degraded_fabric_is_slower(self):
+        cache = StepTimeCache()
+        plan = internevo_v2(2048, shard_group=2048)
+        nominal = cache.step_time(MODEL_123B, plan)
+        degraded = cache.step_time(MODEL_123B, plan, health_factor=0.25)
+        assert degraded > nominal
+
+    def test_health_factors_cached_separately(self):
+        cache = StepTimeCache()
+        plan = internevo_v1(2048)
+        cache.step_time(MODEL_123B, plan, health_factor=1.0)
+        cache.step_time(MODEL_123B, plan, health_factor=0.5)
+        cache.step_time(MODEL_123B, plan, health_factor=0.5)
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_health_factor_rejected(self, bad):
+        with pytest.raises(ValueError, match="health_factor"):
+            StepTimeCache().step_time(MODEL_7B, internevo_v2(64),
+                                      health_factor=bad)
+
+
+class TestFabricBypass:
+    def test_fabric_configs_never_cached(self):
+        from repro.cluster.fattree import FatTree, FatTreeConfig
+
+        fabric = FatTree(FatTreeConfig(nodes=256))
+        cache = StepTimeCache()
+        plan = internevo_v2(2048, shard_group=64)
+        first = cache.breakdown(MODEL_123B, plan, fabric=fabric)
+        second = cache.breakdown(MODEL_123B, plan, fabric=fabric)
+        assert first == second
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == 0
+
+    def test_fabric_result_matches_direct_model(self):
+        from repro.cluster.fattree import FatTree, FatTreeConfig
+
+        fabric = FatTree(FatTreeConfig(nodes=256))
+        plan = internevo_v2(2048, shard_group=64)
+        cached = StepTimeCache().breakdown(MODEL_123B, plan,
+                                           fabric=fabric)
+        direct = StepTimeModel(MODEL_123B, plan,
+                               fabric=fabric).breakdown()
+        assert cached == direct
+
+
+class TestTracerSeam:
+    def test_counters_flow_to_tracer(self):
+        tracer = Tracer()
+        cache = StepTimeCache(tracer=tracer)
+        plan = internevo_v1(2048)
+        cache.step_time(MODEL_123B, plan)
+        cache.step_time(MODEL_123B, plan)
+        cache.step_time(MODEL_123B, plan)
+        assert tracer.counters["step_cache.misses"].last == 1.0
+        assert tracer.counters["step_cache.hits"].last == 2.0
+
+    def test_default_cache_uses_null_tracer(self):
+        DEFAULT_STEP_CACHE.clear()
+        value = DEFAULT_STEP_CACHE.step_time(MODEL_7B, internevo_v2(64))
+        assert value > 0.0

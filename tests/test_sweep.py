@@ -1,0 +1,107 @@
+"""Parallel seed sweeps: determinism, merge arithmetic, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.sweep import SeedRun, SweepResult, _run_seed, run_sweep
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_merge_identically(self):
+        """workers=4 must produce the byte-identical merged artifact."""
+        seeds = [0, 1, 2, 3]
+        serial = run_sweep("smoke", seeds, workers=1)
+        parallel = run_sweep("smoke", seeds, workers=4)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.digest() == parallel.digest()
+
+    def test_runs_ordered_by_input_seed_order(self):
+        result = run_sweep("smoke", [3, 1, 2], workers=2)
+        assert [run.seed for run in result.runs] == [3, 1, 2]
+
+    def test_single_seed_short_circuits_pool(self):
+        result = run_sweep("smoke", [0], workers=8)
+        assert len(result.runs) == 1
+        assert result.runs[0].seed == 0
+
+
+class TestMerge:
+    def test_merged_sums_counts(self):
+        result = run_sweep("smoke", [0, 1])
+        merged = result.merged()
+        assert merged["runs"] == 2
+        assert merged["faults_injected"] == sum(
+            run.summary["faults_injected"] for run in result.runs)
+        assert merged["events"] == sum(run.events
+                                       for run in result.runs)
+
+    def test_merged_dict_metrics_are_keywise(self):
+        result = run_sweep("smoke", [0, 1])
+        merged = result.merged()
+        for kind, count in merged["faults_by_kind"].items():
+            assert count == sum(
+                run.summary["faults_by_kind"].get(kind, 0)
+                for run in result.runs)
+
+    def test_per_seed_event_log_hashes_exposed(self):
+        result = run_sweep("smoke", [0, 1])
+        hashes = result.merged()["event_log_sha256"]
+        assert set(hashes) == {"0", "1"}
+        # seed 0 of smoke equals a direct run of the scenario
+        assert hashes["0"] == _run_seed("smoke", 0).event_log_sha256
+
+    def test_empty_sweep_merge(self):
+        empty = SweepResult(scenario="smoke", seeds=(), runs=())
+        assert empty.merged() == {"scenario": "smoke", "seeds": [],
+                                  "runs": 0}
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_sweep("no-such-scenario", [0])
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep("smoke", [0, 0])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_sweep("smoke", [])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep("smoke", [0], workers=0)
+
+
+class TestTracerSeam:
+    def test_sweep_counts_runs_on_tracer(self):
+        tracer = Tracer()
+        run_sweep("smoke", [0, 1], tracer=tracer)
+        assert tracer.counters["sweep.runs"].last == 2.0
+
+    def test_default_null_tracer_records_nothing(self):
+        result = run_sweep("smoke", [0])  # must not raise
+        assert isinstance(result.runs[0], SeedRun)
+
+
+class TestCli:
+    def test_sweep_subcommand_writes_merged_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--scenario", "smoke", "--seeds", "0,1",
+                     "--workers", "2", "--json-out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["runs"] == 2
+        assert payload["seeds"] == [0, 1]
+        assert "digest" in capsys.readouterr().out
+
+    def test_sweep_subcommand_rejects_bad_seeds(self):
+        from repro.cli import main
+
+        assert main(["sweep", "--seeds", "a,b"]) == 2
+        assert main(["sweep", "--seeds", "0,0"]) == 2
