@@ -31,7 +31,8 @@ from repro.chaos.report import ChaosSummary, summarize
 from repro.chaos.scenario import (GPUS_PER_NODE, ChaosScenario,
                                   InjectedFault)
 from repro.cluster.fattree import FatTree, FatTreeConfig
-from repro.cluster.linkhealth import LinkHealth, leaf_link, nic_link
+from repro.cluster.linkhealth import (LinkHealth, leaf_link, nic_link,
+                                      pod_link)
 from repro.cluster.machine import Node, NodeHealth, seren_node_spec
 from repro.cluster.storage import (CorruptingStorage, FlakyStorage,
                                    SlowStorage, StorageError)
@@ -43,10 +44,13 @@ from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
                                  CollectiveTester,
                                  FabricCollectiveTester,
                                  RecoveryController)
-from repro.core.recovery.controller import RecoveryPlan
+from repro.core.recovery.controller import HotSparePool, RecoveryPlan
+from repro.core.recovery.detector import StepTimeDeviationDetector
 from repro.failures.logs import LogGenerator
-from repro.failures.taxonomy import (NETWORK_FAULT_KINDS,
+from repro.failures.taxonomy import (FABRIC_FAULT_KINDS,
+                                     POWER_FAULT_KINDS,
                                      STORAGE_FAULT_KINDS,
+                                     STRAGGLER_FAULT_KINDS,
                                      FailureCategory)
 from repro.obs.span import Span
 from repro.obs.tracer import NULL_TRACER, TracerLike
@@ -55,6 +59,11 @@ from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
 from repro.sim.engine import Engine
 
 PRETRAIN_JOB_ID = "pretrain-main"
+
+#: fabric fault kinds that degrade bandwidth without severing it; the
+#: gang keeps stepping (stretched) until monitoring detects and reacts
+_SOFT_FABRIC_KINDS = ("link_degraded", "pod_link_degraded",
+                      "partial_partition")
 
 
 class _EngineClock:
@@ -108,6 +117,36 @@ class _Recovery:
     deferred: bool = False
     #: open observability span covering fault → resume
     span: Span | None = None
+    #: fault kind driving the episode (MTTD/MTTL/MTTR grouping key)
+    kind: str = ""
+    #: stage timestamps: injection → detection → localization → resume
+    injected_time: float = 0.0
+    detect_time: float = 0.0
+    localize_time: float = 0.0
+
+
+@dataclass
+class _StragglerState:
+    """Live state of one injected straggler / silent degrader.
+
+    There is deliberately no failure log line attached: nothing
+    crashes — the node just gets slower every ramp interval until
+    step-time deviation detection (or nobody) notices.
+    """
+
+    index: int
+    fault: InjectedFault
+    node: str
+    #: per-ramp multiplicative step-contribution decay
+    decay: float
+    #: decay saturates here (silent degraders stay near 1.0)
+    floor: float
+    factor: float = 1.0
+    detected_at: float | None = None
+    #: sim time waste was last accrued up to
+    last_accrual: float = 0.0
+    #: GPU-seconds of capacity quietly lost while undetected
+    waste_gpu_seconds: float = 0.0
 
 
 class ChaosHarness:
@@ -145,21 +184,33 @@ class ChaosHarness:
         self.faults = scenario.build_faults()
         storage_faults = [fault for fault in self.faults
                           if fault.kind in STORAGE_FAULT_KINDS]
-        network_faults = [fault for fault in self.faults
-                          if fault.kind in NETWORK_FAULT_KINDS]
+        fabric_faults = [fault for fault in self.faults
+                         if fault.kind in FABRIC_FAULT_KINDS]
+        straggler_faults = [fault for fault in self.faults
+                            if fault.kind in STRAGGLER_FAULT_KINDS]
+        power_faults = [fault for fault in self.faults
+                        if fault.kind in POWER_FAULT_KINDS]
 
         # -- fabric health overlay (armed up front from the schedule,
         # like the storage fault windows; strict no-op when empty) --
         self.fabric_config = FatTreeConfig(
             nodes=scenario.n_nodes,
-            nodes_per_leaf=scenario.nodes_per_leaf)
+            nodes_per_leaf=scenario.nodes_per_leaf,
+            leaves_per_pod=scenario.leaves_per_pod)
         self.link_health = LinkHealth()
         self.node_index = {node.name: index
                            for index, node in enumerate(self.nodes)}
         self._leaf_by_name = {
             node.name: index // scenario.nodes_per_leaf
             for index, node in enumerate(self.nodes)}
-        for fault in network_faults:
+        #: leaf -> pod map, armed only when the fabric actually spans
+        #: pods; single-pod fabrics pass None so localization keeps the
+        #: exact legacy probe order (byte-identical goldens)
+        self._pod_of_leaf = (
+            {leaf: leaf // scenario.leaves_per_pod
+             for leaf in range(self.fabric_config.leaf_count)}
+            if self.fabric_config.pod_count > 1 else None)
+        for fault in fabric_faults:
             end = fault.time + fault.duration
             if fault.link is None:
                 raise ValueError(
@@ -168,21 +219,61 @@ class ChaosHarness:
                 self.link_health.link_degraded(
                     fault.link, fault.time, end,
                     scenario.link_degraded_factor)
+            elif fault.kind == "pod_link_degraded":
+                self.link_health.link_degraded(
+                    fault.link, fault.time, end,
+                    scenario.pod_link_degraded_factor)
+            elif fault.kind == "partial_partition":
+                # asymmetric degradation: each NIC in the partition set
+                # gets its own factor, some above the health threshold
+                # (those pairs still pass probes) and some below
+                for link, factor in zip(fault.links, fault.link_factors):
+                    self.link_health.link_degraded(
+                        link, fault.time, end, factor)
             elif fault.kind == "switch_down":
                 leaf = int(fault.link.split(":", 1)[1])
                 self.link_health.switch_down(self.fabric_config, leaf,
                                              fault.time, end)
-            else:
+            else:  # link_down / pod_link_down
                 self.link_health.link_down(fault.link, fault.time, end)
         self.fabric = FatTree(self.fabric_config,
                               health=self.link_health)
         #: gate for the topology-aware placement path: scenarios
-        #: without network faults take the exact legacy name-order
+        #: without fabric faults take the exact legacy name-order
         #: path, keeping their goldens byte-identical
-        self._network_aware = bool(network_faults)
+        self._network_aware = bool(fabric_faults)
+        #: gate for the step-factor recomposition path — fabric,
+        #: straggler, and power faults all stretch the gang's steps
+        self._factor_aware = (self._network_aware
+                              or bool(straggler_faults)
+                              or bool(power_faults))
         #: fabric segments currently cordoned by localization
         self.cordoned_segments: set[str] = set()
         self.gang_migrations = 0
+
+        # -- hot-spare pool: the scenario's tail nodes become warm
+        # standbys reserved for preemptive migration --
+        self.spare_pool: HotSparePool | None = None
+        if scenario.hot_spares > 0:
+            self.spare_pool = HotSparePool(
+                self.spare_node_names[-scenario.hot_spares:],
+                swap_delay=scenario.spare_swap_delay,
+                reschedule_delay=scenario.restart_delay,
+                gang_gpus=scenario.pretrain_gpus)
+
+        # -- straggler / power-cap state --
+        self._straggler_states: list[_StragglerState] = []
+        self._has_straggler_faults = bool(straggler_faults)
+        self._deviation = StepTimeDeviationDetector(
+            threshold=scenario.straggler_detect_threshold,
+            patience=scenario.straggler_detect_patience)
+        self._probe_baseline: tuple[float, int] | None = None
+        self.stragglers_detected = 0
+        self.silent_waste_gpu_seconds = 0.0
+        #: open power-cap windows: fault index -> (factor, opened_at)
+        self._active_power_caps: dict[int, tuple[float, float]] = {}
+        self._power_factor = 1.0
+        self.power_capped_seconds = 0.0
 
         def _windows(kind: str) -> list[tuple[float, float]]:
             return [(fault.time, fault.time + fault.duration)
@@ -213,7 +304,8 @@ class ChaosHarness:
         self.catalog = CheckpointCatalog()
         self.controller = RecoveryController(
             DiagnosisSystem(tracer=self.tracer), self.catalog,
-            self.nodes, leaf_of=self._leaf_by_name)
+            self.nodes, leaf_of=self._leaf_by_name,
+            pod_of_leaf=self._pod_of_leaf, spare_pool=self.spare_pool)
         self.pretrain = PretrainProcessFactory.build(
             self.engine, scenario, self._on_checkpoint, self._on_done,
             tracer=self.tracer)
@@ -228,6 +320,14 @@ class ChaosHarness:
         self.checker.set_network_context(
             self.link_health, scenario.network_min_factor,
             self.cordoned_segments)
+        if self._factor_aware:
+            self.checker.set_residual_stretch(
+                self._expected_residual_stretch)
+        if self._has_straggler_faults:
+            self.checker.set_straggler_context(
+                scenario.straggler_detect_bound)
+        if self.spare_pool is not None:
+            self.checker.set_spare_context(self.spare_pool)
         self.engine.add_listener(self.checker.check)
 
         self.event_log: list[tuple[float, str, str]] = []
@@ -324,6 +424,11 @@ class ChaosHarness:
             self.engine.call_at(fault.time,
                                 lambda i=index, f=fault:
                                 self._inject(i, f))
+        if self._has_straggler_faults:
+            # periodic step-time probe: stragglers emit no failure log
+            # line, so detection must come from timeseries deviation
+            self.engine.call_after(scenario.straggler_probe_interval,
+                                   self._straggler_probe)
         try:
             self.engine.run(until=scenario.duration)
         finally:
@@ -343,6 +448,7 @@ class ChaosHarness:
             self._pretrain_stopped_at = None
         if self.pretrain.running:
             self.pretrain.interrupt("scenario deadline")
+        self._finalize_failure_domains()
         self.checker.final_check(
             fallback_lost_iterations=self.fallback_lost_iterations)
         self._log("scenario_end",
@@ -371,8 +477,12 @@ class ChaosHarness:
             self._anomaly(index, fault)
         elif fault.kind in STORAGE_FAULT_KINDS:
             self._storage_fault(index, fault)
-        elif fault.kind in NETWORK_FAULT_KINDS:
+        elif fault.kind in FABRIC_FAULT_KINDS:
             self._network_fault(index, fault)
+        elif fault.kind in STRAGGLER_FAULT_KINDS:
+            self._straggler_fault(index, fault)
+        elif fault.kind in POWER_FAULT_KINDS:
+            self._power_fault(index, fault)
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
@@ -494,9 +604,10 @@ class ChaosHarness:
                              link=fault.link)
         self.engine.call_at(end, lambda i=index, f=fault:
                             self._network_fault_end(i, f))
-        if fault.kind == "link_degraded":
-            # a slow link does not kill the job — it stretches every
-            # step until monitoring notices and reacts
+        if fault.kind in _SOFT_FABRIC_KINDS:
+            # a slow link (or a partially-partitioned link set) does
+            # not kill the job — it stretches every step until
+            # monitoring notices and reacts
             self._refresh_gang_factor()
             self.engine.call_after(
                 self.scenario.degraded_detect_delay,
@@ -568,7 +679,10 @@ class ChaosHarness:
             self.checker.record_infra_plan(index, plan)
         self._apply_cordons(plan)
         self._apply_segment_cordons(plan)
-        recovery = self._track_recovery(index, fault, plan)
+        # detection genuinely lagged injection here: the window opened
+        # at fault.time, monitoring fired degraded_detect_delay later
+        recovery = self._track_recovery(index, fault, plan,
+                                        injected=fault.time)
         self._restart_pretrain(step, step, recovery, restore=False)
 
     def _network_fault_end(self, index: int,
@@ -592,6 +706,18 @@ class ChaosHarness:
         plan = self.controller.handle_network_fault(
             f"{fault.kind} on {fault.link}", tester, restart=restart)
         self._log_plan(plan)
+        now = self.engine.now
+        for name in sorted(plan.cordoned_nodes):
+            # invariant 14: a convicted node's fabric path must really
+            # be sick — partial partitions never convict a healthy side
+            index = self.node_index[name]
+            leaf = self._leaf_by_name[name]
+            path = min(self.link_health.factor(nic_link(index), now),
+                       self.link_health.factor(leaf_link(leaf), now))
+            if self._pod_of_leaf is not None:
+                path = min(path, self.link_health.factor(
+                    pod_link(self._pod_of_leaf[leaf]), now))
+            self.checker.record_node_conviction(now, name, path)
         return plan
 
     def _build_fabric_tester(self) -> FabricCollectiveTester:
@@ -604,10 +730,15 @@ class ChaosHarness:
             leaf_link(leaf): self.link_health.factor(
                 leaf_link(leaf), now)
             for leaf in range(self.fabric_config.leaf_count)}
+        if self._pod_of_leaf is not None:
+            for pod in range(self.fabric_config.pod_count):
+                segment_factors[pod_link(pod)] = self.link_health.factor(
+                    pod_link(pod), now)
         return FabricCollectiveTester(
             self._leaf_by_name, node_factors=node_factors,
             segment_factors=segment_factors,
-            min_factor=self.scenario.network_min_factor)
+            min_factor=self.scenario.network_min_factor,
+            pod_of_leaf=self._pod_of_leaf)
 
     def _apply_segment_cordons(self, plan: RecoveryPlan) -> None:
         for segment in sorted(plan.cordoned_segments):
@@ -620,7 +751,13 @@ class ChaosHarness:
             self._log("segment_cordon", segment)
 
     def _refresh_gang_factor(self) -> None:
-        """Re-derive the gang's step factor from live fabric health."""
+        """Re-derive the gang's step factor from live failure domains.
+
+        Composes fabric bandwidth, the slowest undetected straggler
+        still hosting the gang, and the fleet-wide power cap.  With no
+        straggler or power pressure the composition multiplies by 1.0
+        exactly, so fabric-only scenarios keep byte-identical logs.
+        """
         gang_hosts = sorted(self.placements)
         factor = 1.0
         if len(gang_hosts) > 1:
@@ -631,7 +768,9 @@ class ChaosHarness:
             # a downed link is an interruption, not a slowdown; the
             # hard-fault path owns it
             return
-        stretch = 1.0 / factor
+        slow = self._gang_slow_factor()
+        stretch = ((1.0 / factor) * (1.0 / slow)
+                   * (1.0 / self._power_factor))
         if stretch != self.pretrain.step_factor:
             self.pretrain.set_step_factor(stretch)
             self.tracer.set_gauge("network.gang_bandwidth_factor",
@@ -640,12 +779,237 @@ class ChaosHarness:
                       f"bandwidth_factor={factor:.3f} "
                       f"step_stretch={stretch:.3f}")
 
+    # -- stragglers & power caps --------------------------------------------
+
+    def _gang_slow_factor(self) -> float:
+        """Slowest undetected straggler currently hosting the gang."""
+        slow = 1.0
+        for state in self._straggler_states:
+            if state.detected_at is None and state.node in self.placements:
+                slow = min(slow, state.factor)
+        return slow
+
+    def _expected_residual_stretch(self) -> float:
+        """What :meth:`_refresh_gang_factor` composes beyond the fabric.
+
+        The invariant checker compares the gang's step factor against
+        this once all fabric windows close: undetected stragglers and
+        open power caps legitimately keep the gang stretched.
+        """
+        return ((1.0 / self._gang_slow_factor())
+                * (1.0 / self._power_factor))
+
+    def _straggler_fault(self, index: int, fault: InjectedFault) -> None:
+        """A node starts quietly under-delivering.  No failure line is
+        logged on its behalf — detection must come from step-time
+        deviation, not log parsing."""
+        hosts = sorted(self.placements)
+        if not hosts:
+            self.absorbed_faults += 1
+            self._log("fault_absorbed",
+                      f"#{index} gang unplaced; no host to degrade")
+            return
+        node = hosts[fault.node_index % len(hosts)]
+        if fault.kind == "silent_degrader":
+            decay = self.scenario.silent_decay
+            floor = self.scenario.silent_floor
+        else:
+            decay = self.scenario.straggler_decay
+            floor = self.scenario.straggler_floor
+        state = _StragglerState(index=index, fault=fault, node=node,
+                                decay=decay, floor=floor,
+                                last_accrual=self.engine.now)
+        self._straggler_states.append(state)
+        self.checker.record_straggler(index, self.engine.now,
+                                      fault.kind, node)
+        self.engine.call_after(self.scenario.straggler_ramp_interval,
+                               lambda s=state: self._straggler_ramp(s))
+
+    def _straggler_ramp(self, state: _StragglerState) -> None:
+        """One decay tick: the node's step contribution slips further."""
+        if state.detected_at is not None:
+            return
+        self._accrue_straggler(state)
+        new_factor = max(state.factor * state.decay, state.floor)
+        if new_factor != state.factor:
+            state.factor = new_factor
+            self._refresh_gang_factor()
+        self.engine.call_after(self.scenario.straggler_ramp_interval,
+                               lambda s=state: self._straggler_ramp(s))
+
+    def _accrue_straggler(self, state: _StragglerState) -> None:
+        """Charge the capacity quietly lost since the last accrual."""
+        now = self.engine.now
+        if state.node in self.placements:
+            state.waste_gpu_seconds += ((1.0 - state.factor)
+                                        * (now - state.last_accrual)
+                                        * GPUS_PER_NODE)
+        state.last_accrual = now
+
+    def _known_stretch(self) -> float:
+        """Step stretch explained by *known* causes (fabric, power).
+
+        The deviation probe divides this out, so only unexplained
+        slowdown — a straggler — trips the detector.
+        """
+        factor = 1.0
+        gang_hosts = sorted(self.placements)
+        if len(gang_hosts) > 1:
+            group = [self.node_index[name] for name in gang_hosts]
+            factor = self.fabric.group_health_factor(group,
+                                                     self.engine.now)
+        if factor <= 0.0:
+            factor = 1.0
+        return (1.0 / factor) * (1.0 / self._power_factor)
+
+    def _straggler_probe(self) -> None:
+        """Periodic step-time sample feeding the deviation detector."""
+        self.engine.call_after(self.scenario.straggler_probe_interval,
+                               self._straggler_probe)
+        if not self.pretrain.running:
+            self._probe_baseline = None
+            return
+        now = self.engine.now
+        baseline = self._probe_baseline
+        self._probe_baseline = (now, self.pretrain.iteration)
+        if baseline is None:
+            return
+        steps = self.pretrain.iteration - baseline[1]
+        if steps <= 0:
+            return
+        observed = (now - baseline[0]) / steps
+        expected = self._known_stretch() * self.scenario.step_time
+        ratio = observed / expected
+        event = self._deviation.observe(self.pretrain.iteration, ratio)
+        if event is None:
+            return
+        self._log("deviation_detected",
+                  f"step={event.step} observed/expected={ratio:.2f}x "
+                  f"({event.detail})")
+        self.tracer.count("chaos.deviations_detected")
+        self._convict_stragglers()
+
+    def _convict_stragglers(self) -> None:
+        """DCGM scan after a deviation fired: convict the slow nodes."""
+        now = self.engine.now
+        node_factors = {name: 1.0 for name in sorted(self.placements)}
+        for state in self._straggler_states:
+            if state.detected_at is None and state.node in node_factors:
+                node_factors[state.node] = min(
+                    node_factors[state.node], state.factor)
+        threshold = self.scenario.straggler_conviction_factor
+        slow = sorted(name for name, factor in node_factors.items()
+                      if factor < threshold)
+        if not slow:
+            # deviation without a culprit below the conviction bar —
+            # a silent degrader hiding inside the noise floor
+            self._log("deviation_unattributed",
+                      f"dcgm scan found no node below {threshold:.2f}; "
+                      "no action")
+            return
+        step = self.pretrain.interrupt("straggler")
+        self._pretrain_stopped_at = now
+        self._log("pretrain_interrupt",
+                  f"step={step} reason=straggler "
+                  f"nodes={','.join(slow)}")
+        plan = self.controller.handle_straggler(
+            f"step-time deviation at step {step}", node_factors,
+            min_factor=threshold)
+        self._log_plan(plan)
+        convicted: list[_StragglerState] = []
+        for state in self._straggler_states:
+            if (state.detected_at is None
+                    and state.node in plan.cordoned_nodes):
+                self._accrue_straggler(state)
+                state.detected_at = now
+                convicted.append(state)
+                self.stragglers_detected += 1
+                self.checker.record_straggler_detected(state.index, now)
+                self.checker.record_infra_plan(state.index, plan)
+        self._apply_cordons(plan)
+        primary = convicted[0] if convicted else None
+        injected = (min(state.fault.time for state in convicted)
+                    if convicted else now)
+        index = primary.index if primary is not None else -1
+        fault = (primary.fault if primary is not None
+                 else InjectedFault(time=now, kind="straggler",
+                                    reason=None, node_index=0,
+                                    log_seed=0, target="pretrain"))
+        recovery = self._track_recovery(index, fault, plan,
+                                        injected=injected,
+                                        detected=now, localized=now)
+        self._restart_pretrain(step, step, recovery, restore=False)
+
+    def _power_fault(self, index: int, fault: InjectedFault) -> None:
+        """A facility power cap opens: the whole fleet steps slower."""
+        end = fault.time + fault.duration
+        factor = fault.factor if fault.factor is not None else 1.0
+        self._log("power_cap_begin",
+                  f"#{index} step_factor={factor:.3f} until={end:.3f}")
+        self.tracer.complete(f"window:{fault.kind}", fault.time, end,
+                             "chaos.power", index=index, factor=factor)
+        self._active_power_caps[index] = (factor, self.engine.now)
+        self._power_factor = min(
+            f for f, _ in self._active_power_caps.values())
+        self._refresh_gang_factor()
+        self.engine.call_at(end,
+                            lambda i=index: self._power_fault_end(i))
+
+    def _power_fault_end(self, index: int) -> None:
+        factor, start = self._active_power_caps.pop(index)
+        self.power_capped_seconds += self.engine.now - start
+        if self._active_power_caps:
+            self._power_factor = min(
+                f for f, _ in self._active_power_caps.values())
+        else:
+            self._power_factor = 1.0
+        self._log("power_cap_end", f"#{index} step_factor restored")
+        self._refresh_gang_factor()
+
+    def _finalize_failure_domains(self) -> None:
+        """Horizon bookkeeping for stragglers and still-open power caps."""
+        if self._factor_aware:
+            # make the gang's step factor consistent with live state
+            # before the checker's residual-stretch comparison
+            self._refresh_gang_factor()
+        for _, (_, start) in sorted(self._active_power_caps.items()):
+            self.power_capped_seconds += self.engine.now - start
+        for state in self._straggler_states:
+            if state.detected_at is not None:
+                continue
+            self._accrue_straggler(state)
+            self.silent_waste_gpu_seconds += state.waste_gpu_seconds
+            self.checker.record_silent_waste(
+                state.index, state.waste_gpu_seconds / 3600.0)
+            self._log("silent_straggler",
+                      f"#{state.index} {state.node} "
+                      f"kind={state.fault.kind} "
+                      f"factor={state.factor:.3f} "
+                      f"waste={state.waste_gpu_seconds / 3600.0:.2f} "
+                      "GPU-h (never detected)")
+
     # -- recovery mechanics -------------------------------------------------
 
     def _track_recovery(self, index: int, fault: InjectedFault,
-                        plan: RecoveryPlan) -> _Recovery:
-        """Open one fault → resume episode (and its trace span)."""
-        recovery = _Recovery(fault_time=self.engine.now, plan=plan)
+                        plan: RecoveryPlan, *,
+                        injected: float | None = None,
+                        detected: float | None = None,
+                        localized: float | None = None) -> _Recovery:
+        """Open one fault → resume episode (and its trace span).
+
+        ``injected`` / ``detected`` / ``localized`` pin the stage
+        timestamps for the MTTD/MTTL/MTTR decomposition.  They default
+        to *now*, which is exact for crash-style faults — the failure
+        announces itself and localization runs inline — and are
+        overridden on the degradation and straggler paths, where
+        detection genuinely lags injection.
+        """
+        now = self.engine.now
+        recovery = _Recovery(
+            fault_time=now, plan=plan, kind=fault.kind,
+            injected_time=now if injected is None else injected,
+            detect_time=now if detected is None else detected,
+            localize_time=now if localized is None else localized)
         recovery.span = self.tracer.begin(
             f"recovery:{fault.kind}", "chaos.recovery", index=index,
             target=fault.target, reason=fault.reason)
@@ -665,6 +1029,10 @@ class ChaosHarness:
     def _log_plan(self, plan: RecoveryPlan) -> None:
         for action in plan.actions:
             self._log(f"recovery_{action.kind}", action.detail)
+        for victim, spare in sorted(plan.spare_swaps.items()):
+            self.tracer.count("chaos.spare_swaps")
+            self.checker.record_spare_swap(self.engine.now, victim,
+                                           spare)
 
     def _apply_cordons(self, plan: RecoveryPlan) -> None:
         for name in sorted(plan.cordoned_nodes):
@@ -685,6 +1053,12 @@ class ChaosHarness:
             return  # escalated to FAULTY meanwhile; stays out
         node.uncordon()
         self._log("node_repaired", name)
+        if self.spare_pool is not None:
+            spare = self.spare_pool.reclaim(name)
+            if spare is not None:
+                self._log("spare_reclaimed",
+                          f"{name} rotates in as warm standby "
+                          f"(covered by {spare})")
         if name in self.pool_node_names:
             self.scheduler.uncordon_gpus(GPUS_PER_NODE)
 
@@ -717,7 +1091,7 @@ class ChaosHarness:
         if recovery.deferred:
             recovery.deferred = False
             self.checker.record_restore_resolved()
-        hosts = self._place_gang()
+        hosts, via_swap = self._swap_or_place(recovery.plan)
         if hosts is None:
             self._log("pretrain_stalled",
                       "not enough healthy nodes to re-place the gang")
@@ -739,8 +1113,19 @@ class ChaosHarness:
                 self._log("gang_migrated",
                           f"{','.join(sorted(previous_hosts))} -> "
                           f"{','.join(sorted(hosts))}")
+        elif (via_swap and previous_hosts
+                and set(hosts) != previous_hosts):
+            self.gang_migrations += 1
+            self.tracer.count("network.gang_migrations")
+            self._log("gang_migrated",
+                      f"{','.join(sorted(previous_hosts))} -> "
+                      f"{','.join(sorted(hosts))}")
+        if self._factor_aware:
             self._refresh_gang_factor()
-        resume_at = self.engine.now + self.scenario.restart_delay
+        delay = (self.spare_pool.swap_delay
+                 if via_swap and self.spare_pool is not None
+                 else self.scenario.restart_delay)
+        resume_at = self.engine.now + delay
         recovery.resume_time = resume_at
         if recovery.span is not None:
             self.tracer.end(recovery.span, at=resume_at,
@@ -751,11 +1136,32 @@ class ChaosHarness:
             self._pretrain_stopped_at = None
         self.checker.record_restart(self.engine.now, step_at_failure,
                                     actual)
-        self.pretrain.restart_from(actual, self.scenario.restart_delay)
+        self.pretrain.restart_from(actual, delay)
+        self._probe_baseline = None
         self._log("pretrain_restart",
                   f"step={actual} lost={step_at_failure - actual} "
                   f"resume_at={resume_at:.3f} "
                   f"nodes={','.join(sorted(hosts))}")
+
+    def _swap_or_place(self, plan: RecoveryPlan | None
+                       ) -> tuple[list[str] | None, bool]:
+        """Preemptive migration when the plan swapped in hot spares.
+
+        Victims leave the gang during :meth:`_apply_cordons`; spares
+        from the plan fill their slots directly, skipping the full
+        gang reschedule (the point of keeping warm standbys).  Falls
+        back to :meth:`_place_gang` when the composed group does not
+        add up to a schedulable gang.
+        """
+        if (self.spare_pool is not None and plan is not None
+                and plan.spare_swaps):
+            candidate = sorted(set(self.placements)
+                               | set(plan.spare_swaps.values()))
+            if (len(candidate) == self.scenario.gang_nodes
+                    and all(self._by_name[name].schedulable
+                            for name in candidate)):
+                return candidate, True
+        return self._place_gang(), False
 
     def _attempt_restore(self, step: int) -> int | None:
         """Load the restart generation through the faulty backend.
@@ -833,10 +1239,17 @@ class ChaosHarness:
         enough capacity is preferred (full bandwidth, no uplink
         exposure), and cross-leaf groups only assemble over uplinks
         that are neither cordoned nor running below the health
-        threshold.
+        threshold.  With a pod-spanning fabric, single-pod groups are
+        preferred (no core-tier exposure) and cross-pod groups only
+        span pods with healthy uplinks.
         """
         candidates = sorted(node.name for node in self.nodes
                             if node.name not in self.pool_node_names)
+        if self.spare_pool is not None:
+            # warm standbys are reserved for swaps, not open placement
+            reserved = set(self.spare_pool.available)
+            candidates = [name for name in candidates
+                          if name not in reserved]
         need = self.scenario.gang_nodes
         if not self._network_aware:
             healthy = [name for name in candidates
@@ -862,16 +1275,50 @@ class ChaosHarness:
         for leaf in sorted(by_leaf):
             if len(by_leaf[leaf]) >= need:
                 return by_leaf[leaf][:need]
-        assembled: list[str] = []
-        for leaf in sorted(by_leaf):
+
+        def leaf_ok(leaf: int) -> bool:
             segment = leaf_link(leaf)
-            if (segment in self.cordoned_segments
-                    or self.link_health.factor(segment, now)
-                    < threshold):
+            return (segment not in self.cordoned_segments
+                    and self.link_health.factor(segment, now)
+                    >= threshold)
+
+        if self._pod_of_leaf is None:
+            assembled: list[str] = []
+            for leaf in sorted(by_leaf):
+                if not leaf_ok(leaf):
+                    continue
+                assembled.extend(by_leaf[leaf])
+                if len(assembled) >= need:
+                    return assembled[:need]
+            return None
+
+        def pod_ok(pod: int) -> bool:
+            segment = pod_link(pod)
+            return (segment not in self.cordoned_segments
+                    and self.link_health.factor(segment, now)
+                    >= threshold)
+
+        by_pod: dict[int, list[int]] = {}
+        for leaf in sorted(by_leaf):
+            by_pod.setdefault(self._pod_of_leaf[leaf], []).append(leaf)
+        for pod in sorted(by_pod):
+            assembled = []
+            for leaf in by_pod[pod]:
+                if not leaf_ok(leaf):
+                    continue
+                assembled.extend(by_leaf[leaf])
+                if len(assembled) >= need:
+                    return assembled[:need]
+        assembled = []
+        for pod in sorted(by_pod):
+            if not pod_ok(pod):
                 continue
-            assembled.extend(by_leaf[leaf])
-            if len(assembled) >= need:
-                return assembled[:need]
+            for leaf in by_pod[pod]:
+                if not leaf_ok(leaf):
+                    continue
+                assembled.extend(by_leaf[leaf])
+                if len(assembled) >= need:
+                    return assembled[:need]
         return None
 
     def _resubmit(self, job: Job, recovery: _Recovery) -> None:

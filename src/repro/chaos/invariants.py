@@ -33,27 +33,45 @@ Storage-fault invariants:
    lost by falling back past corrupt generations must equal the sum of
    (planned - actual) over all fallback restores.
 
-Network-fault invariants (this PR's additions):
+Network-fault invariants:
 
 9.  **No placement across a downed link** — gang placement never lands
     on a node set whose collective path crosses a link that is down at
     placement time.
 10. **Degraded windows end → bandwidth restored** (checked at the end
     of the run) — once every network fault window has closed, the
-    gang's step factor must be back to 1.0 and no fabric segment may
-    still be cordoned.
+    gang's step factor must be back to the residual stretch explained
+    by undetected stragglers and open power caps (1.0 when there are
+    none), and no fabric segment may still be cordoned.
 11. **Localization never convicts a healthy segment** — a segment
     conviction must coincide with that segment actually running below
     the NCCL-test pass threshold.
+
+Failure-domain invariants (this PR's additions):
+
+12. **Stragglers are detected or flagged** — a loud straggler whose
+    detection bound fits inside the horizon must be detected within
+    that bound; any straggler still undetected at the end of the run
+    must be flagged as silent waste (quantified in GPU-hours), never
+    dropped from the accounting.
+13. **Spares are never double-booked** — a hot spare is never listed
+    as available twice, never simultaneously available and allocated,
+    never allocated to itself, and an available spare never hosts the
+    gang.
+14. **Partial partitions convict only the sick side** — a node
+    convicted by fabric localization must have at least one segment of
+    its path (NIC, leaf uplink, pod uplink) actually running below the
+    pass threshold at conviction time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.linkhealth import LinkHealth
 from repro.cluster.machine import Node
-from repro.core.recovery.controller import RecoveryPlan
+from repro.core.recovery.controller import HotSparePool, RecoveryPlan
 from repro.scheduler.simulator import SchedulerSimulator
 from repro.training.pretrain import PretrainProcess
 
@@ -69,6 +87,20 @@ class RestartRecord:
     time: float
     step_at_failure: int
     restored_step: int
+
+
+@dataclass
+class StragglerRecord:
+    """One injected straggler and what detection made of it."""
+
+    index: int
+    time: float
+    kind: str
+    node: str
+    detected_at: float | None = None
+    #: set when the run ends with the straggler undetected; the waste
+    #: must be flagged, not silently dropped (invariant 12)
+    silent_waste_gpu_hours: float | None = None
 
 
 @dataclass
@@ -116,6 +148,24 @@ class InvariantChecker:
     #: (time, down links crossed) for every gang placement, invariant 9
     gang_placement_records: list[tuple[float, tuple[str, ...]]] = field(
         default_factory=list)
+    # -- failure-domain state (stragglers / spares / convictions) --
+    #: fault index -> straggler lifecycle record, per invariant 12
+    straggler_records: dict[int, StragglerRecord] = field(
+        default_factory=dict)
+    #: max seconds a loud straggler may run undetected (0 = unchecked)
+    straggler_detect_bound: float = 0.0
+    #: residual step stretch legitimately left once fabric heals
+    #: (undetected stragglers, open power caps); None = expect 1.0
+    residual_stretch: Callable[[], float] | None = None
+    #: live hot-spare pool (shared reference), per invariant 13
+    spare_pool: HotSparePool | None = None
+    #: (time, victim, spare) for every preemptive swap
+    spare_swap_records: list[tuple[float, str, str]] = field(
+        default_factory=list)
+    #: (time, node, path factor) for every node conviction by fabric
+    #: localization, per invariant 14
+    node_conviction_records: list[tuple[float, str, float]] = field(
+        default_factory=list)
 
     # -- per-event check ----------------------------------------------------
 
@@ -126,6 +176,7 @@ class InvariantChecker:
         self._check_gangs(time)
         self._check_cordon_isolation(time)
         self._check_rollbacks()
+        self._check_spares(time)
 
     def _fail(self, time: float, message: str) -> None:
         raise InvariantViolation(f"t={time:.3f}: {message}")
@@ -183,6 +234,24 @@ class InvariantChecker:
                     f"restored step {record.restored_step} is past the "
                     f"failure at step {record.step_at_failure}")
 
+    def _check_spares(self, time: float) -> None:
+        """Invariant 13: the hot-spare pool never double-books a node."""
+        pool = self.spare_pool
+        if pool is None:
+            return
+        available = pool.available
+        if len(set(available)) != len(available):
+            self._fail(time, "spare pool lists a standby twice: "
+                             f"{sorted(available)}")
+        double = set(available) & set(pool.allocated)
+        if double:
+            self._fail(time, "spare(s) both available and allocated: "
+                             f"{sorted(double)}")
+        placed = set(available) & set(self.placements)
+        if placed:
+            self._fail(time, "reserved spare(s) hosting the gang: "
+                             f"{sorted(placed)}")
+
     # -- end-of-run check ---------------------------------------------------
 
     def final_check(self, fallback_lost_iterations: int | None = None
@@ -219,6 +288,7 @@ class InvariantChecker:
                 f"{fallback_lost_iterations} iterations, restore "
                 f"records sum to {self.fallback_lost}")
         self._check_network_healed()
+        self._check_stragglers_accounted()
 
     def _check_network_healed(self) -> None:
         """Invariant 10: windows over → bandwidth and cordons restored."""
@@ -226,14 +296,46 @@ class InvariantChecker:
             return
         if self.horizon <= self.network_health.last_end():
             return  # the scenario ended inside a fault window
-        if self.pretrain is not None and self.pretrain.step_factor != 1.0:
+        expected = (self.residual_stretch()
+                    if self.residual_stretch is not None else 1.0)
+        if (self.pretrain is not None
+                and self.pretrain.step_factor != expected):
             raise InvariantViolation(
-                "all network fault windows closed but the gang still "
-                f"runs at step factor {self.pretrain.step_factor:.3f}")
+                "all network fault windows closed but the gang runs at "
+                f"step factor {self.pretrain.step_factor:.3f} (expected "
+                f"{expected:.3f} — the residual from undetected "
+                "stragglers / open power caps)")
         if self.cordoned_segments:
             raise InvariantViolation(
                 "all network fault windows closed but segments are "
                 f"still cordoned: {sorted(self.cordoned_segments)}")
+
+    def _check_stragglers_accounted(self) -> None:
+        """Invariant 12: every straggler is detected or flagged.
+
+        The detection bound only binds while the straggler can show up
+        in the gang's timeseries: if recovery migrated the gang off the
+        slow node, the deviation signal disappears with it, and the
+        flagged-silent-waste path is the correct outcome.
+        """
+        for index, record in sorted(self.straggler_records.items()):
+            if record.detected_at is not None:
+                continue
+            if (record.kind == "straggler"
+                    and self.straggler_detect_bound > 0.0
+                    and record.time + self.straggler_detect_bound
+                    <= self.horizon
+                    and record.node in self.placements):
+                raise InvariantViolation(
+                    f"straggler #{index} on {record.node} still hosts "
+                    f"the gang but was never detected although the "
+                    f"{self.straggler_detect_bound:.0f}s bound since "
+                    f"injection at {record.time:.1f}s fit inside the "
+                    "horizon")
+            if record.silent_waste_gpu_hours is None:
+                raise InvariantViolation(
+                    f"undetected {record.kind} #{index} on "
+                    f"{record.node} was not flagged as silent waste")
 
     # -- bookkeeping for the harness ---------------------------------------
 
@@ -335,3 +437,69 @@ class InvariantChecker:
                 f"t={time:.3f}: localization convicted segment "
                 f"{segment} running at factor {factor:.3f} — at or "
                 f"above the {self.network_min_factor:.3f} threshold")
+
+    def record_node_conviction(self, time: float, name: str,
+                               path_factor: float) -> None:
+        """Invariant 14: convicted nodes must have a sick fabric path."""
+        self.node_conviction_records.append((time, name, path_factor))
+        if path_factor >= self.network_min_factor:
+            raise InvariantViolation(
+                f"t={time:.3f}: localization convicted node {name} "
+                f"whose fabric path runs at factor {path_factor:.3f} — "
+                f"at or above the {self.network_min_factor:.3f} "
+                "threshold (a partial partition must convict only the "
+                "sick side)")
+
+    # -- failure-domain bookkeeping -----------------------------------------
+
+    def set_straggler_context(self, detect_bound: float) -> None:
+        """Arm the invariant-12 detection bound."""
+        self.straggler_detect_bound = float(detect_bound)
+
+    def set_residual_stretch(self,
+                             residual: Callable[[], float]) -> None:
+        """Install the harness's residual step-stretch oracle."""
+        self.residual_stretch = residual
+
+    def set_spare_context(self, pool: HotSparePool) -> None:
+        """Install the live hot-spare pool (shared reference)."""
+        self.spare_pool = pool
+
+    def record_straggler(self, index: int, time: float, kind: str,
+                         node: str) -> None:
+        """A straggler fault armed on ``node`` (no failure log line)."""
+        self.straggler_records[index] = StragglerRecord(
+            index=index, time=time, kind=kind, node=node)
+
+    def record_straggler_detected(self, index: int,
+                                  time: float) -> None:
+        """Deviation detection convicted straggler ``index``."""
+        record = self.straggler_records[index]
+        record.detected_at = time
+        if (record.kind == "straggler"
+                and self.straggler_detect_bound > 0.0
+                and time - record.time > self.straggler_detect_bound):
+            raise InvariantViolation(
+                f"straggler #{index} on {record.node} detected "
+                f"{time - record.time:.0f}s after injection — past the "
+                f"{self.straggler_detect_bound:.0f}s bound")
+
+    def record_silent_waste(self, index: int,
+                            gpu_hours: float) -> None:
+        """An undetected straggler's waste was flagged at the horizon."""
+        self.straggler_records[index].silent_waste_gpu_hours = gpu_hours
+
+    def record_spare_swap(self, time: float, victim: str,
+                          spare: str) -> None:
+        """Invariant 13: one preemptive swap must be coherent."""
+        self.spare_swap_records.append((time, victim, spare))
+        if spare == victim:
+            raise InvariantViolation(
+                f"t={time:.3f}: spare swap allocated {spare} to cover "
+                "itself")
+        pool = self.spare_pool
+        if pool is not None and pool.allocated.get(spare) != victim:
+            raise InvariantViolation(
+                f"t={time:.3f}: swap says {spare} covers {victim} but "
+                "the pool's allocation table disagrees "
+                f"({pool.allocated.get(spare)!r})")

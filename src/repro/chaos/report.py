@@ -13,7 +13,11 @@ from dataclasses import asdict, dataclass, field
 
 from repro.analysis.report import render_key_values
 from repro.failures.taxonomy import (NETWORK_FAULT_KINDS,
+                                     POD_FAULT_KINDS,
+                                     PARTITION_FAULT_KINDS,
+                                     POWER_FAULT_KINDS,
                                      STORAGE_FAULT_KINDS,
+                                     STRAGGLER_FAULT_KINDS,
                                      FailureCategory)
 from repro.scheduler.job import FinalStatus
 
@@ -70,6 +74,21 @@ class ChaosSummary:
     segments_cordoned_end: int = 0
     gang_migrations: int = 0
     network_slowdown_hours: float = 0.0
+    # -- failure domains (pod / partition / straggler / power) --
+    pod_faults: int = 0
+    partition_faults: int = 0
+    straggler_faults: int = 0
+    stragglers_detected: int = 0
+    silent_waste_gpu_hours: float = 0.0
+    power_cap_faults: int = 0
+    power_capped_hours: float = 0.0
+    spare_swaps: int = 0
+    spares_available_end: int = 0
+    #: per-fault-kind recovery stage decomposition: kind -> {count,
+    #: mttd_s, mttl_s, mttr_s} (mean detection / localization /
+    #: recovery stage durations in seconds)
+    recovery_stages: dict[str, dict[str, float]] = field(
+        default_factory=dict)
     # -- validation --
     invariant_checks: int = 0
 
@@ -129,12 +148,45 @@ class ChaosSummary:
                 "slowdown (h)": self.network_slowdown_hours,
             }, title="network fabric"),
             render_key_values({
+                "pod faults": self.pod_faults,
+                "partial partitions": self.partition_faults,
+                "stragglers injected": self.straggler_faults,
+                "stragglers detected": self.stragglers_detected,
+                "silent waste (GPU-h)": self.silent_waste_gpu_hours,
+                "power caps": self.power_cap_faults,
+                "power capped (h)": self.power_capped_hours,
+                "spare swaps": self.spare_swaps,
+                "spares available (end)": self.spares_available_end,
+            }, title="failure domains"),
+            render_key_values({
                 "cordoned": self.nodes_cordoned,
                 "escalated (faulty)": self.nodes_escalated,
                 "invariant checks": self.invariant_checks,
             }, title="fleet & validation"),
         ]
+        if self.recovery_stages:
+            sections.append(self._render_stage_table())
         return "\n\n".join(sections)
+
+    def _render_stage_table(self) -> str:
+        """MTTD/MTTL/MTTR per fault kind, one row per kind.
+
+        MTTD is injection → detection (zero for crash-style faults
+        that announce themselves); MTTL is detection → localization
+        (zero when localization runs inline with detection); MTTR is
+        localization → resume.
+        """
+        header = (f"{'kind':<18} {'n':>3} {'MTTD (s)':>10} "
+                  f"{'MTTL (s)':>10} {'MTTR (s)':>10}")
+        lines = ["recovery stage decomposition (MTTD / MTTL / MTTR)",
+                 "-" * len(header), header]
+        for kind in sorted(self.recovery_stages):
+            row = self.recovery_stages[kind]
+            lines.append(f"{kind:<18} {int(row['count']):>3} "
+                         f"{row['mttd_s']:>10.1f} "
+                         f"{row['mttl_s']:>10.1f} "
+                         f"{row['mttr_s']:>10.1f}")
+        return "\n".join(lines)
 
 
 def summarize(harness) -> ChaosSummary:
@@ -174,6 +226,30 @@ def summarize(harness) -> ChaosSummary:
         + harness.pretrain_downtime * scenario.pretrain_gpus
         + pretrain.slowdown_seconds * scenario.pretrain_gpus
         + harness.scheduler_lost_gpu_seconds)
+
+    # recovery stage decomposition: group episodes by fault kind and
+    # average each stage (injection → detection → localization → resume)
+    stages: dict[str, dict[str, float]] = {}
+    by_stage_kind: dict[str, list] = {}
+    for recovery in recoveries:
+        if recovery.kind:
+            by_stage_kind.setdefault(recovery.kind, []).append(recovery)
+    for kind, episodes in sorted(by_stage_kind.items()):
+        detect = [r.detect_time - r.injected_time for r in episodes]
+        localize = [r.localize_time - r.detect_time for r in episodes]
+        resolve = [r.resume_time - r.localize_time for r in episodes
+                   if r.resume_time is not None]
+        stages[kind] = {
+            "count": float(len(episodes)),
+            "mttd_s": sum(detect) / len(detect) if detect else 0.0,
+            "mttl_s": sum(localize) / len(localize) if localize else 0.0,
+            "mttr_s": sum(resolve) / len(resolve) if resolve else 0.0,
+        }
+
+    spare_swaps = sum(len(plan.spare_swaps)
+                      for plan in harness.controller.incidents)
+    spares_end = (len(harness.spare_pool.available)
+                  if harness.spare_pool is not None else 0)
 
     finished = harness.scheduler.finished
     return ChaosSummary(
@@ -226,5 +302,20 @@ def summarize(harness) -> ChaosSummary:
         segments_cordoned_end=len(harness.cordoned_segments),
         gang_migrations=harness.gang_migrations,
         network_slowdown_hours=pretrain.slowdown_seconds / 3600.0,
+        pod_faults=sum(count for kind, count in by_kind.items()
+                       if kind in POD_FAULT_KINDS),
+        partition_faults=sum(count for kind, count in by_kind.items()
+                             if kind in PARTITION_FAULT_KINDS),
+        straggler_faults=sum(count for kind, count in by_kind.items()
+                             if kind in STRAGGLER_FAULT_KINDS),
+        stragglers_detected=harness.stragglers_detected,
+        silent_waste_gpu_hours=(harness.silent_waste_gpu_seconds
+                                / 3600.0),
+        power_cap_faults=sum(count for kind, count in by_kind.items()
+                             if kind in POWER_FAULT_KINDS),
+        power_capped_hours=harness.power_capped_seconds / 3600.0,
+        spare_swaps=spare_swaps,
+        spares_available_end=spares_end,
+        recovery_stages=stages,
         invariant_checks=harness.checker.checks_run,
     )

@@ -21,12 +21,15 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.cluster.linkhealth import leaf_link, nic_link
+from repro.cluster.linkhealth import leaf_link, nic_link, pod_link
 from repro.failures.taxonomy import (NETWORK_CHAOS_REASONS,
-                                     NETWORK_FAULT_KINDS,
+                                     NETWORK_FAULT_KINDS, POD_FAULT_KINDS,
                                      STORAGE_CHAOS_REASON,
                                      STORAGE_FAULT_KINDS, TAXONOMY,
                                      FailureCategory, taxonomy_by_reason)
+from repro.monitor.dcgm import GpuSample
+from repro.monitor.power import GpuPowerModel, PowerCappingModel
+from repro.monitor.temperature import TemperatureModel
 from repro.scheduler.job import Job, JobType
 
 #: GPUs per node throughout (Table 1: 8x A100 per node).
@@ -41,25 +44,38 @@ class InjectedFault:
     time: float
     #: "failure" (a Table 3 reason), "loss_spike", "hang", one of the
     #: storage kinds ("storage_outage" / "storage_slowdown" /
-    #: "ckpt_corruption"), or one of the network kinds ("link_down" /
-    #: "link_degraded" / "switch_down")
+    #: "ckpt_corruption"), one of the fabric kinds ("link_down" /
+    #: "link_degraded" / "switch_down" / "pod_link_down" /
+    #: "pod_link_degraded" / "partial_partition"), a straggler kind
+    #: ("straggler" / "silent_degrader"), or "power_cap"
     kind: str
-    #: taxonomy reason key for kind == "failure", storage, and network
-    #: kinds
+    #: taxonomy reason key for kind == "failure", storage, and fabric
+    #: kinds; None for anomaly, straggler, and power kinds (they never
+    #: emit a failure log line)
     reason: str | None
     #: "pretrain" (hits the gang), "scheduler" (kills a running job),
-    #: "storage" (perturbs the checkpoint backend), or "network"
-    #: (degrades the fabric)
+    #: "storage" (perturbs the checkpoint backend), "network"
+    #: (degrades the fabric), or "power" (caps the fleet)
     target: str
     #: victim selector, reduced modulo the target's node pool at runtime
     node_index: int
     #: seed for the synthetic runtime log of this fault
     log_seed: int
-    #: fault-window length in seconds for storage/network kinds
+    #: fault-window length in seconds for storage/network/power kinds
     duration: float = 0.0
     #: affected fabric link id for network kinds ("nic:{node}" /
-    #: "leaf:{leaf}"); None otherwise
+    #: "leaf:{leaf}" / "pod:{p}"); None otherwise
     link: str | None = None
+    #: affected link *set* for partial partitions, parallel to
+    #: ``link_factors`` (some links below the NCCL pass threshold, some
+    #: above — the asymmetry that makes localization hard)
+    links: tuple[str, ...] = ()
+    #: per-link degradation factors for ``links``
+    link_factors: tuple[float, ...] = ()
+    #: resolved fleet step-rate factor for "power_cap" (the monitor
+    #: power/thermal draw pushed through the capping curve at build
+    #: time, keeping the harness sampling-free); None otherwise
+    factor: float | None = None
 
     @property
     def category(self) -> FailureCategory | None:
@@ -139,6 +155,63 @@ class ChaosScenario:
     #: aim network faults at links the gang crosses (vs the whole
     #: fabric) — mirrors pretrain_target_fraction for the fabric axis
     network_target_gang: bool = True
+    #: fat-tree pod domain size in leaves; the default matches
+    #: FatTreeConfig so legacy scenarios keep a single-pod fabric
+    leaves_per_pod: int = 8
+    # -- pod (core-tier) fault schedule --
+    n_pod_faults: int = 0
+    #: relative weights of (pod_link_down, pod_link_degraded)
+    pod_fault_mix: tuple[float, float] = (0.5, 0.5)
+    pod_link_down_duration: float = 1800.0
+    pod_link_degraded_duration: float = 3600.0
+    #: bandwidth fraction a degraded pod uplink retains
+    pod_link_degraded_factor: float = 0.35
+    # -- partial-partition fault schedule --
+    n_partition_faults: int = 0
+    partition_duration: float = 2700.0
+    #: NICs per partition; even positions degrade below the NCCL pass
+    #: threshold, odd positions stay above it (the asymmetry)
+    partition_size: int = 3
+    partition_low_factor: float = 0.3
+    partition_high_factor: float = 0.8
+    # -- straggler / silent-degrader schedule --
+    n_straggler_faults: int = 0
+    #: probability a straggler fault is a silent degrader (stays under
+    #: the deviation-detection threshold; flagged as silent waste)
+    straggler_silent_fraction: float = 0.35
+    #: seconds between decay steps of a straggling node's contribution
+    straggler_ramp_interval: float = 600.0
+    #: per-ramp multiplicative decay and floor for loud stragglers
+    straggler_decay: float = 0.88
+    straggler_floor: float = 0.45
+    #: gentler decay/floor for silent degraders — the floor's stretch
+    #: (1/0.9 ≈ 1.11) stays below the detection threshold
+    silent_decay: float = 0.97
+    silent_floor: float = 0.90
+    #: seconds between monitoring probes of the observed step time
+    straggler_probe_interval: float = 300.0
+    #: observed/nominal step-time ratio that counts as deviation
+    straggler_detect_threshold: float = 1.15
+    #: consecutive deviant probes before the detector fires
+    straggler_detect_patience: int = 2
+    #: DCGM-scan conviction threshold: nodes measured below this step
+    #: contribution are cordoned after a deviation fires
+    straggler_conviction_factor: float = 0.95
+    #: invariant 12's bound: a loud straggler must be detected within
+    #: this window of injection (or the run fails its invariants)
+    straggler_detect_bound: float = 2.5 * 3600.0
+    # -- power-capping schedule --
+    n_power_faults: int = 0
+    power_cap_duration: float = 3600.0
+    #: facility cap fed to the PowerCappingModel curve
+    power_cap_watts: float = 300.0
+    # -- hot-spare pool --
+    #: spare-role nodes kept warm for preemptive migration (taken from
+    #: the tail of the fleet); 0 = always gang-reschedule
+    hot_spares: int = 0
+    #: NCCL re-init time onto a warm spare (vs restart_delay for a
+    #: full gang reschedule)
+    spare_swap_delay: float = 120.0
     #: explicit fault schedule; overrides sampling when non-empty
     faults: tuple[InjectedFault, ...] = ()
 
@@ -180,6 +253,73 @@ class ChaosScenario:
             raise ValueError("network_min_factor must be in (0, 1]")
         if self.nodes_per_leaf <= 0:
             raise ValueError("nodes_per_leaf must be positive")
+        if self.leaves_per_pod <= 0:
+            raise ValueError("leaves_per_pod must be positive")
+        if self.n_pod_faults < 0:
+            raise ValueError("n_pod_faults must be non-negative")
+        if (len(self.pod_fault_mix) != 2
+                or any(w < 0 for w in self.pod_fault_mix)
+                or sum(self.pod_fault_mix) <= 0):
+            raise ValueError("pod_fault_mix must be 2 non-negative "
+                             "weights with a positive sum")
+        if min(self.pod_link_down_duration,
+               self.pod_link_degraded_duration) <= 0:
+            raise ValueError("pod fault durations must be positive")
+        if not 0.0 < self.pod_link_degraded_factor < 1.0:
+            raise ValueError("pod_link_degraded_factor must be in (0, 1)")
+        if self.n_partition_faults < 0:
+            raise ValueError("n_partition_faults must be non-negative")
+        if self.partition_duration <= 0:
+            raise ValueError("partition_duration must be positive")
+        if self.partition_size < 2:
+            raise ValueError("partition_size must be >= 2 (one link is "
+                             "not a partition)")
+        if not (0.0 < self.partition_low_factor
+                < self.partition_high_factor < 1.0):
+            raise ValueError("need 0 < partition_low_factor < "
+                             "partition_high_factor < 1")
+        if self.partition_low_factor >= self.network_min_factor:
+            raise ValueError("partition_low_factor must sit below "
+                             "network_min_factor or the partition "
+                             "never fails a probe")
+        if self.partition_high_factor < self.network_min_factor:
+            raise ValueError("partition_high_factor must sit at or "
+                             "above network_min_factor — the asymmetry "
+                             "is the point")
+        if self.n_straggler_faults < 0:
+            raise ValueError("n_straggler_faults must be non-negative")
+        if not 0.0 <= self.straggler_silent_fraction <= 1.0:
+            raise ValueError("straggler_silent_fraction must be in "
+                             "[0, 1]")
+        if self.straggler_ramp_interval <= 0:
+            raise ValueError("straggler_ramp_interval must be positive")
+        if not (0.0 < self.straggler_decay < 1.0
+                and 0.0 < self.silent_decay < 1.0):
+            raise ValueError("straggler decays must be in (0, 1)")
+        if not (0.0 < self.straggler_floor < 1.0
+                and 0.0 < self.silent_floor < 1.0):
+            raise ValueError("straggler floors must be in (0, 1)")
+        if self.straggler_probe_interval <= 0:
+            raise ValueError("straggler_probe_interval must be positive")
+        if self.straggler_detect_threshold <= 1.0:
+            raise ValueError("straggler_detect_threshold must be > 1")
+        if self.straggler_detect_patience < 1:
+            raise ValueError("straggler_detect_patience must be >= 1")
+        if not 0.0 < self.straggler_conviction_factor <= 1.0:
+            raise ValueError("straggler_conviction_factor must be in "
+                             "(0, 1]")
+        if self.straggler_detect_bound <= 0:
+            raise ValueError("straggler_detect_bound must be positive")
+        if self.n_power_faults < 0:
+            raise ValueError("n_power_faults must be non-negative")
+        if self.power_cap_duration <= 0:
+            raise ValueError("power_cap_duration must be positive")
+        if self.power_cap_watts <= 0:
+            raise ValueError("power_cap_watts must be positive")
+        if self.hot_spares < 0:
+            raise ValueError("hot_spares must be non-negative")
+        if self.spare_swap_delay < 0:
+            raise ValueError("spare_swap_delay must be non-negative")
         if self.pretrain_gpus % GPUS_PER_NODE:
             raise ValueError("pretrain_gpus must be a multiple of 8")
         if self.scheduler_gpus % GPUS_PER_NODE:
@@ -189,6 +329,10 @@ class ChaosScenario:
             raise ValueError(
                 f"n_nodes={self.n_nodes} leaves no spare: the gang and "
                 f"pool alone need {needed} nodes")
+        if self.hot_spares > self.n_nodes - needed:
+            raise ValueError(
+                f"hot_spares={self.hot_spares} exceeds the "
+                f"{self.n_nodes - needed} spare-role node(s)")
 
     # -- derived shape -----------------------------------------------------
 
@@ -280,6 +424,154 @@ class ChaosScenario:
                 duration=durations[kind], link=link))
         return faults
 
+    def build_pod_faults(self) -> list[InjectedFault]:
+        """The resolved pod (core-tier) fault schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 4``): adding pod
+        faults never perturbs any other stream.  Windows close by 80%
+        of the horizon plus the duration so the fabric heals before
+        end-of-run checks.  Pod uplinks only matter to gangs that
+        cross pods — pair these with a small ``leaves_per_pod``.
+        """
+        if self.n_pod_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 4)
+        weights = np.array(self.pod_fault_mix, dtype=float)
+        weights /= weights.sum()
+        durations = {
+            "pod_link_down": self.pod_link_down_duration,
+            "pod_link_degraded": self.pod_link_degraded_duration,
+        }
+        leaf_count = -(-self.n_nodes // self.nodes_per_leaf)  # ceil
+        pod_count = -(-leaf_count // self.leaves_per_pod)
+        gang_leaves = -(-self.gang_nodes // self.nodes_per_leaf)
+        gang_pods = -(-gang_leaves // self.leaves_per_pod)
+        pod_hi = (max(gang_pods, 1) if self.network_target_gang
+                  else pod_count)
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.8 * self.duration,
+                                    self.n_pod_faults))
+        faults = []
+        for index, time in enumerate(times):
+            kind = POD_FAULT_KINDS[
+                int(rng.choice(len(POD_FAULT_KINDS), p=weights))]
+            pod = int(rng.integers(0, pod_hi))
+            faults.append(InjectedFault(
+                float(time), kind, NETWORK_CHAOS_REASONS[kind],
+                "network", 0, self.seed * 1000 + 800 + index,
+                duration=durations[kind], link=pod_link(pod)))
+        return faults
+
+    def build_partition_faults(self) -> list[InjectedFault]:
+        """The resolved partial-partition schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 5``).  Each fault
+        degrades a *set* of gang NICs asymmetrically: even positions
+        drop below the NCCL pass threshold, odd positions stay above
+        it — some pairs keep passing probes, so localization must
+        convict exactly the sick subset.
+        """
+        if self.n_partition_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 5)
+        node_hi = (self.gang_nodes if self.network_target_gang
+                   else self.n_nodes)
+        size = min(self.partition_size, node_hi)
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.8 * self.duration,
+                                    self.n_partition_faults))
+        faults = []
+        for index, time in enumerate(times):
+            members = sorted(int(node) for node in rng.choice(
+                node_hi, size=size, replace=False))
+            links = tuple(nic_link(node) for node in members)
+            factors = tuple(
+                self.partition_low_factor if position % 2 == 0
+                else self.partition_high_factor
+                for position in range(size))
+            faults.append(InjectedFault(
+                float(time), "partial_partition",
+                NETWORK_CHAOS_REASONS["partial_partition"], "network",
+                members[0], self.seed * 1000 + 850 + index,
+                duration=self.partition_duration, link=links[0],
+                links=links, link_factors=factors))
+        return faults
+
+    def build_straggler_faults(self) -> list[InjectedFault]:
+        """The resolved straggler schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 6``).  Victims are
+        distinct gang nodes when possible.  Injection times stop at
+        60% of the horizon so detection (or the silent-waste flag) has
+        room to play out.  No reason, no duration: a straggler emits
+        no failure log and decays until convicted — detection is the
+        monitoring plane's problem, not the injector's.
+        """
+        if self.n_straggler_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 6)
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.6 * self.duration,
+                                    self.n_straggler_faults))
+        if self.n_straggler_faults <= self.gang_nodes:
+            victims = [int(node) for node in rng.choice(
+                self.gang_nodes, size=self.n_straggler_faults,
+                replace=False)]
+        else:
+            victims = [int(rng.integers(0, self.gang_nodes))
+                       for _ in range(self.n_straggler_faults)]
+        faults = []
+        for index, time in enumerate(times):
+            silent = float(rng.uniform()) < self.straggler_silent_fraction
+            kind = "silent_degrader" if silent else "straggler"
+            faults.append(InjectedFault(
+                float(time), kind, None, "pretrain", victims[index],
+                self.seed * 1000 + 900 + index))
+        return faults
+
+    def build_power_faults(self) -> list[InjectedFault]:
+        """The resolved power-capping schedule, sorted by time.
+
+        Sampled from its own generator (``seed + 7``).  The fleet
+        step-rate factor is resolved *here*, at build time: synthetic
+        pretraining-profile DCGM samples are pushed through
+        ``GpuPowerModel`` and ``TemperatureModel``, and the resulting
+        mean draw through the ``PowerCappingModel`` curve — the
+        monitor models feeding training time, with the harness still
+        sampling-free at runtime.
+        """
+        if self.n_power_faults == 0:
+            return []
+        rng = np.random.default_rng(self.seed + 7)
+        power_model = GpuPowerModel()
+        thermal = TemperatureModel()
+        capping = PowerCappingModel(cap_watts=self.power_cap_watts)
+        times = np.sort(rng.uniform(0.05 * self.duration,
+                                    0.8 * self.duration,
+                                    self.n_power_faults))
+        faults = []
+        for index, time in enumerate(times):
+            draws = []
+            for _ in range(max(self.pretrain_gpus, 1)):
+                # a loaded pretraining GPU, mirroring the DCGM
+                # pretrain profile (sm ~ N(0.46, 0.12), tc ≈ 0.75·sm)
+                sm = float(np.clip(rng.normal(0.46, 0.12), 0.02, 1.0))
+                tc = float(np.clip(
+                    sm * 0.75 * rng.uniform(0.85, 1.1), 0.0, 1.0))
+                sample = GpuSample(
+                    gpu_utilization=0.98, sm_activity=sm,
+                    tc_activity=tc, memory_used_fraction=0.8,
+                    job_type=JobType.PRETRAIN)
+                draws.append(power_model.draw(sample, rng))
+            mean_draw = float(np.mean(draws))
+            core = thermal.core_temperature(mean_draw, rng)
+            faults.append(InjectedFault(
+                float(time), "power_cap", None, "power", 0,
+                self.seed * 1000 + 950 + index,
+                duration=self.power_cap_duration,
+                factor=capping.step_factor(mean_draw, core)))
+        return faults
+
     def build_faults(self) -> list[InjectedFault]:
         """The resolved fault schedule, sorted by time."""
         if self.faults:
@@ -320,6 +612,10 @@ class ChaosScenario:
                                         log_seed))
         faults.extend(self.build_storage_faults())
         faults.extend(self.build_network_faults())
+        faults.extend(self.build_pod_faults())
+        faults.extend(self.build_partition_faults())
+        faults.extend(self.build_straggler_faults())
+        faults.extend(self.build_power_faults())
         return sorted(faults, key=lambda f: (f.time, f.log_seed))
 
     def build_background_jobs(self) -> list[Job]:
@@ -390,4 +686,31 @@ BUNDLED_SCENARIOS: dict[str, ChaosScenario] = {
         category_filter="infrastructure",
         pretrain_target_fraction=1.0, n_network_faults=5,
         network_fault_mix=(0.5, 0.3, 0.2), nodes_per_leaf=3),
+    # straggler-storm drills the silent failure domains: three gang
+    # nodes slowly decay (two loud stragglers detected from the
+    # step-time series, one silent degrader whose floor sits above the
+    # DCGM conviction bar so it is never caught — only flagged as
+    # silent waste at the horizon), a power-cap window stretches the
+    # whole fleet, and convicted nodes swap against a two-node
+    # hot-spare pool until it runs dry.
+    "straggler-storm": ChaosScenario(
+        name="straggler-storm", seed=11, n_nodes=10,
+        duration=8.0 * 3600.0, pretrain_gpus=32, scheduler_gpus=24,
+        n_background_jobs=8, n_faults=2, loss_spike_fraction=0.0,
+        hang_fraction=0.0, category_filter="infrastructure",
+        pretrain_target_fraction=1.0, n_straggler_faults=3,
+        straggler_silent_fraction=0.45, silent_floor=0.96,
+        n_power_faults=1, hot_spares=2),
+    # partition-storm drills the core tier: two-leaf pods make the
+    # six-node gang span two pods, so pod-uplink faults interrupt it
+    # and the pod cycle sweep localizes them; partial partitions
+    # degrade asymmetric NIC sets the four-round protocol must convict
+    # as a set.
+    "partition-storm": ChaosScenario(
+        name="partition-storm", seed=4, n_nodes=14,
+        duration=8.0 * 3600.0, pretrain_gpus=48, scheduler_gpus=32,
+        n_background_jobs=8, n_faults=1, loss_spike_fraction=0.0,
+        hang_fraction=0.0, category_filter="infrastructure",
+        pretrain_target_fraction=1.0, nodes_per_leaf=2,
+        leaves_per_pod=2, n_pod_faults=2, n_partition_faults=2),
 }

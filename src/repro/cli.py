@@ -175,6 +175,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         overrides["n_faults"] = args.faults
     if args.storage_faults is not None:
         overrides["n_storage_faults"] = args.storage_faults
+    if args.straggler_faults is not None:
+        overrides["n_straggler_faults"] = args.straggler_faults
+    if args.power_faults is not None:
+        overrides["n_power_faults"] = args.power_faults
+    if args.hot_spares is not None:
+        overrides["hot_spares"] = args.hot_spares
     if overrides:
         try:
             scenario = replace(scenario, **overrides)
@@ -337,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "a network scenario (e.g. network-storm)")
     chaos.add_argument("--storage-faults", type=int, default=None,
                        help="override the number of storage faults")
+    chaos.add_argument("--straggler-faults", type=int, default=None,
+                       help="override the number of straggler / "
+                            "silent-degrader faults")
+    chaos.add_argument("--power-faults", type=int, default=None,
+                       help="override the number of power-cap faults")
+    chaos.add_argument("--hot-spares", type=int, default=None,
+                       help="override the warm standby pool size")
     chaos.add_argument("--log", action="store_true",
                        help="print the full event log")
     chaos.add_argument("--json-out", default=None,

@@ -114,15 +114,29 @@ class LinkHealth:
             self._memo.clear()
 
     def link_down(self, link: str, start: float, end: float) -> None:
-        """Take ``link`` fully down for ``[start, end)``."""
+        """Take ``link`` fully down for ``[start, end)``.
+
+        An empty window (``end <= start``, e.g. a zero-duration chaos
+        fault) is a strict no-op: nothing is registered, ``empty``
+        stays true, and no degenerate ``[t, t)`` entry can perturb
+        timelines or memo state.
+        """
+        if end <= start:
+            return
         self.add(LinkFault(link=link, start=start, end=end, factor=0.0))
 
     def link_degraded(self, link: str, start: float, end: float,
                       factor: float) -> None:
-        """Run ``link`` at ``factor`` of nominal for ``[start, end)``."""
+        """Run ``link`` at ``factor`` of nominal for ``[start, end)``.
+
+        Empty windows (``end <= start``) are strict no-ops, as in
+        :meth:`link_down`; a non-positive factor is still rejected.
+        """
         if factor <= 0.0:
             raise ValueError("degraded factor must be positive; "
                              "use link_down for factor 0")
+        if end <= start:
+            return
         self.add(LinkFault(link=link, start=start, end=end,
                            factor=factor))
 
@@ -132,9 +146,12 @@ class LinkHealth:
 
         Returns the derived link ids (member-node NICs plus the leaf
         uplink) so callers can log or assert against the expansion.
+        An empty window returns ``()`` and registers nothing.
         """
         if not 0 <= leaf < config.leaf_count:
             raise ValueError(f"leaf {leaf} out of range")
+        if end <= start:
+            return ()
         first = leaf * config.nodes_per_leaf
         last = min(first + config.nodes_per_leaf, config.nodes)
         derived = tuple(nic_link(node) for node in range(first, last)

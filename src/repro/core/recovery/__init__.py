@@ -10,14 +10,16 @@
 from repro.core.recovery.nccl_test import (CollectiveTester,
                                            FabricCollectiveTester,
                                            LinkLocalizationResult,
-                                           leaf_segment,
+                                           leaf_segment, pod_segment,
                                            localize_network_faults,
                                            two_round_nccl_test, World)
 from repro.core.recovery.detector import (LossSpikeDetector, HangDetector,
+                                          StepTimeDeviationDetector,
                                           AnomalyEvent)
 from repro.core.recovery.controller import (RecoveryController,
                                             RecoveryAction, RecoveryPlan,
-                                            CheckpointCatalog)
+                                            CheckpointCatalog,
+                                            HotSparePool)
 
 __all__ = [
     "CheckpointCatalog",
@@ -25,13 +27,16 @@ __all__ = [
     "FabricCollectiveTester",
     "LinkLocalizationResult",
     "leaf_segment",
+    "pod_segment",
     "localize_network_faults",
     "two_round_nccl_test",
     "World",
     "LossSpikeDetector",
     "HangDetector",
+    "StepTimeDeviationDetector",
     "AnomalyEvent",
     "RecoveryController",
     "RecoveryAction",
     "RecoveryPlan",
+    "HotSparePool",
 ]

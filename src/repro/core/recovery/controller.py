@@ -18,7 +18,9 @@ executes the recovery plan:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
 
 from repro.cluster.machine import Node
 from repro.core.diagnosis.agents import Diagnosis, DiagnosisSystem
@@ -51,6 +53,82 @@ class RecoveryPlan:
     cordoned_segments: set[str] = field(default_factory=set)
     skip_batches: bool = False
     actions: list[RecoveryAction] = field(default_factory=list)
+    #: victim node -> hot spare swapped in for it (empty without a pool)
+    spare_swaps: dict[str, str] = field(default_factory=dict)
+    #: how the gang comes back: "spare_swap" (preemptive migration onto
+    #: warm standbys) or "gang_reschedule" (full re-placement)
+    recovery_policy: str = "gang_reschedule"
+
+
+class HotSparePool:
+    """Warm standby nodes for preemptive migration (ByteDance-style).
+
+    Instead of tearing the gang down and re-placing it after every
+    conviction, a fleet keeps a small pool of powered, imaged spares:
+    a convicted node swaps against a spare in ``swap_delay`` seconds
+    (NCCL re-init on a warm host) rather than the full
+    ``reschedule_delay`` gang restart.  The pool rotates — a repaired
+    victim re-enters as the new spare — so capacity is conserved.
+    Invariant 13 guards the accounting: a spare is never allocated to
+    two victims at once.
+    """
+
+    def __init__(self, spares: Iterable[str], swap_delay: float = 120.0,
+                 reschedule_delay: float = 300.0,
+                 gang_gpus: int = 0) -> None:
+        if swap_delay < 0 or reschedule_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self._available: list[str] = sorted(spares)
+        if len(set(self._available)) != len(self._available):
+            raise ValueError("duplicate spare names")
+        #: spare name -> victim it currently covers
+        self.allocated: dict[str, str] = {}
+        self.swap_delay = swap_delay
+        self.reschedule_delay = reschedule_delay
+        self.gang_gpus = gang_gpus
+
+    @property
+    def available(self) -> tuple[str, ...]:
+        """Spares currently free, in name order."""
+        return tuple(self._available)
+
+    @property
+    def dry(self) -> bool:
+        return not self._available
+
+    def swap_cost_gpu_hours(self) -> float:
+        """GPU-hours the gang loses to one warm spare swap."""
+        return self.swap_delay * self.gang_gpus / 3600.0
+
+    def reschedule_cost_gpu_hours(self) -> float:
+        """GPU-hours a full gang reschedule would cost instead."""
+        return self.reschedule_delay * self.gang_gpus / 3600.0
+
+    def acquire(self, victim: str,
+                eligible: Callable[[str], bool] | None = None
+                ) -> str | None:
+        """Allocate the first eligible spare to ``victim`` (None = dry)."""
+        for index, spare in enumerate(self._available):
+            if eligible is None or eligible(spare):
+                del self._available[index]
+                self.allocated[spare] = victim
+                return spare
+        return None
+
+    def reclaim(self, victim: str) -> str | None:
+        """A repaired victim rotates in as the new spare.
+
+        The spare that covered it stays in service (the gang already
+        migrated onto it); the victim becomes available standby
+        capacity.  Returns the covering spare's name, or None if the
+        victim was never swapped.
+        """
+        for spare, covered in sorted(self.allocated.items()):
+            if covered == victim:
+                del self.allocated[spare]
+                insort(self._available, victim)
+                return spare
+        return None
 
 
 class CheckpointCatalog:
@@ -102,13 +180,19 @@ class RecoveryController:
     def __init__(self, diagnosis_system: DiagnosisSystem,
                  checkpoints: CheckpointCatalog,
                  nodes: list[Node],
-                 leaf_of: dict[str, int] | None = None) -> None:
+                 leaf_of: dict[str, int] | None = None,
+                 pod_of_leaf: dict[int, int] | None = None,
+                 spare_pool: HotSparePool | None = None) -> None:
         self.diagnosis_system = diagnosis_system
         self.checkpoints = checkpoints
         self.nodes = {node.name: node for node in nodes}
         #: node name -> leaf switch index; required by the network
         #: fault path (localization needs to know the topology)
         self.leaf_of = dict(leaf_of or {})
+        #: leaf index -> pod index; enables core-tier localization
+        self.pod_of_leaf = dict(pod_of_leaf) if pod_of_leaf else None
+        #: warm standby pool; None = always gang-reschedule
+        self.spare_pool = spare_pool
         self.incidents: list[RecoveryPlan] = []
         #: NCCL-test convictions per node, across incidents.  A node
         #: convicted repeatedly is not flaky software — it is broken
@@ -206,7 +290,8 @@ class RecoveryController:
         schedulable = [name for name, node in self.nodes.items()
                        if node.schedulable]
         result = localize_network_faults(schedulable, tester,
-                                         self.leaf_of)
+                                         self.leaf_of,
+                                         pod_of_leaf=self.pod_of_leaf)
         plan.actions.append(RecoveryAction(
             "localize",
             f"{detail}: {result.tests_run} collectives, "
@@ -230,6 +315,36 @@ class RecoveryController:
             self._convict_node(plan, name)
         if restart:
             self._restart_from_latest(plan)
+        self.incidents.append(plan)
+        return plan
+
+    # -- straggler path -------------------------------------------------------
+
+    def handle_straggler(self, detail: str,
+                         node_factors: Mapping[str, float],
+                         min_factor: float = 0.95) -> RecoveryPlan:
+        """Convict measurably slow nodes after a timeseries deviation.
+
+        Detection came from the training timeseries drifting (the
+        deviation detector), never from the injector; localization is
+        a targeted DCGM sweep over the gang: every node whose measured
+        step contribution sits below ``min_factor`` is convicted —
+        including co-resident silent degraders the aggregate
+        timeseries could not attribute on its own.  Convicted nodes
+        cordon/escalate like NCCL convictions and swap against the
+        hot-spare pool when one is configured.  No checkpoint rollback
+        is planned: nothing diverged, the gang was just slow.
+        """
+        plan = RecoveryPlan(diagnosis=None, restart=False,
+                            restart_checkpoint_step=None)
+        slow = sorted(name for name, factor in node_factors.items()
+                      if factor < min_factor)
+        plan.actions.append(RecoveryAction(
+            "dcgm_scan",
+            f"{detail}: {len(node_factors)} node(s) scanned, "
+            f"{len(slow)} below {min_factor:.2f}"))
+        for name in slow:
+            self._convict_node(plan, name)
         self.incidents.append(plan)
         return plan
 
@@ -262,6 +377,33 @@ class RecoveryController:
         else:
             self.nodes[name].cordon()
             plan.actions.append(RecoveryAction("cordon", name))
+        if self.spare_pool is not None:
+            self._swap_against_pool(plan, name)
+
+    def _swap_against_pool(self, plan: RecoveryPlan, victim: str) -> None:
+        """Cover a fresh conviction with a warm spare if one is free."""
+        pool = self.spare_pool
+        assert pool is not None
+        spare = pool.acquire(
+            victim,
+            eligible=lambda name: (name in self.nodes
+                                   and self.nodes[name].schedulable
+                                   and name not in plan.cordoned_nodes))
+        if spare is not None:
+            plan.spare_swaps[victim] = spare
+            plan.recovery_policy = "spare_swap"
+            plan.actions.append(RecoveryAction(
+                "spare_swap",
+                f"{victim} -> {spare} (preemptive migration, "
+                f"~{pool.swap_cost_gpu_hours():.2f} GPU-h vs "
+                f"~{pool.reschedule_cost_gpu_hours():.2f} GPU-h gang "
+                "reschedule)"))
+        else:
+            plan.recovery_policy = "gang_reschedule"
+            plan.actions.append(RecoveryAction(
+                "notify",
+                f"hot-spare pool dry for {victim}; falling back to "
+                "gang reschedule"))
 
     def _restart_from_latest(self, plan: RecoveryPlan) -> None:
         latest = self.checkpoints.latest()

@@ -2,7 +2,10 @@
 
 Three situations demand a restart: (1) an error inside the job — handled
 by the diagnosis system; (2) a loss spike that does not recover; (3) a
-stuck training process.  This module covers (2) and (3).
+stuck training process.  This module covers (2) and (3), plus the
+failure class in between: a job that neither errors nor hangs but whose
+step time quietly drifts upward (a straggling node), detected from the
+observed timeseries alone.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from collections import deque
 class AnomalyEvent:
     """A detected anomaly."""
 
-    kind: str          # "loss_spike" or "hang"
+    kind: str          # "loss_spike", "hang", or "straggler"
     step: int
     detail: str
 
@@ -70,6 +73,46 @@ class LossSpikeDetector:
         else:
             self._elevated_since = None
             self._history.append(loss)  # only healthy samples train stats
+        return None
+
+
+class StepTimeDeviationDetector:
+    """Flags sustained step-time deviation — the straggler signature.
+
+    Stragglers and silent degraders never crash and never log: the only
+    observable is the training timeseries itself drifting away from the
+    nominal step time (the ByteDance "slow node" catalogue).  Each
+    probe feeds the *ratio* of observed to nominal step time; a ratio
+    at or above ``threshold`` for ``patience`` consecutive probes
+    raises a ``straggler`` anomaly.  A single elevated probe (a
+    checkpoint stall, a transient) is ignored; any healthy probe
+    resets the streak.  Degraders that stay below the threshold are
+    deliberately *not* detected here — they are the silent-waste class
+    the chaos invariants flag at the end of the run instead.
+    """
+
+    def __init__(self, threshold: float = 1.15,
+                 patience: int = 2) -> None:
+        if threshold <= 1.0:
+            raise ValueError("threshold must be > 1.0")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.threshold = threshold
+        self.patience = patience
+        self._streak = 0
+
+    def observe(self, step: int, ratio: float) -> AnomalyEvent | None:
+        """Feed one observed/nominal step-time ratio."""
+        if ratio >= self.threshold:
+            self._streak += 1
+            if self._streak >= self.patience:
+                self._streak = 0  # re-arm after reporting
+                return AnomalyEvent(
+                    kind="straggler", step=step,
+                    detail=f"step time {ratio:.2f}x nominal for "
+                           f"{self.patience} consecutive probes")
+        else:
+            self._streak = 0
         return None
 
 

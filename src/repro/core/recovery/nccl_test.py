@@ -139,6 +139,11 @@ def leaf_segment(leaf: int) -> str:
     return f"leaf:{leaf}"
 
 
+def pod_segment(pod: int) -> str:
+    """Segment id of a pod's core-tier uplink (matches linkhealth)."""
+    return f"pod:{pod}"
+
+
 class FabricCollectiveTester:
     """Allgather tester whose failures come from the fabric, not a set.
 
@@ -149,20 +154,25 @@ class FabricCollectiveTester:
     only pass/fail per world, never the factors directly.
 
     ``node_factors`` maps node name -> NIC health factor and
-    ``segment_factors`` maps segment id -> uplink health factor; both
-    default missing entries to 1.0 (healthy).
+    ``segment_factors`` maps segment id -> uplink health factor
+    (``leaf:{l}`` and, when ``pod_of_leaf`` is given, ``pod:{p}``);
+    both default missing entries to 1.0 (healthy).  With a
+    ``pod_of_leaf`` mapping, worlds that span pods additionally
+    exercise the crossed pods' core-tier uplinks.
     """
 
     def __init__(self, leaf_of: Mapping[str, int],
                  node_factors: Mapping[str, float] | None = None,
                  segment_factors: Mapping[str, float] | None = None,
                  faulty_nodes: Iterable[str] = (),
-                 min_factor: float = 0.5) -> None:
+                 min_factor: float = 0.5,
+                 pod_of_leaf: Mapping[int, int] | None = None) -> None:
         self.leaf_of = dict(leaf_of)
         self.node_factors = dict(node_factors or {})
         self.segment_factors = dict(segment_factors or {})
         self.faulty_nodes = frozenset(faulty_nodes)
         self.min_factor = min_factor
+        self.pod_of_leaf = dict(pod_of_leaf) if pod_of_leaf else None
         self.tests_run = 0
 
     def _node_ok(self, node: str) -> bool:
@@ -189,6 +199,15 @@ class FabricCollectiveTester:
                 factor = self.segment_factors.get(leaf_segment(leaf), 1.0)
                 if factor < self.min_factor:
                     return False
+            if self.pod_of_leaf is not None:
+                pods = {self.pod_of_leaf[leaf]
+                        for leaf in sorted(leaves)}
+                if len(pods) > 1:
+                    for pod in sorted(pods):
+                        factor = self.segment_factors.get(
+                            pod_segment(pod), 1.0)
+                        if factor < self.min_factor:
+                            return False
         return True
 
 
@@ -198,7 +217,8 @@ class LinkLocalizationResult:
 
     #: nodes convicted (bad NIC or bad node — indistinguishable here)
     faulty_nodes: set[str] = field(default_factory=set)
-    #: leaf-uplink segments convicted with two independent witnesses
+    #: uplink segments (``leaf:{l}`` or ``pod:{p}``) convicted with two
+    #: independent witnesses
     faulty_segments: set[str] = field(default_factory=set)
     #: segments implicated but not pinned (single witness / all-fail)
     ambiguous_segments: set[str] = field(default_factory=set)
@@ -211,9 +231,10 @@ class LinkLocalizationResult:
 
 def localize_network_faults(nodes: Sequence[str],
                             tester: FabricCollectiveTester,
-                            leaf_of: Mapping[str, int]
+                            leaf_of: Mapping[str, int],
+                            pod_of_leaf: Mapping[int, int] | None = None
                             ) -> LinkLocalizationResult:
-    """Locate faulty nodes *and* faulty leaf uplinks among ``nodes``.
+    """Locate faulty nodes *and* faulty uplinks among ``nodes``.
 
     Four rounds, each reusing the two-round machinery at one tier:
 
@@ -236,6 +257,19 @@ def localize_network_faults(nodes: Sequence[str],
        through an exonerated uplink; a failure conservatively convicts
        the node (matching the base algorithm's bias) unless its own
        uplink is known-bad, in which case it stays unresolved.
+
+    With a ``pod_of_leaf`` mapping, the leaf cycle of round 3 is
+    confined to one pod (so a sick core-tier uplink cannot frame a leaf
+    segment), and an extra **pod cycle sweep** runs between rounds 3
+    and 4: one fully-vetted representative per pod — NIC exercised in
+    round 1 *and* leaf uplink positively exonerated by a passing cycle
+    world — tested pairwise around a cycle over the pods.  Two
+    independent witnesses convict ``pod:{p}``; anything weaker is only
+    ambiguous, preserving the never-convict-a-healthy-segment
+    invariant at the core tier.  Round 4 then prefers same-pod probes
+    and refuses cross-pod probes through implicated pod uplinks.
+    Without ``pod_of_leaf`` the procedure is exactly the four-round
+    scheme above (byte-identical world order).
     """
     if len(set(nodes)) != len(nodes):
         raise ValueError("duplicate node names")
@@ -279,52 +313,112 @@ def localize_network_faults(nodes: Sequence[str],
         result.cleared.update(cleared_by_leaf[leaf])
     result.cleared -= result.faulty_nodes
 
-    # Round 3: cycle sweep over the leaf uplinks.
+    # Round 3: cycle sweep over the leaf uplinks, confined to one pod
+    # so a sick core-tier uplink cannot frame a leaf segment.  Without
+    # pod information every leaf lands in one group — the legacy cycle.
     rep_leaves = [leaf for leaf in leaves if cleared_by_leaf[leaf]]
     reps = {leaf: cleared_by_leaf[leaf][0] for leaf in rep_leaves}
-    if len(rep_leaves) == 2:
-        first, second = rep_leaves
-        if not tester.run_allgather(World((reps[first], reps[second]))):
-            # One witness cannot tell which uplink is sick.
-            result.ambiguous_segments.add(leaf_segment(first))
-            result.ambiguous_segments.add(leaf_segment(second))
-    elif len(rep_leaves) >= 3:
-        count = len(rep_leaves)
-        fails: list[tuple[int, int]] = []
-        incident: dict[int, int] = {leaf: 0 for leaf in rep_leaves}
-        for index in range(count):
-            left = rep_leaves[index]
-            right = rep_leaves[(index + 1) % count]
-            if not tester.run_allgather(World((reps[left], reps[right]))):
-                fails.append((left, right))
-                incident[left] += 1
-                incident[right] += 1
-        if len(fails) == count:
-            # Every world failed: spine trouble or too many sick
-            # uplinks to separate.  Convicting here could hit a healthy
-            # segment, so everything stays ambiguous.
-            for leaf in rep_leaves:
-                result.ambiguous_segments.add(leaf_segment(leaf))
-        else:
-            for leaf in rep_leaves:
-                if incident[leaf] == 2:
-                    if len(by_leaf[leaf]) == 1:
-                        # Round 1 never exercised this lone rep's NIC
-                        # (a single-node world moves no fabric bytes),
-                        # so its NIC and its uplink are observationally
-                        # identical.  Convict the node — the safe,
-                        # conservative call — and flag the segment
-                        # rather than risk cordoning a healthy uplink.
-                        result.faulty_nodes.add(reps[leaf])
-                        result.cleared.discard(reps[leaf])
-                        result.ambiguous_segments.add(leaf_segment(leaf))
-                    else:
-                        result.faulty_segments.add(leaf_segment(leaf))
-            for left, right in fails:
-                if incident[left] < 2 and incident[right] < 2:
-                    # Neither endpoint was convicted: one witness only.
-                    result.ambiguous_segments.add(leaf_segment(left))
-                    result.ambiguous_segments.add(leaf_segment(right))
+    pod_groups: dict[int, list[int]] = {}
+    for leaf in rep_leaves:
+        pod = pod_of_leaf[leaf] if pod_of_leaf is not None else 0
+        pod_groups.setdefault(pod, []).append(leaf)
+    #: leaves whose uplink passed a cycle world with zero incidents —
+    #: the only leaves trusted to represent their pod at the core tier
+    exonerated_leaves: set[int] = set()
+    for pod in sorted(pod_groups):
+        group = pod_groups[pod]
+        if len(group) == 2:
+            first, second = group
+            if tester.run_allgather(World((reps[first], reps[second]))):
+                exonerated_leaves.update(group)
+            else:
+                # One witness cannot tell which uplink is sick.
+                result.ambiguous_segments.add(leaf_segment(first))
+                result.ambiguous_segments.add(leaf_segment(second))
+        elif len(group) >= 3:
+            count = len(group)
+            fails: list[tuple[int, int]] = []
+            incident: dict[int, int] = {leaf: 0 for leaf in group}
+            for index in range(count):
+                left = group[index]
+                right = group[(index + 1) % count]
+                if not tester.run_allgather(
+                        World((reps[left], reps[right]))):
+                    fails.append((left, right))
+                    incident[left] += 1
+                    incident[right] += 1
+            if len(fails) == count:
+                # Every world failed: spine trouble or too many sick
+                # uplinks to separate.  Convicting here could hit a
+                # healthy segment, so everything stays ambiguous.
+                for leaf in group:
+                    result.ambiguous_segments.add(leaf_segment(leaf))
+            else:
+                for leaf in group:
+                    if incident[leaf] == 0:
+                        exonerated_leaves.add(leaf)
+                    if incident[leaf] == 2:
+                        if len(by_leaf[leaf]) == 1:
+                            # Round 1 never exercised this lone rep's
+                            # NIC (a single-node world moves no fabric
+                            # bytes), so its NIC and its uplink are
+                            # observationally identical.  Convict the
+                            # node — the safe, conservative call — and
+                            # flag the segment rather than risk
+                            # cordoning a healthy uplink.
+                            result.faulty_nodes.add(reps[leaf])
+                            result.cleared.discard(reps[leaf])
+                            result.ambiguous_segments.add(
+                                leaf_segment(leaf))
+                        else:
+                            result.faulty_segments.add(leaf_segment(leaf))
+                for left, right in fails:
+                    if incident[left] < 2 and incident[right] < 2:
+                        # Neither endpoint was convicted: one witness.
+                        result.ambiguous_segments.add(leaf_segment(left))
+                        result.ambiguous_segments.add(leaf_segment(right))
+
+    # Pod cycle sweep: probe the core tier through fully-vetted reps.
+    if pod_of_leaf is not None and len(pod_groups) > 1:
+        pod_reps: dict[int, str] = {}
+        for pod in sorted(pod_groups):
+            for leaf in pod_groups[pod]:
+                # A trustworthy pod witness needs both a NIC exercised
+                # by a real multi-node world and a positively
+                # exonerated leaf uplink; otherwise a pod-cycle failure
+                # could be the rep's own path, framing the pod segment.
+                if len(by_leaf[leaf]) >= 2 and leaf in exonerated_leaves:
+                    pod_reps[pod] = reps[leaf]
+                    break
+        pods = sorted(pod_reps)
+        if len(pods) == 2:
+            world = World((pod_reps[pods[0]], pod_reps[pods[1]]))
+            if not tester.run_allgather(world):
+                result.ambiguous_segments.add(pod_segment(pods[0]))
+                result.ambiguous_segments.add(pod_segment(pods[1]))
+        elif len(pods) >= 3:
+            pod_count = len(pods)
+            pod_fails: list[tuple[int, int]] = []
+            pod_incident: dict[int, int] = {pod: 0 for pod in pods}
+            for index in range(pod_count):
+                left = pods[index]
+                right = pods[(index + 1) % pod_count]
+                world = World((pod_reps[left], pod_reps[right]))
+                if not tester.run_allgather(world):
+                    pod_fails.append((left, right))
+                    pod_incident[left] += 1
+                    pod_incident[right] += 1
+            if len(pod_fails) == pod_count:
+                for pod in pods:
+                    result.ambiguous_segments.add(pod_segment(pod))
+            else:
+                for pod in pods:
+                    if pod_incident[pod] == 2:
+                        result.faulty_segments.add(pod_segment(pod))
+                for left, right in pod_fails:
+                    if pod_incident[left] < 2 and pod_incident[right] < 2:
+                        result.ambiguous_segments.add(pod_segment(left))
+                        result.ambiguous_segments.add(pod_segment(right))
 
     # Round 4: resolve suspects whose leaf had no intra-leaf probe.
     bad_segments = result.faulty_segments | result.ambiguous_segments
@@ -342,7 +436,24 @@ def localize_network_faults(nodes: Sequence[str],
             # node — or there is no trustworthy path at all.
             result.unresolved.add(suspect)
             continue
-        probe = reps[probe_leaves[0]]
+        candidates = probe_leaves
+        if pod_of_leaf is not None:
+            own_pod = pod_of_leaf[own_leaf]
+            same_pod = [leaf for leaf in probe_leaves
+                        if pod_of_leaf[leaf] == own_pod]
+            if same_pod:
+                candidates = same_pod
+            elif pod_segment(own_pod) in bad_segments:
+                result.unresolved.add(suspect)
+                continue
+            else:
+                candidates = [
+                    leaf for leaf in probe_leaves
+                    if pod_segment(pod_of_leaf[leaf]) not in bad_segments]
+                if not candidates:
+                    result.unresolved.add(suspect)
+                    continue
+        probe = reps[candidates[0]]
         if tester.run_allgather(World((suspect, probe))):
             result.cleared.add(suspect)
         else:

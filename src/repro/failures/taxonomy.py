@@ -129,13 +129,45 @@ STORAGE_CHAOS_REASON = "S3StorageError"
 NETWORK_FAULT_KINDS: tuple[str, ...] = (
     "link_down", "link_degraded", "switch_down")
 
+#: Chaos fault kinds that degrade the core (pod) tier of the fabric:
+#: a dead or degraded ``pod:{p}`` aggregate uplink.  They behave like
+#: network faults one tier up — only gangs that cross pods notice.
+POD_FAULT_KINDS: tuple[str, ...] = (
+    "pod_link_down", "pod_link_degraded")
+
+#: Chaos fault kinds that degrade an *asymmetric set* of links at
+#: once: some NIC pairs still pass the NCCL probe while others fail,
+#: so localization must convict the segment set, not a single link.
+PARTITION_FAULT_KINDS: tuple[str, ...] = ("partial_partition",)
+
+#: Chaos fault kinds that slow a node down without any failure log
+#: line.  ``straggler`` decays fast enough that timeseries deviation
+#: detection catches it; ``silent_degrader`` stays under the detection
+#: threshold and is flagged as silent waste at the end of the run.
+STRAGGLER_FAULT_KINDS: tuple[str, ...] = (
+    "straggler", "silent_degrader")
+
+#: Chaos fault kinds that cap fleet power: the monitor power/thermal
+#: models feed a capping curve that stretches every step in the window.
+POWER_FAULT_KINDS: tuple[str, ...] = ("power_cap",)
+
+#: Every fault kind that drives LinkHealth windows (NIC, leaf switch,
+#: pod uplink, or partition link sets).
+FABRIC_FAULT_KINDS: tuple[str, ...] = (
+    NETWORK_FAULT_KINDS + POD_FAULT_KINDS + PARTITION_FAULT_KINDS)
+
 #: Table 3 reasons network chaos faults are charged against: hard link
 #: losses surface as NVLink errors, degradations and switch losses as
-#: generic network errors.
+#: generic network errors.  Pod-tier and partition faults are fabric
+#: faults too and use the same NetworkError row; straggler and power
+#: kinds deliberately have no reason — they never emit a failure log.
 NETWORK_CHAOS_REASONS: dict[str, str] = {
     "link_down": "NVLinkError",
     "link_degraded": "NetworkError",
     "switch_down": "NetworkError",
+    "pod_link_down": "NetworkError",
+    "pod_link_degraded": "NetworkError",
+    "partial_partition": "NetworkError",
 }
 
 

@@ -8,7 +8,8 @@ GPU temperatures (Fig. 21), and the carbon-emission accounting (A.3).
 """
 
 from repro.monitor.dcgm import DcgmSampler, GpuSample
-from repro.monitor.power import GpuPowerModel, ServerPowerModel
+from repro.monitor.power import (GpuPowerModel, PowerCappingModel,
+                                ServerPowerModel)
 from repro.monitor.ipmi import IpmiSampler, ServerPowerBreakdown
 from repro.monitor.prometheus import PrometheusSampler, HostSample
 from repro.monitor.temperature import TemperatureModel
@@ -22,6 +23,7 @@ __all__ = [
     "DcgmSampler",
     "GpuSample",
     "GpuPowerModel",
+    "PowerCappingModel",
     "ServerPowerModel",
     "IpmiSampler",
     "ServerPowerBreakdown",

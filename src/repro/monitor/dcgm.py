@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import NULL_TRACER, TracerLike
 from repro.scheduler.job import JobType
 from repro.sim.fastpath import fast_path_enabled
 from repro.workload.trace import Trace
@@ -69,11 +70,15 @@ class DcgmSampler:
     """
 
     def __init__(self, trace: Trace, idle_fraction: float = 0.30,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 tracer: TracerLike | None = None) -> None:
         if not 0.0 <= idle_fraction < 1.0:
             raise ValueError("idle_fraction must be in [0, 1)")
         self.trace = trace
         self.idle_fraction = idle_fraction
+        # tracer=None → NULL_TRACER seam: instrumentation stays off the
+        # RNG path, so traced and untraced samplers draw identically.
+        self.tracer = tracer or NULL_TRACER
         self.rng = np.random.default_rng(seed)
         shares = trace.gpu_time_share_by_type()
         self._types = list(shares.keys())
@@ -116,7 +121,9 @@ class DcgmSampler:
         """``n`` independent polls."""
         if n <= 0:
             raise ValueError("n must be positive")
-        return [self.sample() for _ in range(n)]
+        samples = [self.sample() for _ in range(n)]
+        self.tracer.count("monitor.dcgm.samples", float(n))
+        return samples
 
     # -- convenience vectors ------------------------------------------------
 
@@ -134,6 +141,7 @@ class DcgmSampler:
         """
         if n <= 0:
             raise ValueError("n must be positive")
+        self.tracer.count("monitor.dcgm.metric_arrays", 1.0)
         if not fast_path_enabled():
             samples = self.sample_many(n)
             return {

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.cluster.machine import A100_SXM_80GB, GpuSpec
 from repro.monitor.dcgm import DcgmSampler, GpuSample
+from repro.obs import NULL_TRACER, TracerLike
 
 
 @dataclass
@@ -51,11 +52,60 @@ class GpuPowerModel:
                              self.spec.peak_watts))
 
     def sample_cluster(self, sampler: DcgmSampler, n: int,
-                       seed: int = 0) -> np.ndarray:
-        """Draws for ``n`` DCGM samples."""
+                       seed: int = 0,
+                       tracer: TracerLike | None = None) -> np.ndarray:
+        """Draws for ``n`` DCGM samples.
+
+        Instrumentation goes through the ``tracer=None → NULL_TRACER``
+        seam and never consumes randomness: traced and untraced runs
+        return byte-identical arrays.
+        """
+        tracer = tracer or NULL_TRACER
         rng = np.random.default_rng(seed)
-        return np.array([self.draw(sample, rng)
-                         for sample in sampler.sample_many(n)])
+        draws = np.array([self.draw(sample, rng)
+                          for sample in sampler.sample_many(n)])
+        tracer.count("monitor.power.samples", float(n))
+        if n:
+            tracer.set_gauge("monitor.power.mean_watts",
+                             float(draws.mean()))
+        return draws
+
+
+@dataclass
+class PowerCappingModel:
+    """Maps fleet power/thermal state through a capping curve.
+
+    When mean draw exceeds ``cap_watts`` the facility clamps GPU
+    clocks; under the DVFS cube law (power ∝ f³ for the dynamic part)
+    the achievable step-rate factor is ``(cap / draw) ** (1/3)``.  A
+    fleet running hot past ``thermal_threshold_celsius`` is derated a
+    further ``thermal_derate`` (Fig. 21's overheating regime).  The
+    returned factor is what the chaos harness feeds into
+    ``PretrainProcess.set_step_factor`` — the monitor models finally
+    pushing back on training time.
+    """
+
+    cap_watts: float = 330.0
+    #: DVFS exponent: perf ≈ (cap/draw)^exponent under clock capping
+    exponent: float = 1.0 / 3.0
+    thermal_threshold_celsius: float = 65.0
+    thermal_derate: float = 0.05
+    #: never model a cap harsher than 4x slowdown — facility caps keep
+    #: the fleet productive, they don't park it
+    min_step_factor: float = 0.25
+
+    def step_factor(self, mean_draw_watts: float,
+                    mean_core_celsius: float | None = None) -> float:
+        """Step-rate factor in ``(0, 1]`` for the capped fleet."""
+        if mean_draw_watts <= 0.0:
+            raise ValueError("mean draw must be positive")
+        factor = 1.0
+        if mean_draw_watts > self.cap_watts:
+            factor = (self.cap_watts / mean_draw_watts) ** self.exponent
+        if (mean_core_celsius is not None
+                and mean_core_celsius > self.thermal_threshold_celsius):
+            factor *= 1.0 - self.thermal_derate
+        return float(max(factor, self.min_step_factor))
 
 
 @dataclass
@@ -113,8 +163,14 @@ class ServerPowerModel:
 
     def sample_servers(self, sampler: DcgmSampler, n_servers: int,
                        power_model: GpuPowerModel | None = None,
-                       seed: int = 0) -> np.ndarray:
-        """Wall-power samples for ``n_servers`` GPU servers."""
+                       seed: int = 0,
+                       tracer: TracerLike | None = None) -> np.ndarray:
+        """Wall-power samples for ``n_servers`` GPU servers.
+
+        Traced through the obs seam; instrumentation is off the RNG
+        path, so traced and untraced runs are byte-identical.
+        """
+        tracer = tracer or NULL_TRACER
         power_model = power_model or GpuPowerModel()
         rng = np.random.default_rng(seed)
         totals = np.empty(n_servers)
@@ -123,4 +179,8 @@ class ServerPowerModel:
                 power_model.draw(sample, rng)
                 for sample in sampler.sample_many(self.gpus_per_server)])
             totals[i] = self.total(draws)
+        tracer.count("monitor.power.server_samples", float(n_servers))
+        if n_servers:
+            tracer.set_gauge("monitor.power.mean_server_watts",
+                             float(totals.mean()))
         return totals

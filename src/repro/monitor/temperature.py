@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import NULL_TRACER, TracerLike
+
 
 @dataclass
 class TemperatureModel:
@@ -42,13 +44,25 @@ class TemperatureModel:
         """HBM temperature (runs hotter than the die)."""
         return self.core_temperature(watts, rng) + self.memory_delta
 
-    def sample_fleet(self, power_draws: np.ndarray, seed: int = 0
+    def sample_fleet(self, power_draws: np.ndarray, seed: int = 0,
+                     tracer: TracerLike | None = None
                      ) -> tuple[np.ndarray, np.ndarray]:
-        """(core, memory) temperature arrays for a fleet of power draws."""
+        """(core, memory) temperature arrays for a fleet of power draws.
+
+        Traced through the ``tracer=None → NULL_TRACER`` seam;
+        instrumentation never touches the RNG, so traced and untraced
+        runs are byte-identical.
+        """
+        tracer = tracer or NULL_TRACER
         rng = np.random.default_rng(seed)
         core = np.array([self.core_temperature(w, rng)
                          for w in power_draws])
         memory = core + self.memory_delta
+        tracer.count("monitor.temperature.samples",
+                     float(len(power_draws)))
+        if len(power_draws):
+            tracer.set_gauge("monitor.temperature.mean_core_celsius",
+                             float(core.mean()))
         return core, memory
 
     def overheating_risk_fraction(self, power_draws: np.ndarray,

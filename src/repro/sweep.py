@@ -75,12 +75,8 @@ class SweepResult:
                 totals[name] = fsum(run.summary[name]
                                     for run in self.runs)
             elif isinstance(value, dict):
-                merged: dict = {}
-                for run in self.runs:
-                    for key, count in run.summary[name].items():
-                        merged[key] = merged.get(key, 0) + count
-                totals[name] = {key: merged[key]
-                                for key in sorted(merged)}
+                totals[name] = _merge_dicts(
+                    [run.summary[name] for run in self.runs])
         totals["event_log_sha256"] = {
             str(run.seed): run.event_log_sha256 for run in self.runs}
         totals["events"] = sum(run.events for run in self.runs)
@@ -93,6 +89,28 @@ class SweepResult:
     def digest(self) -> str:
         """sha256 over the canonical JSON — the determinism pin."""
         return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+def _merge_dicts(records: Sequence[dict]) -> dict:
+    """Key-wise merge: ints summed, floats fsum-ed, dicts recursed.
+
+    Nested metrics (e.g. per-kind recovery-stage tables) merge level
+    by level, and float aggregation stays grouping-independent.
+    """
+    merged: dict = {}
+    for record in records:
+        for key in record:
+            merged.setdefault(key, []).append(record[key])
+    out: dict = {}
+    for key in sorted(merged):
+        values = merged[key]
+        if isinstance(values[0], dict):
+            out[key] = _merge_dicts(values)
+        elif isinstance(values[0], float):
+            out[key] = fsum(values)
+        else:
+            out[key] = sum(values)
+    return out
 
 
 def _run_seed(scenario_name: str, seed: int) -> SeedRun:

@@ -11,7 +11,7 @@ from repro.chaos import (BUNDLED_SCENARIOS, ChaosHarness, ChaosScenario,
                          run_scenario)
 from repro.cli import main
 from repro.cluster.machine import Node, NodeHealth, seren_node_spec
-from repro.core.recovery.controller import RecoveryPlan
+from repro.core.recovery.controller import HotSparePool, RecoveryPlan
 from repro.failures.taxonomy import FailureCategory
 from repro.scheduler.job import Job, JobType
 from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
@@ -341,7 +341,130 @@ class TestChaosCli:
         out = capsys.readouterr().out
         assert "network faults: 0" in out
 
+    def test_failure_domain_flags_override(self, capsys):
+        assert main(["chaos", "--scenario", "smoke",
+                     "--straggler-faults", "1", "--power-faults", "1",
+                     "--hot-spares", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stragglers injected: 1" in out
+        assert "power caps: 1" in out
+
+    def test_negative_hot_spares_rejected(self, capsys):
+        assert main(["chaos", "--scenario", "smoke",
+                     "--hot-spares", "-1"]) == 2
+
     def test_network_faults_flag_rejects_garbage(self, capsys):
         assert main(["chaos", "--network-faults", "not-a-thing"]) == 2
         out = capsys.readouterr().out
         assert "--network-faults expects" in out
+
+
+class TestFailureDomainInvariants:
+    """Invariants 12-14: straggler accounting, spare-pool coherence,
+    and partial-partition conviction discipline."""
+
+    def make_checker(self):
+        scheduler = SchedulerSimulator(
+            SchedulerConfig(total_gpus=8, reserved_fraction=0.5))
+        nodes = {f"n{i}": Node(name=f"n{i}", spec=seren_node_spec())
+                 for i in range(2)}
+        placements = {"n0": PRETRAIN_JOB_ID}
+        return InvariantChecker(scheduler=scheduler, nodes=nodes,
+                                placements=placements)
+
+    # -- invariant 12: stragglers detected or flagged --
+
+    def test_loud_straggler_detected_in_bound_passes(self):
+        checker = self.make_checker()
+        checker.horizon = 10_000.0
+        checker.set_straggler_context(3_000.0)
+        checker.record_straggler(0, 100.0, "straggler", "n0")
+        checker.record_straggler_detected(0, 2_000.0)
+        checker.final_check()
+
+    def test_detection_past_bound_is_a_violation(self):
+        checker = self.make_checker()
+        checker.set_straggler_context(3_000.0)
+        checker.record_straggler(0, 100.0, "straggler", "n0")
+        with pytest.raises(InvariantViolation):
+            checker.record_straggler_detected(0, 5_000.0)
+
+    def test_undetected_loud_straggler_inside_horizon_is_a_violation(
+            self):
+        checker = self.make_checker()
+        checker.horizon = 10_000.0
+        checker.set_straggler_context(3_000.0)
+        checker.record_straggler(0, 100.0, "straggler", "n0")
+        with pytest.raises(InvariantViolation):
+            checker.final_check()
+
+    def test_silent_degrader_must_be_flagged_as_waste(self):
+        checker = self.make_checker()
+        checker.horizon = 10_000.0
+        checker.set_straggler_context(3_000.0)
+        checker.record_straggler(0, 100.0, "silent_degrader", "n1")
+        with pytest.raises(InvariantViolation):
+            checker.final_check()
+        checker.record_silent_waste(0, 1.5)
+        checker.final_check()
+
+    def test_bound_landing_past_horizon_tolerates_no_detection(self):
+        checker = self.make_checker()
+        checker.horizon = 2_000.0  # bound does not fit
+        checker.set_straggler_context(3_000.0)
+        checker.record_straggler(0, 100.0, "straggler", "n0")
+        checker.record_silent_waste(0, 0.2)
+        checker.final_check()
+
+    # -- invariant 13: spare-pool coherence --
+
+    def test_clean_pool_passes_per_event_check(self):
+        checker = self.make_checker()
+        checker.set_spare_context(HotSparePool(["s0", "s1"]))
+        checker.check(1.0)
+
+    def test_spare_both_available_and_allocated_detected(self):
+        checker = self.make_checker()
+        pool = HotSparePool(["s0"])
+        checker.set_spare_context(pool)
+        pool.allocated["s0"] = "victim"  # corrupt: never removed
+        with pytest.raises(InvariantViolation):
+            checker.check(1.0)
+
+    def test_reserved_spare_hosting_the_gang_detected(self):
+        checker = self.make_checker()
+        checker.set_spare_context(HotSparePool(["n0"]))  # n0 is placed
+        with pytest.raises(InvariantViolation):
+            checker.check(1.0)
+
+    def test_swap_record_must_match_pool_allocation(self):
+        checker = self.make_checker()
+        pool = HotSparePool(["s0"])
+        checker.set_spare_context(pool)
+        with pytest.raises(InvariantViolation):
+            checker.record_spare_swap(1.0, "victim", "s0")  # not acquired
+        pool.acquire("victim")
+        checker.record_spare_swap(2.0, "victim", "s0")
+
+    def test_spare_covering_itself_detected(self):
+        checker = self.make_checker()
+        with pytest.raises(InvariantViolation):
+            checker.record_spare_swap(1.0, "s0", "s0")
+
+    # -- invariant 14: convictions need a degraded path --
+
+    def test_conviction_with_degraded_path_passes(self):
+        checker = self.make_checker()
+        checker.record_node_conviction(1.0, "n0", 0.2)
+        assert checker.node_conviction_records == [(1.0, "n0", 0.2)]
+
+    def test_conviction_of_healthy_path_is_a_violation(self):
+        checker = self.make_checker()
+        with pytest.raises(InvariantViolation):
+            checker.record_node_conviction(1.0, "n0", 1.0)
+
+    def test_conviction_at_threshold_is_a_violation(self):
+        checker = self.make_checker()
+        with pytest.raises(InvariantViolation):
+            checker.record_node_conviction(1.0, "n0",
+                                           checker.network_min_factor)

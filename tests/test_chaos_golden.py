@@ -13,6 +13,8 @@ regenerated:
         --json-out tests/data/chaos_storage_storm_golden.json
     PYTHONPATH=src python -m repro chaos --scenario network-storm \\
         --json-out tests/data/chaos_network_storm_golden.json
+    PYTHONPATH=src python -m repro chaos --scenario straggler-storm \\
+        --json-out tests/data/chaos_straggler_storm_golden.json
 """
 
 import json
@@ -28,6 +30,7 @@ GOLDENS = {
     "smoke": DATA_DIR / "chaos_golden.json",
     "storage-storm": DATA_DIR / "chaos_storage_storm_golden.json",
     "network-storm": DATA_DIR / "chaos_network_storm_golden.json",
+    "straggler-storm": DATA_DIR / "chaos_straggler_storm_golden.json",
 }
 #: every golden must hold bit-for-bit under BOTH implementations —
 #: the optimized fast path (the default) and the reference path
@@ -95,6 +98,36 @@ def test_network_storm_golden_demonstrates_localization():
         if "recovery_cordon_segment" in line)
     assert any("gang_migrated" in line
                for line in log[first_conviction:])
+
+
+def test_straggler_storm_golden_demonstrates_failure_domains():
+    """The pinned storm must keep proving the failure-domain paths:
+    stragglers detected by step-time deviation (not by a failure log
+    line), a silent degrader flagged as waste at the horizon, spare
+    swaps drawn from the hot pool, a power cap, and a per-kind
+    MTTD/MTTL/MTTR decomposition covering the straggler episodes."""
+    golden = json.loads(GOLDENS["straggler-storm"].read_text())
+    summary = golden["summary"]
+    assert summary["straggler_faults"] >= 2
+    assert summary["stragglers_detected"] >= 1
+    assert summary["stragglers_detected"] < summary["straggler_faults"]
+    assert summary["silent_waste_gpu_hours"] > 0
+    assert summary["spare_swaps"] >= 1
+    assert summary["power_cap_faults"] >= 1
+    assert summary["power_capped_hours"] > 0
+    stages = summary["recovery_stages"]
+    assert "straggler" in stages
+    assert stages["straggler"]["mttd_s"] > 0
+    assert stages["straggler"]["mttr_s"] > 0
+    log = golden["event_log"]
+    detection = next(index for index, line in enumerate(log)
+                     if "deviation_detected" in line)
+    # detection comes from the probe's timeseries, never a fault line
+    assert not any("straggler_fault" in line for line in log)
+    assert any("spare_swap" in line for line in log[detection:])
+    assert any("silent_straggler" in line for line in log)
+    assert any("power_cap_begin" in line for line in log)
+    assert any("power_cap_end" in line for line in log)
 
 
 def test_storage_storm_golden_demonstrates_fallback():

@@ -104,3 +104,48 @@ class TestSwitchDown:
         config = FatTreeConfig(nodes=8, nodes_per_leaf=4)
         with pytest.raises(ValueError):
             LinkHealth().switch_down(config, leaf=2, start=0.0, end=1.0)
+
+
+class TestZeroDurationWindows:
+    """Zero-duration chaos faults must be strict no-ops (boundary
+    regression: a degenerate ``[t, t)`` window must never leak into
+    timelines, memo state, or ``last_end``)."""
+
+    def test_link_down_zero_duration_is_noop(self):
+        health = LinkHealth()
+        health.link_down("nic:0", start=5.0, end=5.0)
+        assert health.empty
+        assert health.faults == ()
+        assert health.factor("nic:0", 5.0) == 1.0
+        assert health.last_end() == 0.0
+
+    def test_link_down_inverted_window_is_noop(self):
+        health = LinkHealth()
+        health.link_down("nic:0", start=5.0, end=4.0)
+        assert health.empty
+
+    def test_link_degraded_zero_duration_is_noop(self):
+        health = LinkHealth()
+        health.link_degraded("leaf:0", start=5.0, end=5.0, factor=0.5)
+        assert health.empty
+        assert health.factor("leaf:0", 5.0) == 1.0
+
+    def test_link_degraded_still_validates_factor(self):
+        # the no-op path must not swallow invalid factors
+        with pytest.raises(ValueError):
+            LinkHealth().link_degraded("leaf:0", start=5.0, end=5.0,
+                                       factor=0.0)
+
+    def test_switch_down_zero_duration_registers_nothing(self):
+        config = FatTreeConfig(nodes=8, nodes_per_leaf=4)
+        health = LinkHealth()
+        assert health.switch_down(config, leaf=1, start=3.0,
+                                  end=3.0) == ()
+        assert health.empty
+
+    def test_tiny_positive_window_still_registers(self):
+        health = LinkHealth()
+        health.link_down("pod:0", start=5.0, end=5.0 + 1e-9)
+        assert not health.empty
+        assert health.is_down("pod:0", 5.0)
+        assert not health.is_down("pod:0", 5.0 + 1e-9)

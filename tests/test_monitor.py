@@ -10,9 +10,11 @@ from repro.monitor.dcgm import DcgmSampler
 from repro.monitor.hostmem import (HostMemoryBreakdown,
                                    pretraining_host_memory)
 from repro.monitor.ipmi import IpmiSampler
-from repro.monitor.power import GpuPowerModel, ServerPowerModel
+from repro.monitor.power import (GpuPowerModel, PowerCappingModel,
+                                 ServerPowerModel)
 from repro.monitor.prometheus import PrometheusSampler
 from repro.monitor.temperature import TemperatureModel
+from repro.obs import Tracer
 
 
 class TestDcgm:
@@ -269,3 +271,95 @@ class TestDcgmBatchedSampling:
     def test_batch_rejects_non_positive_n(self, kalos_trace):
         with pytest.raises(ValueError):
             DcgmSampler(kalos_trace, seed=25).metric_arrays(0)
+
+
+class TestPowerCapping:
+    def test_under_cap_is_unity(self):
+        model = PowerCappingModel()
+        assert model.step_factor(200.0) == 1.0
+        assert model.step_factor(model.cap_watts) == 1.0
+
+    def test_cube_law_above_cap(self):
+        model = PowerCappingModel(cap_watts=330.0)
+        factor = model.step_factor(400.0)
+        assert factor == pytest.approx((330.0 / 400.0) ** (1.0 / 3.0))
+        assert 0.0 < factor < 1.0
+
+    def test_thermal_derate_applies_above_threshold(self):
+        model = PowerCappingModel()
+        cool = model.step_factor(400.0, mean_core_celsius=60.0)
+        hot = model.step_factor(400.0, mean_core_celsius=70.0)
+        assert hot == pytest.approx(cool * (1.0 - model.thermal_derate))
+
+    def test_threshold_boundary_is_not_derated(self):
+        model = PowerCappingModel()
+        at_threshold = model.step_factor(
+            400.0, mean_core_celsius=model.thermal_threshold_celsius)
+        assert at_threshold == model.step_factor(400.0)
+
+    def test_hot_but_under_cap_still_derates(self):
+        model = PowerCappingModel()
+        assert model.step_factor(200.0, mean_core_celsius=80.0) == (
+            pytest.approx(1.0 - model.thermal_derate))
+
+    def test_floor_clamps_extreme_caps(self):
+        model = PowerCappingModel(cap_watts=330.0, min_step_factor=0.25)
+        assert model.step_factor(330.0 * 1000.0) == 0.25
+
+    def test_rejects_non_positive_draw(self):
+        with pytest.raises(ValueError):
+            PowerCappingModel().step_factor(0.0)
+
+
+class TestMonitorTracerSeam:
+    """Instrumentation goes through the ``tracer=None → NULL_TRACER``
+    seam and never touches the RNG: traced and untraced runs must be
+    byte-identical."""
+
+    def test_power_samples_identical_with_and_without_tracer(
+            self, kalos_trace):
+        model = GpuPowerModel()
+        tracer = Tracer()
+        untraced = model.sample_cluster(
+            DcgmSampler(kalos_trace, seed=7), 200, seed=3)
+        traced = model.sample_cluster(
+            DcgmSampler(kalos_trace, seed=7), 200, seed=3,
+            tracer=tracer)
+        np.testing.assert_array_equal(untraced, traced)
+        assert tracer.counters["monitor.power.samples"].last == 200.0
+        assert "monitor.power.mean_watts" in tracer.gauges
+
+    def test_server_samples_identical_with_and_without_tracer(
+            self, kalos_trace):
+        model = ServerPowerModel()
+        tracer = Tracer()
+        untraced = model.sample_servers(
+            DcgmSampler(kalos_trace, seed=9), 16, seed=4)
+        traced = model.sample_servers(
+            DcgmSampler(kalos_trace, seed=9), 16, seed=4,
+            tracer=tracer)
+        np.testing.assert_array_equal(untraced, traced)
+        assert (tracer.counters["monitor.power.server_samples"].last
+                == 16.0)
+
+    def test_temperature_samples_identical_with_and_without_tracer(self):
+        draws = np.linspace(60.0, 450.0, 64)
+        model = TemperatureModel()
+        untraced_core, untraced_mem = model.sample_fleet(draws, seed=5)
+        tracer = Tracer()
+        traced_core, traced_mem = model.sample_fleet(draws, seed=5,
+                                                     tracer=tracer)
+        np.testing.assert_array_equal(untraced_core, traced_core)
+        np.testing.assert_array_equal(untraced_mem, traced_mem)
+        assert (tracer.counters["monitor.temperature.samples"].last
+                == 64.0)
+
+    def test_dcgm_samples_identical_with_and_without_tracer(
+            self, kalos_trace):
+        tracer = Tracer()
+        untraced = DcgmSampler(kalos_trace, seed=11).metric_arrays(300)
+        traced = DcgmSampler(kalos_trace, seed=11,
+                             tracer=tracer).metric_arrays(300)
+        for key, values in untraced.items():
+            np.testing.assert_array_equal(values, traced[key])
+        assert "monitor.dcgm.metric_arrays" in tracer.counters

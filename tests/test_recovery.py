@@ -8,9 +8,10 @@ from repro.cluster.machine import Node, NodeHealth, seren_node_spec
 from repro.core.diagnosis import DiagnosisSystem
 from repro.core.recovery import (AnomalyEvent, CheckpointCatalog,
                                  CollectiveTester, FabricCollectiveTester,
-                                 HangDetector, LossSpikeDetector,
-                                 RecoveryController, leaf_segment,
-                                 localize_network_faults,
+                                 HangDetector, HotSparePool,
+                                 LossSpikeDetector, RecoveryController,
+                                 StepTimeDeviationDetector, leaf_segment,
+                                 localize_network_faults, pod_segment,
                                  two_round_nccl_test, World)
 from repro.failures.logs import LogGenerator
 
@@ -524,3 +525,159 @@ class TestHandleNetworkFault:
         tester = FabricCollectiveTester(leaf_of)
         controller.handle_network_fault("link flap", tester)
         assert len(controller.incidents) == 1
+
+
+class TestStepTimeDeviationDetector:
+    def test_sustained_deviation_fires_after_patience(self):
+        detector = StepTimeDeviationDetector(threshold=1.15, patience=2)
+        assert detector.observe(10, 1.3) is None
+        event = detector.observe(11, 1.3)
+        assert event is not None and event.kind == "straggler"
+
+    def test_single_elevated_probe_is_ignored(self):
+        detector = StepTimeDeviationDetector(threshold=1.15, patience=2)
+        assert detector.observe(10, 1.5) is None
+        assert detector.observe(11, 1.0) is None  # streak reset
+        assert detector.observe(12, 1.5) is None
+
+    def test_below_threshold_never_fires(self):
+        detector = StepTimeDeviationDetector(threshold=1.15, patience=1)
+        for step in range(50):
+            assert detector.observe(step, 1.1) is None
+
+    def test_rearms_after_reporting(self):
+        detector = StepTimeDeviationDetector(threshold=1.15, patience=2)
+        detector.observe(0, 1.3)
+        assert detector.observe(1, 1.3) is not None
+        assert detector.observe(2, 1.3) is None  # streak restarted
+        assert detector.observe(3, 1.3) is not None
+
+    def test_threshold_boundary_counts(self):
+        detector = StepTimeDeviationDetector(threshold=1.15, patience=1)
+        assert detector.observe(0, 1.15) is not None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StepTimeDeviationDetector(threshold=1.0)
+        with pytest.raises(ValueError):
+            StepTimeDeviationDetector(patience=0)
+
+
+class TestHotSparePool:
+    def test_acquires_in_name_order(self):
+        pool = HotSparePool(["s2", "s0", "s1"])
+        assert pool.acquire("victim-a") == "s0"
+        assert pool.acquire("victim-b") == "s1"
+        assert pool.available == ("s2",)
+        assert pool.allocated == {"s0": "victim-a", "s1": "victim-b"}
+
+    def test_dry_pool_returns_none(self):
+        pool = HotSparePool(["s0"])
+        assert pool.acquire("a") == "s0"
+        assert pool.dry
+        assert pool.acquire("b") is None
+
+    def test_eligibility_filter_skips_spares(self):
+        pool = HotSparePool(["s0", "s1"])
+        assert pool.acquire("a", eligible=lambda s: s != "s0") == "s1"
+        assert pool.available == ("s0",)
+
+    def test_reclaim_rotates_victim_in_as_standby(self):
+        pool = HotSparePool(["s0"])
+        pool.acquire("victim")
+        assert pool.reclaim("victim") == "s0"
+        # the spare stays in service; the repaired victim is the new
+        # standby capacity
+        assert pool.available == ("victim",)
+        assert not pool.allocated
+
+    def test_reclaim_unknown_victim_is_none(self):
+        pool = HotSparePool(["s0"])
+        assert pool.reclaim("never-swapped") is None
+        assert pool.available == ("s0",)
+
+    def test_swap_costs_scale_with_gang(self):
+        pool = HotSparePool(["s0"], swap_delay=120.0,
+                            reschedule_delay=300.0, gang_gpus=32)
+        assert pool.swap_cost_gpu_hours() == pytest.approx(
+            120.0 * 32 / 3600.0)
+        assert pool.reschedule_cost_gpu_hours() == pytest.approx(
+            300.0 * 32 / 3600.0)
+        assert (pool.swap_cost_gpu_hours()
+                < pool.reschedule_cost_gpu_hours())
+
+    def test_duplicate_spares_rejected(self):
+        with pytest.raises(ValueError):
+            HotSparePool(["s0", "s0"])
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            HotSparePool(["s0"], swap_delay=-1.0)
+
+
+class TestPodLocalization:
+    """Pod-tier (core-uplink) localization: worlds that span pods also
+    exercise ``pod:{p}`` segments, and partial partitions must never
+    convict a fully-healthy segment."""
+
+    def setup_method(self):
+        # 24 nodes, 12 leaves of 2, 3 pods of 4 leaves — three pods so
+        # the pod cycle gives every core uplink two witnesses.
+        self.nodes = [f"n{i}" for i in range(24)]
+        self.leaf_of = {f"n{i}": i // 2 for i in range(24)}
+        self.pod_of_leaf = {leaf: leaf // 4 for leaf in range(12)}
+
+    def localize(self, node_factors=None, segment_factors=None):
+        tester = FabricCollectiveTester(
+            self.leaf_of, node_factors=node_factors,
+            segment_factors=segment_factors,
+            pod_of_leaf=self.pod_of_leaf)
+        return localize_network_faults(self.nodes, tester, self.leaf_of,
+                                       pod_of_leaf=self.pod_of_leaf)
+
+    def test_healthy_two_pod_fabric_clears_everyone(self):
+        result = self.localize()
+        assert result.cleared == set(self.nodes)
+        assert not result.faulty_segments
+
+    def test_degraded_core_uplink_convicts_the_pod_segment(self):
+        result = self.localize(segment_factors={pod_segment(1): 0.3})
+        assert pod_segment(1) in result.faulty_segments
+        assert not result.faulty_nodes
+        # intra-pod traffic never crosses the core, so no leaf segment
+        # (and no node) of pod 1 is swept up in the conviction
+        assert not any(seg.startswith("leaf:")
+                       for seg in result.faulty_segments)
+
+    def test_two_pod_fabric_is_never_convicted_on_one_witness(self):
+        # With two pods the single cross-pod world cannot tell which
+        # core uplink is sick: both stay ambiguous, neither convicted.
+        nodes = [f"n{i}" for i in range(16)]
+        leaf_of = {f"n{i}": i // 2 for i in range(16)}
+        pod_of_leaf = {leaf: leaf // 4 for leaf in range(8)}
+        tester = FabricCollectiveTester(
+            leaf_of, segment_factors={pod_segment(1): 0.3},
+            pod_of_leaf=pod_of_leaf)
+        result = localize_network_faults(nodes, tester, leaf_of,
+                                         pod_of_leaf=pod_of_leaf)
+        assert not result.faulty_segments
+        assert result.ambiguous_segments == {pod_segment(0),
+                                             pod_segment(1)}
+
+    def test_partial_partition_convicts_only_the_sick_links(self):
+        # invariant 14: a degraded NIC pair must not drag its healthy
+        # leaf, pod, or partner nodes into the conviction
+        result = self.localize(node_factors={"n3": 0.2, "n9": 0.15})
+        assert result.faulty_nodes == {"n3", "n9"}
+        assert not result.faulty_segments
+        assert "n2" in result.cleared and "n8" in result.cleared
+
+    def test_single_pod_mapping_matches_leaf_only_procedure(self):
+        pod_of_leaf = {leaf: 0 for leaf in range(12)}
+        tester = FabricCollectiveTester(
+            self.leaf_of, segment_factors={"leaf:2": 0.3},
+            pod_of_leaf=pod_of_leaf)
+        result = localize_network_faults(self.nodes, tester,
+                                         self.leaf_of,
+                                         pod_of_leaf=pod_of_leaf)
+        assert result.faulty_segments == {"leaf:2"}
