@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.chaos.streams import stream_rng
 from repro.cluster.linkhealth import leaf_link, nic_link, pod_link
 from repro.failures.taxonomy import (NETWORK_CHAOS_REASONS,
                                      NETWORK_FAULT_KINDS, POD_FAULT_KINDS,
@@ -353,12 +354,13 @@ class ChaosScenario:
     def build_storage_faults(self) -> list[InjectedFault]:
         """The resolved storage-fault schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 2``) so adding storage
-        faults never perturbs the node-fault or background-job streams.
+        Sampled from its own registered stream (``storage``) so adding
+        storage faults never perturbs the node-fault or background-job
+        streams.
         """
         if self.n_storage_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 2)
+        rng = stream_rng(self.seed, "storage")
         weights = np.array(self.storage_fault_mix, dtype=float)
         weights /= weights.sum()
         durations = {
@@ -382,16 +384,16 @@ class ChaosScenario:
     def build_network_faults(self) -> list[InjectedFault]:
         """The resolved network-fault schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 3``) so adding network
-        faults never perturbs the node-fault, background-job, or
-        storage streams — chaos goldens without network faults stay
+        Sampled from its own registered stream (``network``) so adding
+        network faults never perturbs the node-fault, background-job,
+        or storage streams — chaos goldens without network faults stay
         byte-identical.  Windows close by 80% of the horizon plus the
         longest duration, so end-of-run checks can require the fabric
         to have healed.
         """
         if self.n_network_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 3)
+        rng = stream_rng(self.seed, "network")
         weights = np.array(self.network_fault_mix, dtype=float)
         weights /= weights.sum()
         durations = {
@@ -427,7 +429,7 @@ class ChaosScenario:
     def build_pod_faults(self) -> list[InjectedFault]:
         """The resolved pod (core-tier) fault schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 4``): adding pod
+        Sampled from its own registered stream (``pod``): adding pod
         faults never perturbs any other stream.  Windows close by 80%
         of the horizon plus the duration so the fabric heals before
         end-of-run checks.  Pod uplinks only matter to gangs that
@@ -435,7 +437,7 @@ class ChaosScenario:
         """
         if self.n_pod_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 4)
+        rng = stream_rng(self.seed, "pod")
         weights = np.array(self.pod_fault_mix, dtype=float)
         weights /= weights.sum()
         durations = {
@@ -465,15 +467,15 @@ class ChaosScenario:
     def build_partition_faults(self) -> list[InjectedFault]:
         """The resolved partial-partition schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 5``).  Each fault
-        degrades a *set* of gang NICs asymmetrically: even positions
-        drop below the NCCL pass threshold, odd positions stay above
-        it — some pairs keep passing probes, so localization must
-        convict exactly the sick subset.
+        Sampled from its own registered stream (``partition``).  Each
+        fault degrades a *set* of gang NICs asymmetrically: even
+        positions drop below the NCCL pass threshold, odd positions
+        stay above it — some pairs keep passing probes, so
+        localization must convict exactly the sick subset.
         """
         if self.n_partition_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 5)
+        rng = stream_rng(self.seed, "partition")
         node_hi = (self.gang_nodes if self.network_target_gang
                    else self.n_nodes)
         size = min(self.partition_size, node_hi)
@@ -500,7 +502,8 @@ class ChaosScenario:
     def build_straggler_faults(self) -> list[InjectedFault]:
         """The resolved straggler schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 6``).  Victims are
+        Sampled from its own registered stream (``straggler``).
+        Victims are
         distinct gang nodes when possible.  Injection times stop at
         60% of the horizon so detection (or the silent-waste flag) has
         room to play out.  No reason, no duration: a straggler emits
@@ -509,7 +512,7 @@ class ChaosScenario:
         """
         if self.n_straggler_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 6)
+        rng = stream_rng(self.seed, "straggler")
         times = np.sort(rng.uniform(0.05 * self.duration,
                                     0.6 * self.duration,
                                     self.n_straggler_faults))
@@ -532,7 +535,7 @@ class ChaosScenario:
     def build_power_faults(self) -> list[InjectedFault]:
         """The resolved power-capping schedule, sorted by time.
 
-        Sampled from its own generator (``seed + 7``).  The fleet
+        Sampled from its own registered stream (``power``).  The fleet
         step-rate factor is resolved *here*, at build time: synthetic
         pretraining-profile DCGM samples are pushed through
         ``GpuPowerModel`` and ``TemperatureModel``, and the resulting
@@ -542,7 +545,7 @@ class ChaosScenario:
         """
         if self.n_power_faults == 0:
             return []
-        rng = np.random.default_rng(self.seed + 7)
+        rng = stream_rng(self.seed, "power")
         power_model = GpuPowerModel()
         thermal = TemperatureModel()
         capping = PowerCappingModel(cap_watts=self.power_cap_watts)
@@ -576,7 +579,7 @@ class ChaosScenario:
         """The resolved fault schedule, sorted by time."""
         if self.faults:
             return sorted(self.faults, key=lambda f: (f.time, f.log_seed))
-        rng = np.random.default_rng(self.seed)
+        rng = stream_rng(self.seed, "node_faults")
         specs = [spec for spec in TAXONOMY
                  if self.category_filter is None
                  or spec.category.value == self.category_filter]
@@ -620,7 +623,7 @@ class ChaosScenario:
 
     def build_background_jobs(self) -> list[Job]:
         """Deterministic best-effort jobs for the scheduler pool."""
-        rng = np.random.default_rng(self.seed + 1)
+        rng = stream_rng(self.seed, "background_jobs")
         types = [JobType.EVALUATION, JobType.DEBUG, JobType.SFT,
                  JobType.OTHER]
         demands = [1, 2, 4, 8, 16]

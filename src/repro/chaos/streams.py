@@ -1,0 +1,55 @@
+"""RNG-stream registry: one declared offset per chaos subsystem.
+
+Every chaos fault family samples from its own
+``np.random.default_rng(seed + offset)`` stream so that enabling one
+family never perturbs another — the property the golden-trace tests
+pin byte-for-byte.  Before this registry the offsets were scattered
+literals (``self.seed + 2`` …) and a new fault family silently reusing
+an offset would shift every golden trace.  Now the offsets live in one
+table, ``reprolint``'s SEED001 rule cross-checks every literal
+``seed + N`` in sim-owned code against it, and a duplicate value is a
+lint error on this file itself.
+
+Offsets are frozen: changing one changes the sampled schedule for that
+subsystem and breaks golden-trace byte-identity.  New subsystems take
+the next unused integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: subsystem name -> seed offset.  Values must be unique (SEED001
+#: reports collisions) and must never change once a golden trace pins
+#: them.
+STREAM_OFFSETS: dict[str, int] = {
+    "node_faults": 0,
+    "background_jobs": 1,
+    "storage": 2,
+    "network": 3,
+    "pod": 4,
+    "partition": 5,
+    "straggler": 6,
+    "power": 7,
+}
+
+
+def stream_seed(seed: int, subsystem: str) -> int:
+    """The derived seed for ``subsystem``'s isolated RNG stream."""
+    try:
+        return seed + STREAM_OFFSETS[subsystem]
+    except KeyError:
+        known = ", ".join(sorted(STREAM_OFFSETS))
+        raise KeyError(
+            f"unregistered RNG stream {subsystem!r}; declare an offset "
+            f"in repro.chaos.streams.STREAM_OFFSETS (known: {known})"
+        ) from None
+
+
+def stream_rng(seed: int, subsystem: str) -> np.random.Generator:
+    """A fresh generator on ``subsystem``'s isolated stream.
+
+    Byte-identical to the historical literal
+    ``np.random.default_rng(seed + offset)`` call sites it replaced.
+    """
+    return np.random.default_rng(stream_seed(seed, subsystem))

@@ -16,6 +16,7 @@ from repro.cluster.storage import StorageVolume
 from repro.core.evalsched.coordinator import CoordinatorConfig
 from repro.core.evalsched.packing import elastic_decompose, lpt_pack
 from repro.evaluation.datasets import EvalDataset
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sim.engine import Engine
 
 
@@ -34,11 +35,13 @@ class EventDrivenEvalRound:
     def __init__(self, config: CoordinatorConfig,
                  deserialize_rate: float = 1.5e9,
                  node_nic_bandwidth: float = 25e9 / 8.0,
-                 pcie_rate: float = 20e9) -> None:
+                 pcie_rate: float = 20e9,
+                 tracer: TracerLike | None = None) -> None:
         self.config = config
         self.deserialize_rate = deserialize_rate
         self.node_nic_bandwidth = node_nic_bandwidth
         self.pcie_rate = pcie_rate
+        self.tracer = tracer or NULL_TRACER
 
     # -- baseline ----------------------------------------------------------
 
@@ -46,6 +49,7 @@ class EventDrivenEvalRound:
         """Event-driven replay of the per-dataset-trial baseline."""
         cfg = self.config
         engine = Engine()
+        self.tracer.bind_clock(lambda: engine.now)
         volumes = [StorageVolume(engine, self.node_nic_bandwidth)
                    for _ in range(cfg.n_nodes)]
         gpus = [engine.resource(cfg.gpus_per_node)
@@ -53,6 +57,8 @@ class EventDrivenEvalRound:
         completions: list[tuple[str, float]] = []
 
         def trial(dataset: EvalDataset, node: int):
+            span = self.tracer.begin(f"trial:{dataset.name}",
+                                     "evalsched", node=node)
             grant = yield gpus[node].acquire(1)
             del grant
             yield volumes[node].read(cfg.model_bytes)
@@ -62,11 +68,15 @@ class EventDrivenEvalRound:
             yield dataset.metric_cpu_seconds / cfg.baseline_metric_workers
             gpus[node].release(1)
             completions.append((dataset.name, engine.now))
+            self.tracer.end(span)
 
+        round_span = self.tracer.begin("round:baseline", "evalsched",
+                                       at=0.0)
         for index, dataset in enumerate(datasets):
             engine.process(trial(dataset, index % cfg.n_nodes),
                            name=dataset.name)
         makespan = engine.run()
+        self.tracer.end(round_span, at=makespan)
         return SimulatedRound("baseline", makespan, completions)
 
     # -- decoupled -----------------------------------------------------------
@@ -76,6 +86,7 @@ class EventDrivenEvalRound:
         """Event-driven replay of staging + packing + CPU metrics."""
         cfg = self.config
         engine = Engine()
+        self.tracer.bind_clock(lambda: engine.now)
         volumes = [StorageVolume(engine, self.node_nic_bandwidth)
                    for _ in range(cfg.n_nodes)]
         completions: list[tuple[str, float]] = []
@@ -89,14 +100,22 @@ class EventDrivenEvalRound:
         staged = [engine.event() for _ in range(cfg.n_nodes)]
 
         def precursor(node: int):
+            span = self.tracer.begin(f"stage:{node}", "evalsched")
             yield volumes[node].read(cfg.model_bytes)
             staged[node].succeed()
+            self.tracer.end(span)
 
         def metric_job(dataset: EvalDataset):
+            span = self.tracer.begin(f"metric:{dataset.name}",
+                                     "evalsched")
             yield dataset.metric_cpu_seconds / cfg.metric_workers
             metric_done.append(engine.now)
+            self.tracer.end(span)
 
-        def gpu_slot(assignment, node: int):
+        def gpu_slot(assignment, slot: int, node: int):
+            span = self.tracer.begin(f"slot:{slot}", "evalsched",
+                                     node=node,
+                                     datasets=len(assignment.datasets))
             yield staged[node]
             # map the staged model over PCIe + deserialize, once
             yield (cfg.model_bytes / self.pcie_rate
@@ -108,15 +127,19 @@ class EventDrivenEvalRound:
                 if dataset.metric_cpu_seconds > 0:
                     engine.process(metric_job(dataset),
                                    name=f"metric:{dataset.name}")
+            self.tracer.end(span)
 
+        round_span = self.tracer.begin("round:decoupled", "evalsched",
+                                       at=0.0)
         for node in range(cfg.n_nodes):
             engine.process(precursor(node), name=f"precursor:{node}")
         for index, assignment in enumerate(assignments):
             if assignment.datasets:
                 engine.process(
-                    gpu_slot(assignment, index % cfg.n_nodes),
+                    gpu_slot(assignment, index, index % cfg.n_nodes),
                     name=f"slot:{index}")
         makespan = engine.run()
+        self.tracer.end(round_span, at=makespan)
         return SimulatedRound("decoupled", makespan, completions)
 
     def compare(self, datasets: list[EvalDataset]) -> dict:

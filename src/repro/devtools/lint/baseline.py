@@ -68,10 +68,29 @@ class Baseline:
             "version": _VERSION,
             "entries": [entry.to_dict() for entry in sorted(
                 self.entries,
-                key=lambda e: (e.path, e.code, e.line))],
+                key=lambda e: (e.path, e.code, e.line,
+                               e.fingerprint))],
         }
         Path(path).write_text(json.dumps(payload, indent=2,
                                          sort_keys=True) + "\n")
+
+    def merged_entries(self) -> list[BaselineEntry]:
+        """Entries with duplicate fingerprints coalesced.
+
+        Two findings in one file can share a fingerprint (identical
+        snippet, same rule); hand-merged baselines can carry them as
+        separate entries.  Coalescing is deterministic: counts sum,
+        the first entry (in list order) keeps the justification and
+        anchor line.
+        """
+        merged: dict[str, BaselineEntry] = {}
+        for entry in self.entries:
+            kept = merged.get(entry.fingerprint)
+            if kept is None:
+                merged[entry.fingerprint] = dataclasses.replace(entry)
+            else:
+                kept.count += entry.count
+        return list(merged.values())
 
     def apply(self, findings: list[Finding]
               ) -> tuple[list[Finding], list[Finding],
@@ -80,11 +99,12 @@ class Baseline:
 
         Returns ``(fresh, baselined, stale_entries)`` where stale
         entries matched nothing — their violation was fixed and the
-        baseline should be regenerated.
+        baseline should be regenerated.  Stale entries come back in
+        stable (path, code, line, fingerprint) order.
         """
-        budget = {entry.fingerprint: entry.count
-                  for entry in self.entries}
-        by_print = {entry.fingerprint: entry for entry in self.entries}
+        entries = self.merged_entries()
+        budget = {entry.fingerprint: entry.count for entry in entries}
+        by_print = {entry.fingerprint: entry for entry in entries}
         fresh: list[Finding] = []
         baselined: list[Finding] = []
         for finding in findings:
@@ -96,8 +116,10 @@ class Baseline:
                     finding, justification=entry.justification))
             else:
                 fresh.append(finding)
-        stale = [by_print[fp] for fp, left in budget.items()
-                 if left == by_print[fp].count]
+        stale = sorted(
+            (by_print[fp] for fp, left in budget.items()
+             if left == by_print[fp].count),
+            key=lambda e: (e.path, e.code, e.line, e.fingerprint))
         return fresh, baselined, stale
 
     @classmethod
@@ -108,8 +130,9 @@ class Baseline:
         Justifications from ``previous`` are carried over; new entries
         get a TODO placeholder that a human must replace.
         """
-        carried = {entry.fingerprint: entry.justification
-                   for entry in (previous.entries if previous else [])}
+        carried: dict[str, str] = {}
+        for entry in (previous.merged_entries() if previous else []):
+            carried.setdefault(entry.fingerprint, entry.justification)
         counts: dict[str, BaselineEntry] = {}
         for finding in findings:
             fingerprint = finding.fingerprint()

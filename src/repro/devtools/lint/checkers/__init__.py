@@ -1,14 +1,25 @@
-"""The reprolint rule registry: one checker class per rule code."""
+"""The reprolint rule registry: one checker class per rule code.
+
+Two tiers: :data:`ALL_CHECKERS` are file-local (phase 1, one shared
+AST walk per file); :data:`ALL_PROJECT_CHECKERS` are cross-module
+(phase 2, run against the :class:`~repro.devtools.lint.project.\
+ProjectIndex` built over the whole tree).
+"""
 
 from repro.devtools.lint.checkers.clock import ClockChecker
 from repro.devtools.lint.checkers.defaults import MutableDefaultChecker
 from repro.devtools.lint.checkers.exceptions import ExceptionChecker
 from repro.devtools.lint.checkers.floats import FloatSumChecker
+from repro.devtools.lint.checkers.imports import ImportTaintChecker
 from repro.devtools.lint.checkers.listeners import ListenerChecker
 from repro.devtools.lint.checkers.ordering import OrderingChecker
+from repro.devtools.lint.checkers.pairing import (PairingChecker,
+                                                  SpanPairChecker)
 from repro.devtools.lint.checkers.randomness import RandomnessChecker
+from repro.devtools.lint.checkers.streams import StreamRegistryChecker
+from repro.devtools.lint.checkers.tracer import TracerSeamChecker
 
-#: every built-in checker, in rule-code order.
+#: every file-local checker, in rule-code order.
 ALL_CHECKERS = (
     RandomnessChecker,
     ClockChecker,
@@ -19,13 +30,28 @@ ALL_CHECKERS = (
     MutableDefaultChecker,
 )
 
+#: every cross-module checker, in rule-code order.
+ALL_PROJECT_CHECKERS = (
+    StreamRegistryChecker,
+    TracerSeamChecker,
+    PairingChecker,
+    SpanPairChecker,
+    ImportTaintChecker,
+)
+
 __all__ = [
     "ALL_CHECKERS",
+    "ALL_PROJECT_CHECKERS",
     "ClockChecker",
     "ExceptionChecker",
     "FloatSumChecker",
+    "ImportTaintChecker",
     "ListenerChecker",
     "MutableDefaultChecker",
     "OrderingChecker",
+    "PairingChecker",
     "RandomnessChecker",
+    "SpanPairChecker",
+    "StreamRegistryChecker",
+    "TracerSeamChecker",
 ]

@@ -1,0 +1,91 @@
+"""IMP001 — transitive import taint toward the host machine.
+
+Sim-owned packages must stay deterministic: no threads, no wall-clock
+module, no sockets — not even *indirectly* through another project
+module.  This checker propagates taint over the project import graph:
+
+* a module is directly tainted when it imports one of the taint roots
+  (``threading``, ``time``, ``multiprocessing``, socket/network
+  modules, ``asyncio``, ``concurrent``);
+* taint flows to every importer, except through the **blessed seams**
+  (:data:`~repro.devtools.lint.project.BLESSED_SEAMS`) — the declared
+  clock/storage boundary modules absorb taint and are themselves
+  exempt;
+* findings land on sim-owned modules, anchored at the import statement
+  that reaches the taint, with the full witness chain in the message.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.project import (BLESSED_SEAMS, ModuleInfo,
+                                         ProjectChecker,
+                                         _import_targets)
+
+#: stdlib roots that couple sim code to the host machine
+TAINT_ROOTS = frozenset({
+    "threading", "time", "multiprocessing", "socket", "ssl",
+    "socketserver", "http", "urllib", "requests", "asyncio",
+    "concurrent",
+})
+
+
+class ImportTaintChecker(ProjectChecker):
+    code = "IMP001"
+
+    def run(self) -> None:
+        tainted = self._propagate()
+        for info in self.index.modules.values():
+            if not info.sim_owned or info.blessed_seam:
+                continue
+            self._check_module(info, tainted)
+
+    def _propagate(self) -> dict[str, tuple[str, ...]]:
+        """module name -> witness chain ending at a taint root."""
+        tainted: dict[str, tuple[str, ...]] = {}
+        for info in self.index.modules.values():
+            if info.blessed_seam:
+                continue
+            for target in sorted(info.module_imports):
+                if target.split(".")[0] in TAINT_ROOTS:
+                    tainted[info.name] = (target,)
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for info in self.index.modules.values():
+                if info.name in tainted or info.blessed_seam:
+                    continue
+                for target in sorted(info.module_imports):
+                    dep = self.index.project_module(target)
+                    if dep and dep != info.name and dep in tainted:
+                        tainted[info.name] = (dep,) + tainted[dep]
+                        changed = True
+                        break
+        return tainted
+
+    def _check_module(self, info: ModuleInfo,
+                      tainted: dict[str, tuple[str, ...]]) -> None:
+        is_package = info.path.stem == "__init__"
+        for node in info.ctx.tree.body:
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in _import_targets(node, info.name, is_package):
+                root = target.split(".")[0]
+                if root in TAINT_ROOTS:
+                    self.report(
+                        info, node.lineno, node.col_offset,
+                        f"sim-owned module imports {target} directly; "
+                        f"route through the engine clock or a blessed "
+                        f"seam ({', '.join(sorted(BLESSED_SEAMS))})")
+                    continue
+                dep = self.index.project_module(target)
+                if dep and dep != info.name and dep in tainted:
+                    chain = " -> ".join((info.name, dep)
+                                        + tainted[dep])
+                    self.report(
+                        info, node.lineno, node.col_offset,
+                        f"sim-owned module reaches "
+                        f"{tainted[dep][-1]} transitively: {chain}; "
+                        f"break the chain or bless the seam module")

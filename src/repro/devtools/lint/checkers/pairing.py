@@ -1,0 +1,103 @@
+"""LSN002/SPAN001 — flow-aware paired-resource tracking across methods.
+
+LSN001 only asks "does the module mention the release call somewhere?".
+These rules use the :class:`~repro.devtools.lint.project.ProjectIndex`
+class summaries to demand an *exit-safe* release for every acquisition
+a class makes:
+
+* a release is exit-safe when it sits inside a ``finally`` block, OR
+  inside a conventional teardown method (``close``, ``__exit__``,
+  ``detach``, ``stop``, ...), OR is an unconditional top-level
+  statement of its method (it dominates every exit);
+* ``add_listener`` pairs with ``remove_listener``, ``attach`` with
+  ``detach`` (**LSN002**);
+* ``tracer.begin(...)`` pairs with a ``.end(...)`` call somewhere in
+  the class (**SPAN001**) — begin/end legitimately live in different
+  engine callbacks, so only existence is required, but a class that
+  opens spans and never closes any leaves them dangling in every
+  export.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.project import (TEARDOWN_METHODS, CallSite,
+                                         ClassSummary, ProjectChecker)
+
+#: acquisition attr -> required release attr
+_RESOURCE_PAIRS = {
+    "add_listener": "remove_listener",
+    "attach": "detach",
+}
+
+
+def _exit_safe(site: CallSite) -> bool:
+    return (site.in_finally
+            or site.method in TEARDOWN_METHODS
+            or site.top_level)
+
+
+def _class_defines(cls: ClassSummary, attr: str) -> bool:
+    """True when the class defines ``attr`` as its own method — it is
+    the resource API owner, not a consumer."""
+    return attr in cls.methods
+
+
+class PairingChecker(ProjectChecker):
+    code = "LSN002"
+
+    def run(self) -> None:
+        for info in self.index.modules.values():
+            if not info.sim_owned:
+                continue
+            for cls in info.classes.values():
+                self._check_class(info, cls)
+
+    def _check_class(self, info, cls: ClassSummary) -> None:
+        for acquire_attr, release_attr in _RESOURCE_PAIRS.items():
+            if _class_defines(cls, acquire_attr):
+                continue
+            acquires = [c for c in cls.calls if c.attr == acquire_attr]
+            if not acquires:
+                continue
+            releases = [c for c in cls.calls if c.attr == release_attr]
+            if not releases:
+                for site in acquires:
+                    self.report(
+                        info, site.line, site.col,
+                        f"{cls.name}.{site.method} calls "
+                        f"{acquire_attr}() but no method of "
+                        f"{cls.name} ever calls {release_attr}(); "
+                        f"the resource leaks across runs")
+                continue
+            if not any(_exit_safe(site) for site in releases):
+                site = acquires[0]
+                self.report(
+                    info, site.line, site.col,
+                    f"{cls.name} releases {acquire_attr}() only on "
+                    f"conditional paths; move {release_attr}() into "
+                    f"a finally block or a teardown method "
+                    f"({', '.join(sorted(TEARDOWN_METHODS)[:4])}, ...)")
+
+
+class SpanPairChecker(ProjectChecker):
+    code = "SPAN001"
+
+    def run(self) -> None:
+        for info in self.index.modules.values():
+            if not info.sim_owned or info.name.startswith("repro.obs"):
+                continue
+            for cls in info.classes.values():
+                begins = [c for c in cls.calls
+                          if c.attr == "begin"
+                          and "tracer" in c.receiver.lower()]
+                if not begins:
+                    continue
+                if any(c.attr == "end" for c in cls.calls):
+                    continue
+                site = begins[0]
+                self.report(
+                    info, site.line, site.col,
+                    f"{cls.name}.{site.method} opens spans with "
+                    f"tracer.begin() but no method of {cls.name} "
+                    f"ever calls .end(); spans stay open in every "
+                    f"trace export")

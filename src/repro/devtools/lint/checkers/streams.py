@@ -1,0 +1,99 @@
+"""SEED001 — RNG streams must come from the declared registry.
+
+Chaos subsystems isolate their randomness by seeding a dedicated
+generator at ``seed + offset``; the offsets live in
+``repro.chaos.streams.STREAM_OFFSETS``.  A literal ``seed + N`` whose
+``N`` is not registered is either a typo or a brand-new stream that
+silently reuses (or will later collide with) an existing subsystem's
+offset — which perturbs every golden trace that touches the shared
+stream.  Registry entries with duplicate offsets are reported on the
+registry itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.project import (ProjectChecker, ProjectIndex,
+                                         dotted_text)
+
+#: where the registry lives and what it is called
+REGISTRY_MODULE = "repro.chaos.streams"
+REGISTRY_NAME = "STREAM_OFFSETS"
+
+#: seeded-generator factories whose first argument is the stream seed
+_RNG_FACTORIES = frozenset({
+    "numpy.random.default_rng", "random.Random",
+    "numpy.random.SeedSequence", "numpy.random.PCG64",
+    "numpy.random.Philox",
+})
+
+
+def _literal_offset(arg: ast.expr) -> int | None:
+    """``N`` when ``arg`` is ``<seed-ish> + N`` (or ``N + <seed-ish>``)."""
+    if not isinstance(arg, ast.BinOp) or not isinstance(arg.op, ast.Add):
+        return None
+    for name_side, const_side in ((arg.left, arg.right),
+                                  (arg.right, arg.left)):
+        if not (isinstance(const_side, ast.Constant)
+                and isinstance(const_side.value, int)
+                and not isinstance(const_side.value, bool)):
+            continue
+        dotted = dotted_text(name_side)
+        if dotted and dotted.split(".")[-1].endswith("seed"):
+            return const_side.value
+    return None
+
+
+class StreamRegistryChecker(ProjectChecker):
+    code = "SEED001"
+
+    def __init__(self, index: ProjectIndex) -> None:
+        super().__init__(index)
+        self.registry: dict[str, int] = {}
+
+    def run(self) -> None:
+        self._load_registry()
+        declared = set(self.registry.values())
+        for info in self.index.modules.values():
+            if not info.sim_owned or info.name == REGISTRY_MODULE:
+                continue
+            for node in ast.walk(info.ctx.tree):
+                if not (isinstance(node, ast.Call) and node.args):
+                    continue
+                dotted, imported = info.ctx.resolve(node.func)
+                if not imported or dotted not in _RNG_FACTORIES:
+                    continue
+                offset = _literal_offset(node.args[0])
+                if offset is None or offset in declared:
+                    continue
+                if self.registry:
+                    hint = (f"declare a subsystem offset in "
+                            f"{REGISTRY_MODULE}.{REGISTRY_NAME} and "
+                            f"derive via stream_rng()")
+                else:
+                    hint = (f"no registry found at "
+                            f"{REGISTRY_MODULE}.{REGISTRY_NAME}")
+                self.report(
+                    info, node.lineno, node.col_offset,
+                    f"seed + {offset} is not a registered RNG stream "
+                    f"offset; {hint}")
+
+    def _load_registry(self) -> None:
+        module = self.index.modules.get(REGISTRY_MODULE)
+        if module is None:
+            return
+        table = module.const_dicts.get(REGISTRY_NAME)
+        if table is None:
+            return
+        by_offset: dict[int, str] = {}
+        for subsystem, offset in table.values:
+            owner = by_offset.setdefault(offset, subsystem)
+            if owner != subsystem:
+                self.report(
+                    module, table.line, table.col,
+                    f"stream registry collision: {subsystem!r} and "
+                    f"{owner!r} both declare offset +{offset}; "
+                    f"colliding subsystems share one RNG stream and "
+                    f"perturb each other's golden traces")
+        self.registry = table.as_dict()

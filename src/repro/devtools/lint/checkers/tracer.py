@@ -1,0 +1,84 @@
+"""TRC001 — the ``tracer=None → NULL_TRACER`` seam, project-wide.
+
+Two prongs:
+
+* **Seam shape.** Any class whose ``__init__`` accepts ``tracer`` must
+  default it to ``None`` and normalize with ``tracer or NULL_TRACER``
+  (or the explicit ``if tracer is not None`` form), where
+  ``NULL_TRACER`` resolves — possibly through package re-exports — to
+  :data:`repro.obs.tracer.NULL_TRACER`.  Anything else either forces
+  callers to build a tracer or records through a half-initialized one,
+  and untraced runs stop being byte-identical.
+* **Untraced surfaces.** A sim-owned class that drives the simulation
+  :class:`~repro.sim.engine.Engine` but never mentions a tracer is an
+  observability hole: its time is invisible to span-based analysis.
+  Infrastructure below the seam (``repro.sim``, ``repro.obs``) is
+  exempt, as are dataclasses and exception types.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.project import ProjectChecker
+
+#: canonical identities after re-export resolution
+_NULL_TRACER = "repro.obs.tracer.NULL_TRACER"
+_ENGINE = "repro.sim.engine.Engine"
+
+#: packages below the seam: they implement it, they don't consume it
+_EXEMPT_PREFIXES = ("repro.sim", "repro.obs", "repro.devtools")
+
+
+def _exempt(module_name: str) -> bool:
+    return any(module_name == prefix or
+               module_name.startswith(prefix + ".")
+               for prefix in _EXEMPT_PREFIXES)
+
+
+class TracerSeamChecker(ProjectChecker):
+    code = "TRC001"
+
+    def run(self) -> None:
+        for info in self.index.modules.values():
+            if not info.sim_owned or _exempt(info.name):
+                continue
+            for cls in info.classes.values():
+                if cls.has_tracer_param:
+                    self._check_seam_shape(info, cls)
+                else:
+                    self._check_untraced(info, cls)
+
+    def _check_seam_shape(self, info, cls) -> None:
+        if not cls.tracer_default_none:
+            self.report(
+                info, cls.tracer_line, cls.tracer_col,
+                f"{cls.name}.__init__ tracer parameter must default "
+                f"to None so untraced construction stays the cheap "
+                f"path")
+        fallbacks = {self.index.canonical_use(name)
+                     for name in cls.tracer_fallbacks}
+        if _NULL_TRACER not in fallbacks and not cls.tracer_delegated:
+            self.report(
+                info, cls.tracer_line, cls.tracer_col,
+                f"{cls.name}.__init__ accepts tracer but never "
+                f"normalizes it via NULL_TRACER (expected "
+                f"`tracer or NULL_TRACER`); None would flow into "
+                f"instrumentation points")
+
+    def _check_untraced(self, info, cls) -> None:
+        # private helpers (adapters, clock shims) are implementation
+        # detail, not subsystem surfaces
+        if cls.name.startswith("_"):
+            return
+        if cls.is_dataclass or cls.mentions_tracer:
+            return
+        if any(base.split(".")[-1].endswith(("Error", "Exception"))
+               for base in cls.bases):
+            return
+        uses = {self.index.canonical_use(name) for name in cls.uses}
+        if _ENGINE in uses:
+            self.report(
+                info, cls.line, cls.col,
+                f"{cls.name} drives the simulation Engine but exposes "
+                f"no tracer seam; untraced surface — accept "
+                f"`tracer: TracerLike | None = None` and normalize "
+                f"via NULL_TRACER")

@@ -59,17 +59,26 @@ class FileContext:
     #: from-import name -> dotted origin ("monotonic" -> "time.monotonic")
     from_imports: dict[str, str] = field(default_factory=dict)
     sim_owned: bool = False
+    #: True for the declared clock/storage seam modules (see
+    #: ``repro.devtools.lint.project.BLESSED_SEAMS``) — the only
+    #: sim-owned modules allowed to touch the host clock.
+    blessed_seam: bool = False
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
 
     @classmethod
     def parse(cls, source: str, path: str) -> "FileContext":
+        # local import: project.py imports this module
+        from repro.devtools.lint.project import (
+            BLESSED_SEAMS, module_name_from_path_text)
         tree = ast.parse(source, filename=path)
         lines = source.splitlines()
         per_line, file_level = _parse_suppressions(lines)
         ctx = cls(path=path, source=source, tree=tree, lines=lines,
                   suppressions=per_line, file_suppressions=file_level,
-                  sim_owned=is_sim_owned(path))
+                  sim_owned=is_sim_owned(path),
+                  blessed_seam=(module_name_from_path_text(path)
+                                in BLESSED_SEAMS))
         ctx._collect_imports()
         return ctx
 

@@ -20,6 +20,21 @@ RULES: dict[str, str] = {
     "FLT001": "float accumulation with += in a loop; use math.fsum "
               "or integer ticks for cross-platform stability",
     "MUT001": "mutable default argument",
+    "SEED001": "literal seed+N RNG stream with an offset that is not "
+               "declared in the chaos stream registry "
+               "(repro.chaos.streams.STREAM_OFFSETS) or collides with "
+               "another subsystem",
+    "TRC001": "tracer-seam completeness: tracer params must default "
+              "to None and normalize via NULL_TRACER; engine-driven "
+              "sim classes must expose a tracer seam",
+    "LSN002": "paired resource acquired without an exit-safe release "
+              "(finally block, teardown method, or unconditional "
+              "statement) anywhere in the class",
+    "SPAN001": "tracer.begin() span with no .end() call anywhere in "
+               "the class; the span never closes",
+    "IMP001": "sim-owned module reaches threading/time/network stdlib "
+              "modules through its import chain outside the blessed "
+              "clock/storage seams",
     "PAR000": "file could not be parsed",
 }
 

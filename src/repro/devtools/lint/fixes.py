@@ -1,0 +1,191 @@
+"""Autofixes for the mechanical rules (``lint --fix``).
+
+Only transformations whose correctness is evident from the AST are
+attempted:
+
+* **ORD001** — wrap a set iterable in ``sorted(...)``.  The finding
+  anchors the iterable expression; the fix splices ``sorted(`` / ``)``
+  around its exact span (single-line spans only).
+* **TRC001** (seam shape only) — add the missing ``= None`` default to
+  a ``tracer`` parameter, and rewrite a bare ``self.x = tracer``
+  assignment in ``__init__`` to ``self.x = tracer or NULL_TRACER``,
+  importing ``NULL_TRACER`` if the module does not already.
+
+Untraced-surface TRC001 findings (instrumenting a whole class) and
+every other rule need human judgment and are never auto-fixed.  Fixes
+are applied bottom-up so earlier spans stay valid; a second ``--fix``
+pass over fixed sources applies nothing (``--check-idempotent`` gates
+this in CI).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.devtools.lint.findings import Finding
+
+#: rule codes --fix knows how to rewrite
+FIXABLE_CODES = frozenset({"ORD001", "TRC001"})
+
+_NULL_IMPORT = "from repro.obs.tracer import NULL_TRACER"
+
+
+@dataclass(frozen=True)
+class _Edit:
+    """Replace [start, end) offsets of the source with ``text``."""
+
+    start: int
+    end: int
+    text: str
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span_offsets(offsets: list[int], line: int, col: int,
+                  end_line: int, end_col: int) -> tuple[int, int]:
+    return offsets[line - 1] + col, offsets[end_line - 1] + end_col
+
+
+def _fix_ord001(source: str, offsets: list[int],
+                finding: Finding) -> _Edit | None:
+    if not finding.end_line or finding.end_line < finding.line:
+        return None
+    start, end = _span_offsets(offsets, finding.line, finding.col,
+                               finding.end_line, finding.end_col)
+    text = source[start:end]
+    if not text or text.startswith("sorted("):
+        return None
+    return _Edit(start, end, f"sorted({text})")
+
+
+def _find_init_with_tracer(tree: ast.Module, line: int
+                           ) -> ast.FunctionDef | None:
+    """The ``__init__`` whose ``tracer`` arg sits on ``line``."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.FunctionDef)
+                and node.name == "__init__"):
+            continue
+        args = node.args
+        every = args.posonlyargs + args.args + args.kwonlyargs
+        for arg in every:
+            if arg.arg == "tracer" and arg.lineno == line:
+                return node
+    return None
+
+
+def _tracer_arg_edit(source: str, offsets: list[int],
+                     init: ast.FunctionDef) -> _Edit | None:
+    """Append ``= None`` to a defaultless ``tracer`` parameter."""
+    args = init.args
+    positional = args.posonlyargs + args.args
+    defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(args.defaults)) + list(args.defaults)
+    arg: ast.arg | None = None
+    for candidate, default in zip(positional, defaults):
+        if candidate.arg == "tracer":
+            if default is not None:
+                return None             # has a (wrong) default: punt
+            arg = candidate
+    for candidate, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if candidate.arg == "tracer":
+            if kw_default is not None:
+                return None
+            arg = candidate
+    if arg is None:
+        return None
+    end_line = arg.end_lineno or arg.lineno
+    end_col = arg.end_col_offset or 0
+    _, end = _span_offsets(offsets, arg.lineno, 0, end_line, end_col)
+    text = " = None" if arg.annotation is not None else "=None"
+    return _Edit(end, end, text)
+
+
+def _tracer_normalize_edit(source: str, offsets: list[int],
+                           init: ast.FunctionDef) -> _Edit | None:
+    """Rewrite ``self.x = tracer`` to ``self.x = tracer or
+    NULL_TRACER`` inside ``__init__``."""
+    for node in ast.walk(init):
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "tracer"):
+            value = node.value
+            start, end = _span_offsets(
+                offsets, value.lineno, value.col_offset,
+                value.end_lineno or value.lineno,
+                value.end_col_offset or 0)
+            return _Edit(start, end, "tracer or NULL_TRACER")
+    return None
+
+
+def _needs_null_import(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(alias.name == "NULL_TRACER"
+                   for alias in node.names):
+                return False
+    return True
+
+
+def _import_insertion(source: str, offsets: list[int],
+                      tree: ast.Module) -> _Edit:
+    """Insert the NULL_TRACER import after the last top-level import."""
+    last_import_line = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import_line = node.end_lineno or node.lineno
+    at = (offsets[last_import_line] if last_import_line
+          else offsets[0])
+    return _Edit(at, at, _NULL_IMPORT + "\n")
+
+
+def apply_fixes(source: str, findings: list[Finding]
+                ) -> tuple[str, int]:
+    """Apply every known autofix; returns (new source, fixes applied)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    offsets = _line_offsets(source)
+    edits: list[_Edit] = []
+    want_null_import = False
+    for finding in findings:
+        if finding.code == "ORD001":
+            edit = _fix_ord001(source, offsets, finding)
+            if edit is not None:
+                edits.append(edit)
+        elif finding.code == "TRC001":
+            init = _find_init_with_tracer(tree, finding.line)
+            if init is None:
+                continue                # untraced-surface prong: punt
+            if "default to None" in finding.message:
+                edit = _tracer_arg_edit(source, offsets, init)
+            elif "normalizes" in finding.message:
+                edit = _tracer_normalize_edit(source, offsets, init)
+                if edit is not None and _needs_null_import(tree):
+                    want_null_import = True
+            else:
+                edit = None
+            if edit is not None:
+                edits.append(edit)
+    if not edits:
+        return source, 0
+    applied = len(edits)
+    if want_null_import:
+        edits.append(_import_insertion(source, offsets, tree))
+    # bottom-up, so earlier offsets stay valid; drop overlaps
+    edits.sort(key=lambda e: (e.start, e.end), reverse=True)
+    result = source
+    last_start = len(source) + 1
+    for edit in edits:
+        if edit.end > last_start:
+            applied -= 1
+            continue
+        result = result[:edit.start] + edit.text + result[edit.end:]
+        last_start = edit.start
+    return result, applied

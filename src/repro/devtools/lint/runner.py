@@ -1,5 +1,10 @@
 """Run reprolint over files and directories; report; set exit codes.
 
+A full run has two phases: phase 1 walks each file once and runs the
+file-local checkers; phase 2 builds a
+:class:`~repro.devtools.lint.project.ProjectIndex` over every parsed
+file and runs the cross-module checkers against it.
+
 Exit-code contract (relied on by CI):
 
 * ``0`` — clean: every finding suppressed inline or absorbed by the
@@ -18,9 +23,14 @@ from pathlib import Path
 from typing import Iterable, Sequence, TextIO
 
 from repro.devtools.lint.baseline import Baseline, BaselineEntry
-from repro.devtools.lint.checkers import ALL_CHECKERS
+from repro.devtools.lint.checkers import (ALL_CHECKERS,
+                                          ALL_PROJECT_CHECKERS)
 from repro.devtools.lint.context import FileContext
 from repro.devtools.lint.findings import RULES, Finding
+from repro.devtools.lint.fixes import FIXABLE_CODES, apply_fixes
+from repro.devtools.lint.project import (ProjectChecker, ProjectIndex,
+                                         run_project_checkers)
+from repro.devtools.lint.sarif import render_sarif
 from repro.devtools.lint.walker import Checker, run_checkers
 
 DEFAULT_BASELINE = Path("tools") / "reprolint_baseline.json"
@@ -32,10 +42,24 @@ class LintConfig:
 
     select: frozenset[str] | None = None
     ignore: frozenset[str] = frozenset()
+    #: run the cross-module phase (ProjectIndex + project checkers)
+    project: bool = True
 
     def checkers(self) -> list[type[Checker]]:
         chosen = []
         for checker in ALL_CHECKERS:
+            if self.select is not None and checker.code not in self.select:
+                continue
+            if checker.code in self.ignore:
+                continue
+            chosen.append(checker)
+        return chosen
+
+    def project_checkers(self) -> list[type[ProjectChecker]]:
+        if not self.project:
+            return []
+        chosen: list[type[ProjectChecker]] = []
+        for checker in ALL_PROJECT_CHECKERS:
             if self.select is not None and checker.code not in self.select:
                 continue
             if checker.code in self.ignore:
@@ -53,6 +77,8 @@ class LintResult:
     stale_entries: list[BaselineEntry] = field(default_factory=list)
     parse_errors: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: the phase-2 index (None when the project phase was skipped)
+    index: ProjectIndex | None = None
 
     @property
     def exit_code(self) -> int:
@@ -95,11 +121,17 @@ def _iter_files(paths: Sequence[str | Path]) -> Iterable[Path]:
 
 def run_lint(paths: Sequence[str | Path],
              config: LintConfig | None = None,
-             baseline: Baseline | None = None) -> LintResult:
-    """Lint files/directories and apply the baseline."""
+             baseline: Baseline | None = None,
+             index: ProjectIndex | None = None) -> LintResult:
+    """Lint files/directories (both phases) and apply the baseline.
+
+    Pass a previous run's ``index`` to reuse its content-hash cache —
+    unchanged files keep their phase-1 summaries.
+    """
     config = config or LintConfig()
     result = LintResult()
     all_findings: list[Finding] = []
+    parsed: list[Path] = []
     for path in _iter_files(paths):
         result.files_checked += 1
         try:
@@ -111,7 +143,13 @@ def run_lint(paths: Sequence[str | Path],
                 code="PAR000", message=str(error), path=str(path),
                 line=line, col=0))
             continue
+        parsed.append(path)
         all_findings.extend(findings)
+    project_checkers = config.project_checkers()
+    if project_checkers and parsed:
+        result.index = ProjectIndex.build(parsed, previous=index)
+        all_findings.extend(
+            run_project_checkers(result.index, project_checkers))
     if baseline is not None:
         fresh, absorbed, stale = baseline.apply(all_findings)
         result.findings = fresh
@@ -120,6 +158,30 @@ def run_lint(paths: Sequence[str | Path],
     else:
         result.findings = all_findings
     return result
+
+
+def run_fix(paths: Sequence[str | Path],
+            config: LintConfig | None = None) -> tuple[int, int]:
+    """Apply autofixes in place; returns (fixes applied, files changed).
+
+    Runs a full (baseline-free) lint to collect findings, then rewrites
+    each file whose findings have a known mechanical fix.
+    """
+    result = run_lint(paths, config, baseline=None)
+    by_path: dict[str, list[Finding]] = {}
+    for finding in result.findings:
+        if finding.code in FIXABLE_CODES:
+            by_path.setdefault(finding.path, []).append(finding)
+    fixes = files = 0
+    for path, findings in sorted(by_path.items()):
+        target = Path(path)
+        source = target.read_text(encoding="utf-8")
+        fixed, applied = apply_fixes(source, findings)
+        if applied and fixed != source:
+            target.write_text(fixed, encoding="utf-8")
+            files += 1
+            fixes += applied
+    return fixes, files
 
 
 # -- reporting -------------------------------------------------------------
@@ -157,7 +219,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Install reprolint's flags on a (sub)parser."""
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text")
     parser.add_argument("--baseline", default=None,
                         help=f"baseline JSON (default: "
@@ -173,6 +235,14 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated rule codes to skip")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--no-project", action="store_true",
+                        help="skip phase 2 (cross-module checkers)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical autofixes in place "
+                             "before linting")
+    parser.add_argument("--check-idempotent", action="store_true",
+                        help="with --fix: run a second fix pass and "
+                             "fail (exit 2) if it changes anything")
 
 
 def _codes(raw: str | None) -> frozenset[str] | None:
@@ -197,7 +267,23 @@ def main(args: argparse.Namespace,
               file=stream)
         return 2
     config = LintConfig(select=_codes(args.select),
-                        ignore=_codes(args.ignore) or frozenset())
+                        ignore=_codes(args.ignore) or frozenset(),
+                        project=not getattr(args, "no_project", False))
+
+    if getattr(args, "check_idempotent", False) and not args.fix:
+        print("--check-idempotent requires --fix", file=stream)
+        return 2
+    if getattr(args, "fix", False):
+        fixes, files = run_fix(args.paths, config)
+        print(f"fix: applied {fixes} fixes in {files} files",
+              file=stream)
+        if args.check_idempotent:
+            second, _ = run_fix(args.paths, config)
+            if second:
+                print(f"--check-idempotent: second pass applied "
+                      f"{second} further fixes; autofixes did not "
+                      f"converge", file=stream)
+                return 2
 
     baseline_path: Path | None = None
     if not args.no_baseline:
@@ -227,6 +313,8 @@ def main(args: argparse.Namespace,
     result = run_lint(args.paths, config, baseline=baseline)
     if args.format == "json":
         render_json(result, stream)
+    elif args.format == "sarif":
+        render_sarif(result, stream)
     else:
         render_text(result, stream)
     return result.exit_code

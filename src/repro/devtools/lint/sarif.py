@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 reporter — GitHub code-scanning ingestible output.
+
+One run object, the full rule catalogue as ``tool.driver.rules``, and
+one result per fresh finding / parse error.  Baselined findings are
+emitted with ``"baselineState": "unchanged"`` so code scanning shows
+them as pre-existing rather than new.  Output is byte-deterministic
+(sorted keys, stable result order follows the lint result).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Any, TextIO
+
+from repro.devtools.lint.findings import RULES, Finding
+
+if TYPE_CHECKING:                       # pragma: no cover
+    from repro.devtools.lint.runner import LintResult
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule(code: str, charter: str) -> dict[str, Any]:
+    return {
+        "id": code,
+        "shortDescription": {"text": charter},
+        "defaultConfiguration": {
+            "level": "note" if code == "PAR000" else "error",
+        },
+    }
+
+
+def _result(finding: Finding, *,
+            baseline_state: str | None = None) -> dict[str, Any]:
+    region: dict[str, Any] = {
+        "startLine": finding.line,
+        "startColumn": finding.col + 1,
+    }
+    if finding.end_line:
+        region["endLine"] = finding.end_line
+    if finding.end_col:
+        region["endColumn"] = finding.end_col + 1
+    if finding.snippet:
+        region["snippet"] = {"text": finding.snippet}
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "note" if finding.code == "PAR000" else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": PurePath(finding.path).as_posix(),
+                },
+                "region": region,
+            },
+        }],
+        "partialFingerprints": {
+            "reprolint/v1": finding.fingerprint(),
+        },
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def to_sarif(result: "LintResult") -> dict[str, Any]:
+    """The SARIF log object for one lint run."""
+    results = [_result(f) for f in result.parse_errors]
+    results += [_result(f) for f in result.findings]
+    results += [_result(f, baseline_state="unchanged")
+                for f in result.baselined]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://example.invalid/docs/LINT.md",
+                    "rules": [_rule(code, charter) for code, charter
+                              in sorted(RULES.items())],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(result: "LintResult", stream: TextIO) -> None:
+    json.dump(to_sarif(result), stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -74,6 +74,32 @@ class TestScenario:
                           scheduler_gpus=64)
 
 
+class TestStreamRegistry:
+    def test_stream_seed_matches_registered_offset(self):
+        from repro.chaos.streams import STREAM_OFFSETS, stream_seed
+        for subsystem, offset in STREAM_OFFSETS.items():
+            assert stream_seed(1234, subsystem) == 1234 + offset
+
+    def test_stream_rng_is_byte_identical_to_manual_derivation(self):
+        import numpy as np
+        from repro.chaos.streams import STREAM_OFFSETS, stream_rng
+        for subsystem, offset in STREAM_OFFSETS.items():
+            registered = stream_rng(7, subsystem)
+            manual = np.random.default_rng(7 + offset)
+            assert registered.random(8).tolist() \
+                == manual.random(8).tolist()
+
+    def test_offsets_are_collision_free(self):
+        from repro.chaos.streams import STREAM_OFFSETS
+        offsets = list(STREAM_OFFSETS.values())
+        assert len(offsets) == len(set(offsets))
+
+    def test_unregistered_subsystem_is_an_error(self):
+        from repro.chaos.streams import stream_seed
+        with pytest.raises(KeyError, match="STREAM_OFFSETS"):
+            stream_seed(7, "cosmic_rays")
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("name", sorted(BUNDLED_SCENARIOS))
     def test_seeded_run_is_byte_identical(self, name):

@@ -217,3 +217,51 @@ class TestEventDrivenSimulation:
                       / round_.node_nic_bandwidth)
         assert all(t > stage_time
                    for _, t in result.trial_completions)
+
+
+class TestTracedReplay:
+    """The tracer seam must observe the replay without perturbing it."""
+
+    def test_untraced_run_is_byte_identical_to_traced(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+        from repro.obs.tracer import Tracer
+
+        catalog = standard_catalog()
+        config = CoordinatorConfig(n_nodes=2)
+        plain = EventDrivenEvalRound(config).compare(catalog)
+        traced = EventDrivenEvalRound(
+            config, tracer=Tracer()).compare(catalog)
+        for key in ("baseline", "decoupled"):
+            assert traced[key] == plain[key]
+        assert traced["speedup"] == plain["speedup"]
+
+    def test_spans_cover_round_and_trials(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+        from repro.obs.tracer import Tracer
+
+        catalog = standard_catalog()
+        tracer = Tracer()
+        round_ = EventDrivenEvalRound(CoordinatorConfig(n_nodes=2),
+                                      tracer=tracer)
+        baseline = round_.run_baseline(catalog)
+        names = {span.name for span in tracer.spans}
+        assert "round:baseline" in names
+        assert {f"trial:{d.name}" for d in catalog} <= names
+        assert tracer.open_spans == []
+        round_span = next(s for s in tracer.spans
+                          if s.name == "round:baseline")
+        assert round_span.end == baseline.makespan
+
+    def test_decoupled_spans_include_staging_and_slots(self):
+        from repro.core.evalsched import EventDrivenEvalRound
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        round_ = EventDrivenEvalRound(CoordinatorConfig(n_nodes=2),
+                                      tracer=tracer)
+        round_.run_decoupled(standard_catalog()[:6])
+        names = {span.name for span in tracer.spans}
+        assert "round:decoupled" in names
+        assert any(name.startswith("stage:") for name in names)
+        assert any(name.startswith("slot:") for name in names)
+        assert tracer.open_spans == []
