@@ -1,0 +1,166 @@
+"""Sustained-throughput benchmark for the streaming service.
+
+Measures ``repro.service.ClusterService`` operating a chaos-storm
+cluster under open-ended streaming load — the long-lived counterpart
+of ``bench_engine.py``'s batch scenarios:
+
+* **streaming-horizons** — Poisson jobs + eval bursts feeding the
+  live scheduler, advanced in many incremental horizons; reports
+  events/sec and arrivals/sec end to end.
+* **checkpoint-cadence** — the same run with a snapshot persisted at
+  every horizon plus one full restore at the end; reports snapshot
+  save throughput and the restore's replay cost.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py --out svc.json
+
+Also importable: each ``run_*`` function returns its metrics dict and
+``run_profile`` drives both scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: pinned sizes per profile
+PROFILES: dict[str, dict[str, float]] = {
+    "quick": {
+        "jobs_per_hour": 240.0,
+        "eval_bursts_per_hour": 12.0,
+        "horizons": 16,
+        "duration_scale": 1.0,
+    },
+    "full": {
+        "jobs_per_hour": 720.0,
+        "eval_bursts_per_hour": 30.0,
+        "horizons": 64,
+        "duration_scale": 4.0,
+    },
+}
+
+
+def _build_service(sizes: dict[str, float], storage=None):
+    from dataclasses import replace
+
+    from repro.chaos import BUNDLED_SCENARIOS
+    from repro.service import ClusterService
+    from repro.workload.streams import (EvalBurstConfig, EvalBurstStream,
+                                        PoissonJobStream,
+                                        PoissonStreamConfig)
+
+    scenario = BUNDLED_SCENARIOS["storage-storm"]
+    scenario = replace(scenario,
+                       duration=scenario.duration
+                       * sizes["duration_scale"])
+    streams = [
+        PoissonJobStream(PoissonStreamConfig(
+            name="sft", seed=scenario.seed,
+            rate_per_hour=sizes["jobs_per_hour"],
+            gpu_choices=(1, 2, 4))),
+        EvalBurstStream(EvalBurstConfig(
+            name="evals", seed=scenario.seed,
+            bursts_per_hour=sizes["eval_bursts_per_hour"],
+            batch_size=8)),
+    ]
+    return ClusterService(scenario, streams=streams, storage=storage)
+
+
+def run_streaming_horizons(sizes: dict[str, float]) -> dict:
+    """Streaming load advanced in many incremental horizons."""
+    _build_service(sizes).advance(60.0)  # warm imports out of the timing
+    service = _build_service(sizes)
+    duration = service.scenario.duration
+    horizons = int(sizes["horizons"])
+    start = time.perf_counter()
+    for step in range(1, horizons + 1):
+        gauges = service.advance(duration * step / horizons)
+    elapsed = time.perf_counter() - start
+    assert gauges.now == duration, "service stopped short of horizon"
+    assert gauges.jobs_submitted > 0, "streams produced no arrivals"
+    return {"events": gauges.events_processed, "seconds": elapsed,
+            "events_per_sec": gauges.events_processed / elapsed,
+            "arrivals": gauges.jobs_submitted,
+            "arrivals_per_sec": gauges.jobs_submitted / elapsed,
+            "horizons": horizons}
+
+
+def run_checkpoint_cadence(sizes: dict[str, float]) -> dict:
+    """Snapshot every horizon, then restore once from storage."""
+    from repro.core.checkpoint import InMemoryStorage
+    from repro.service import ClusterService
+
+    storage = InMemoryStorage()
+    service = _build_service(sizes, storage=storage)
+    duration = service.scenario.duration
+    horizons = int(sizes["horizons"])
+    save_seconds = 0.0
+    for step in range(1, horizons + 1):
+        service.advance(duration * step / horizons)
+        start = time.perf_counter()
+        service.checkpoint()
+        save_seconds += time.perf_counter() - start
+    snapshot_bytes = sum(len(blob)
+                         for blob in storage._blobs.values())
+    start = time.perf_counter()
+    restored = ClusterService.restore(storage)
+    restore_seconds = time.perf_counter() - start
+    assert restored.gauges() == service.gauges(), \
+        "restore diverged from the live service"
+    return {"events": horizons, "seconds": save_seconds,
+            "events_per_sec": horizons / save_seconds,
+            "snapshot_bytes": snapshot_bytes,
+            "restore_seconds": restore_seconds,
+            "replayed_events": restored.engine.events_processed}
+
+
+def run_profile(profile: str) -> dict[str, dict]:
+    """Both scenarios at the given profile's sizes."""
+    sizes = PROFILES[profile]
+    return {
+        "streaming-horizons": run_streaming_horizons(sizes),
+        "checkpoint-cadence": run_checkpoint_cadence(sizes),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="streaming-service throughput benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes (the CI profile)")
+    parser.add_argument("--out", default=None,
+                        help="also write this run's numbers as JSON")
+    args = parser.parse_args(argv)
+
+    profile = "quick" if args.quick else "full"
+    results = run_profile(profile)
+
+    for name, metrics in results.items():
+        line = (f"{name:<20} {metrics['events_per_sec']:>12,.0f} /s"
+                f"  ({metrics['events']:,} ops in "
+                f"{metrics['seconds']:.2f}s)")
+        if "arrivals_per_sec" in metrics:
+            line += f"  [{metrics['arrivals_per_sec']:,.0f} arrivals/s]"
+        if "restore_seconds" in metrics:
+            line += (f"  [restore {metrics['restore_seconds']:.2f}s, "
+                     f"{metrics['snapshot_bytes']:,} snapshot bytes]")
+        print(line)
+
+    if args.out:
+        payload = {"schema": SCHEMA_VERSION, "profile": profile,
+                   "results": results}
+        Path(args.out).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,7 @@ from repro.obs.span import Span
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.scheduler.job import FinalStatus, Job
 from repro.scheduler.simulator import SchedulerConfig, SchedulerSimulator
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, SimulationError
 
 PRETRAIN_JOB_ID = "pretrain-main"
 
@@ -346,6 +346,10 @@ class ChaosHarness:
         self.restores_deferred = 0
         self.storage_stall_seconds = 0.0
         self._quarantine_seen = 0
+        # -- incremental-run lifecycle (start / advance / finish) --
+        self._started = False
+        self._detached = False
+        self._finished = False
 
     # -- logging ------------------------------------------------------------
 
@@ -409,7 +413,29 @@ class ChaosHarness:
     # -- run ----------------------------------------------------------------
 
     def run(self) -> ChaosResult:
-        """Execute the scenario; returns the log, summary, and checker."""
+        """Execute the scenario; returns the log, summary, and checker.
+
+        Equivalent to ``start(); advance(duration); finish()`` — the
+        incremental lifecycle used by ``repro.service`` — with the
+        detach guaranteed even when the run raises mid-horizon.
+        """
+        self.start()
+        try:
+            self.advance(self.scenario.duration)
+        finally:
+            self._detach()
+        return self.finish()
+
+    def start(self) -> None:
+        """Arm the scenario on the engine without running it.
+
+        Schedules the pretraining gang, background jobs, the fault
+        schedule, and the straggler probe; after this the engine can be
+        driven in incremental horizons via :meth:`advance`.
+        """
+        if self._started:
+            raise SimulationError("harness already started")
+        self._started = True
         scenario = self.scenario
         self._log("scenario_start",
                   f"{scenario.name} seed={scenario.seed} "
@@ -429,14 +455,45 @@ class ChaosHarness:
             # line, so detection must come from timeseries deviation
             self.engine.call_after(scenario.straggler_probe_interval,
                                    self._straggler_probe)
-        try:
-            self.engine.run(until=scenario.duration)
-        finally:
-            # unhook the invariant checker so a reused engine (or a
-            # second harness in one process) never fires a stale one,
-            # and the tracer's event-count listener with it
-            self.engine.remove_listener(self.checker.check)
-            self.tracer.detach(self.engine)
+
+    def advance(self, until: float) -> float:
+        """Run the armed scenario up to simulated time ``until``.
+
+        Horizons are cumulative and monotone; partitioning a run into
+        any sequence of ``advance`` calls is event-for-event identical
+        to one batch run to the final horizon (the engine's ``until``
+        never consumes sequence numbers).  Returns the engine clock.
+        """
+        if not self._started:
+            raise SimulationError("advance() before start()")
+        if self._finished:
+            raise SimulationError("advance() after finish()")
+        if until < self.engine.now:
+            raise SimulationError(
+                f"cannot advance backwards: {until} < {self.engine.now}")
+        return self.engine.run(until=until)
+
+    def _detach(self) -> None:
+        """Unhook the invariant checker and tracer (idempotent).
+
+        A reused engine (or a second harness in one process) must never
+        fire a stale checker, and the tracer's event-count listener
+        goes with it.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self.engine.remove_listener(self.checker.check)
+        self.tracer.detach(self.engine)
+
+    def finish(self) -> ChaosResult:
+        """Tear down and summarize an armed run (listeners detached)."""
+        if not self._started:
+            raise SimulationError("finish() before start()")
+        if self._finished:
+            raise SimulationError("finish() called twice")
+        self._finished = True
+        self._detach()
         for recovery in self.recoveries:
             # a recovery still open at the horizon (stalled gang,
             # deferred restore) shows up in the trace as unresolved
@@ -455,7 +512,8 @@ class ChaosHarness:
                   f"iteration={self.pretrain.iteration} "
                   f"restarts={self.pretrain.restarts}")
         summary = summarize(self)
-        return ChaosResult(scenario=scenario, event_log=self.event_log,
+        return ChaosResult(scenario=self.scenario,
+                           event_log=self.event_log,
                            summary=summary, checker=self.checker)
 
     # -- fault injection ----------------------------------------------------

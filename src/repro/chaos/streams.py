@@ -31,6 +31,10 @@ STREAM_OFFSETS: dict[str, int] = {
     "partition": 5,
     "straggler": 6,
     "power": 7,
+    # streaming arrival processes feeding the long-lived service
+    # (repro.workload.streams / repro.service)
+    "service_jobs": 8,
+    "service_evals": 9,
 }
 
 

@@ -9,6 +9,7 @@ Subcommands::
     acme-repro checkpoint --model 123b --gpus 2048
     acme-repro report --jobs 6000
     acme-repro chaos --scenario smoke --seed 0
+    acme-repro serve --scenario storage-storm --horizons 3 --selfcheck
     acme-repro trace storage-storm --seed 0 --out trace.json
     acme-repro lint src --format json
 
@@ -205,6 +206,73 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.chaos import BUNDLED_SCENARIOS, InvariantViolation
+    from repro.service import ClusterService
+    from repro.workload.streams import (EvalBurstConfig, EvalBurstStream,
+                                        PoissonJobStream,
+                                        PoissonStreamConfig)
+
+    if args.horizons < 1:
+        print(f"invalid override: --horizons must be >= 1, "
+              f"got {args.horizons}")
+        return 2
+    if args.jobs_per_hour < 0 or args.eval_bursts_per_hour < 0:
+        print("invalid override: arrival rates must be >= 0")
+        return 2
+    scenario = BUNDLED_SCENARIOS[args.scenario]
+    if args.seed is not None:
+        scenario = replace(scenario, seed=args.seed)
+    streams = []
+    if args.jobs_per_hour > 0:
+        streams.append(PoissonJobStream(PoissonStreamConfig(
+            name="sft", seed=scenario.seed,
+            rate_per_hour=args.jobs_per_hour)))
+    if args.eval_bursts_per_hour > 0:
+        streams.append(EvalBurstStream(EvalBurstConfig(
+            name="evals", seed=scenario.seed,
+            bursts_per_hour=args.eval_bursts_per_hour,
+            batch_size=args.eval_batch)))
+    service = ClusterService(scenario, streams=streams)
+    horizon = scenario.duration / args.horizons
+    rows = []
+    try:
+        for step in range(1, args.horizons + 1):
+            until = (scenario.duration if step == args.horizons
+                     else horizon * step)
+            gauges = service.advance(until)
+            rows.append(gauges.to_dict())
+            print(render_key_values(gauges.to_dict(),
+                                    title=f"horizon {step}/"
+                                          f"{args.horizons}"))
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        return 2
+    if args.selfcheck:
+        # snapshot, restore, advance both services one extra horizon,
+        # and require byte-identical digests — the CI smoke path
+        generation = service.checkpoint()
+        restored = ClusterService.restore(service.storage)
+        extra = scenario.duration + horizon
+        ahead = service.advance(extra)
+        behind = restored.advance(extra)
+        if ahead != behind:
+            print("SELFCHECK FAILED: restored service diverged\n"
+                  f"  original: {ahead.to_dict()}\n"
+                  f"  restored: {behind.to_dict()}")
+            return 2
+        print(f"selfcheck ok: generation {generation} restored and "
+              f"re-advanced to t={extra:.0f}s byte-identically "
+              f"(engine digest {ahead.engine_digest})")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(rows, indent=2, sort_keys=True))
+        print(f"\nwrote gauge timeline to {args.json_out}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import run_sweep
 
@@ -355,6 +423,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json-out", default=None,
                        help="write event log + summary as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="operate a long-lived cluster under streaming "
+                      "load in incremental horizons (docs/SERVICE.md)")
+    serve.add_argument("--scenario", default="smoke",
+                       choices=sorted(_bundled_scenario_names()))
+    serve.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    serve.add_argument("--horizons", type=int, default=3,
+                       help="number of incremental advance() horizons")
+    serve.add_argument("--jobs-per-hour", type=float, default=30.0,
+                       help="Poisson job-arrival rate (0 disables)")
+    serve.add_argument("--eval-bursts-per-hour", type=float,
+                       default=2.0,
+                       help="eval-burst arrival rate (0 disables)")
+    serve.add_argument("--eval-batch", type=int, default=8,
+                       help="trials per eval burst")
+    serve.add_argument("--selfcheck", action="store_true",
+                       help="snapshot, restore, advance again, and "
+                            "compare digests (exit 2 on divergence)")
+    serve.add_argument("--json-out", default=None,
+                       help="write the gauge timeline as JSON")
+    serve.set_defaults(func=_cmd_serve)
 
     sweep = sub.add_parser(
         "sweep", help="run a chaos scenario under many seeds in "

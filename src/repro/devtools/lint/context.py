@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 #: packages whose code runs under the deterministic simulation engine;
 #: wall-clock and ordering rules only apply inside these.
 SIM_PACKAGES = frozenset({"sim", "scheduler", "chaos", "core",
-                          "failures", "obs"})
+                          "failures", "obs", "service"})
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*disable(?P<scope>-file)?"

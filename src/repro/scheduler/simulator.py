@@ -14,6 +14,7 @@ separately by the evaluation coordinator (``repro.core.evalsched``).
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -380,6 +381,26 @@ class SchedulerSimulator:
         self.tracer.set_gauge("scheduler.gpus_in_use", in_use)
 
     # -- reporting ------------------------------------------------------------
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the live scheduling state.
+
+        Captures everything a resumed run's scheduling decisions depend
+        on — queue contents and order, allocations, free pools, cordon
+        state, and lifetime counters — as a crc32 over a canonical
+        repr.  The service snapshot records this digest so a journal-
+        replay restore can prove the rebuilt scheduler is equivalent,
+        without trying to serialize live ``Job``/callback objects.
+        """
+        queued = tuple((job.job_id, job.gpu_demand) for job in self.queue)
+        allocations = tuple(sorted(
+            (job_id, alloc.from_reserved, alloc.from_shared, alloc.pool)
+            for job_id, alloc in self._allocations.items()))
+        canonical = repr((
+            queued, allocations, self.free_reserved, self.free_shared,
+            self.cordoned_gpus, self._pending_cordon, self.preemptions,
+            len(self.started), len(self.finished)))
+        return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
 
     def gpu_seconds_used(self) -> float:
         """Integral of occupancy over time (for utilization accounting)."""

@@ -1,0 +1,31 @@
+"""Simulation-as-a-service: a long-lived cluster under streaming load.
+
+* ``cluster`` — :class:`ClusterService`: one persistent engine +
+  scheduler + chaos/recovery stack, fed by open-ended arrival
+  processes, advanced in incremental horizons with live gauges;
+* ``state`` — the replay-based snapshot format that rides the
+  ``core/checkpoint.py`` persist pipeline (retries, replication,
+  quarantine) so the simulator can checkpoint *itself*.
+"""
+
+from repro.service.cluster import ClusterService, ServiceGauges
+from repro.service.state import (STATE_KEY, STATE_VERSION,
+                                 ServiceStateError, decode_state,
+                                 encode_state, job_from_dict,
+                                 job_to_dict, scenario_from_dict,
+                                 scenario_to_dict, text_digest)
+
+__all__ = [
+    "ClusterService",
+    "ServiceGauges",
+    "ServiceStateError",
+    "STATE_KEY",
+    "STATE_VERSION",
+    "decode_state",
+    "encode_state",
+    "job_from_dict",
+    "job_to_dict",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "text_digest",
+]

@@ -1,0 +1,334 @@
+"""A long-lived cluster simulation under streaming load.
+
+Everything else in the repository is batch-shaped: build a scenario,
+run to the horizon, report.  :class:`ClusterService` wraps one
+persistent :class:`~repro.sim.engine.Engine` + scheduler + chaos/
+recovery stack (a :class:`~repro.chaos.harness.ChaosHarness`) and
+operates it the way the paper's cluster is operated — continuously:
+
+* **streaming submissions** — seeded open-ended arrival processes
+  (:mod:`repro.workload.streams`) feed jobs and eval-trial bursts into
+  the live scheduler, one engine event per arrival, forever;
+* **incremental horizons** — :meth:`advance` runs the engine to a
+  deadline and returns live gauges (queue depth, GPUs busy, pending
+  events, fault backlog) without tearing anything down;
+* **self-checkpointing** — :meth:`checkpoint` routes a snapshot of the
+  service's own state through the existing ``core/checkpoint.py``
+  persist pipeline, so simulator snapshots get the same retry /
+  replication / quarantine semantics as training state, and
+  :meth:`restore` rebuilds a byte-identical service from storage.
+
+Determinism: every mutating entry point (attach / submit / advance) is
+journaled, and all stream randomness lives in registered RNG streams,
+so replaying the journal against a fresh service reconstructs the
+exact engine heap — which :meth:`~repro.sim.engine.Engine.restore`
+then verifies structurally before the service resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chaos.harness import ChaosHarness, ChaosResult
+from repro.chaos.scenario import ChaosScenario
+from repro.core.checkpoint import (InMemoryStorage, RetryPolicy,
+                                   SyncCheckpointer)
+from repro.obs.tracer import NULL_TRACER, TracerLike
+from repro.scheduler.job import Job
+from repro.service.state import (STATE_VERSION, ServiceStateError,
+                                 decode_state, encode_state,
+                                 job_from_dict, job_to_dict,
+                                 scenario_from_dict, scenario_to_dict,
+                                 text_digest)
+from repro.sim.engine import EngineSnapshot
+from repro.workload.streams import ArrivalStream, stream_from_config
+
+
+class _VirtualClock:
+    """Offset-accumulating clock for the persist pipeline.
+
+    ``sleep`` (retry backoff) only grows a virtual offset — the
+    single-threaded service never blocks the wall clock, mirroring the
+    chaos harness's engine clock.  The service resets the offset
+    around each persist/restore and charges it to
+    :attr:`ClusterService.persist_stall_seconds`.
+    """
+
+    def __init__(self, base: Any = None) -> None:
+        self._base = base
+        self.offset = 0.0
+
+    def now(self) -> float:
+        base = 0.0 if self._base is None else self._base.now
+        return base + self.offset
+
+    def sleep(self, seconds: float) -> None:
+        self.offset += seconds
+
+
+@dataclass(frozen=True)
+class ServiceGauges:
+    """Live operating gauges, sampled between horizons."""
+
+    now: float
+    queue_depth: int
+    gpus_busy: int
+    pending_events: int
+    #: injected faults whose time is still ahead of the clock
+    fault_backlog: int
+    jobs_submitted: int
+    jobs_finished: int
+    pretrain_iteration: int
+    events_processed: int
+    engine_digest: str
+    scheduler_digest: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "now": self.now,
+            "queue_depth": self.queue_depth,
+            "gpus_busy": self.gpus_busy,
+            "pending_events": self.pending_events,
+            "fault_backlog": self.fault_backlog,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_finished": self.jobs_finished,
+            "pretrain_iteration": self.pretrain_iteration,
+            "events_processed": self.events_processed,
+            "engine_digest": self.engine_digest,
+            "scheduler_digest": self.scheduler_digest,
+        }
+
+
+class ClusterService:
+    """The streaming simulation service (see module docstring)."""
+
+    def __init__(self, scenario: ChaosScenario,
+                 streams: tuple[ArrivalStream, ...] | list[ArrivalStream]
+                 = (),
+                 storage: Any = None,
+                 retry: RetryPolicy | None = None,
+                 tracer: TracerLike | None = None) -> None:
+        self.scenario = scenario
+        self.tracer = tracer or NULL_TRACER
+        self.harness = ChaosHarness(scenario, tracer=tracer)
+        self.engine = self.harness.engine
+        self.scheduler = self.harness.scheduler
+        #: every mutating op since construction, in order — replaying
+        #: it against a fresh service reconstructs this one exactly
+        self._journal: list[list[Any]] = []
+        self._streams: list[ArrivalStream] = []
+        self.jobs_submitted = 0
+        self.persist_stall_seconds = 0.0
+        self._storage = (InMemoryStorage() if storage is None
+                         else storage)
+        self._clock = _VirtualClock(self.engine)
+        self._checkpointer = SyncCheckpointer(
+            self._storage, retry=retry or RetryPolicy(),
+            clock=self._clock, tracer=self.tracer)
+        self._next_generation = 0
+        self.harness.start()
+        for stream in streams:
+            self.attach_stream(stream)
+
+    @property
+    def storage(self) -> Any:
+        """The checkpoint storage backend this service persists to."""
+        return self._storage
+
+    # -- streaming submissions --------------------------------------------
+
+    def attach_stream(self, stream: ArrivalStream) -> None:
+        """Attach an open-ended arrival process (journaled).
+
+        The stream's first arrival is scheduled immediately; each
+        arrival event chains the next one, so the stream generates
+        exactly as far as the run advances — never a whole trace.
+        """
+        demands = (max(stream.config.gpu_choices)
+                   if hasattr(stream.config, "gpu_choices")
+                   else stream.config.gpu_demand)
+        if demands > self.scheduler.config.total_gpus:
+            raise ValueError(
+                f"stream {stream.config.name!r} can demand {demands} "
+                f"GPUs but the cluster has "
+                f"{self.scheduler.config.total_gpus}")
+        self._journal.append(["attach", stream.to_config_dict()])
+        self._streams.append(stream)
+        self._chain(stream)
+
+    def _chain(self, stream: ArrivalStream) -> None:
+        arrivals = stream.emit_next()
+        chain_index = max(range(len(arrivals)),
+                          key=lambda i: arrivals[i][0])
+        for index, (time, job) in enumerate(arrivals):
+            # an arrival nominally due before the clock (burst jitter
+            # overlapping the next anchor) fires now — deterministic,
+            # since the chain structure never depends on horizons
+            self.engine.call_at(
+                max(time, self.engine.now),
+                lambda j=job, s=stream, tail=(index == chain_index):
+                    self._on_arrival(j, s, tail))
+
+    def _on_arrival(self, job: Job, stream: ArrivalStream,
+                    tail: bool) -> None:
+        self._submit_now(job)
+        if tail:
+            self._chain(stream)
+
+    def _submit_now(self, job: Job) -> None:
+        self.scheduler.submit(job, at=self.engine.now)
+        self.jobs_submitted += 1
+
+    def submit(self, job: Job) -> None:
+        """Submit one externally supplied job (journaled)."""
+        self._journal.append(["submit", job_to_dict(job)])
+        self._submit_now(job)
+
+    # -- incremental operation --------------------------------------------
+
+    def advance(self, until: float) -> ServiceGauges:
+        """Run to simulated time ``until``; returns live gauges.
+
+        Journaled.  Horizons are cumulative: any partitioning of a run
+        into ``advance`` calls is event-for-event identical to one
+        batch run to the final horizon.
+        """
+        self._journal.append(["advance", float(until)])
+        self.harness.advance(until)
+        return self.gauges()
+
+    def gauges(self) -> ServiceGauges:
+        """Sample the live operating gauges (pure read)."""
+        return ServiceGauges(
+            now=self.engine.now,
+            queue_depth=len(self.scheduler.queue),
+            gpus_busy=self.scheduler.gpus_allocated,
+            pending_events=self.engine.pending,
+            fault_backlog=sum(1 for fault in self.harness.faults
+                              if fault.time > self.engine.now),
+            jobs_submitted=self.jobs_submitted,
+            jobs_finished=len(self.scheduler.finished),
+            pretrain_iteration=self.harness.pretrain.iteration,
+            events_processed=self.engine.events_processed,
+            engine_digest=self.engine.snapshot().digest(),
+            scheduler_digest=self.scheduler.state_digest(),
+        )
+
+    def finish(self) -> ChaosResult:
+        """Tear down and summarize; no further advances accepted."""
+        return self.harness.finish()
+
+    def event_log_text(self) -> str:
+        """The harness event log so far, as stable text lines."""
+        return "\n".join(
+            f"{time:12.3f}  {kind:<18} {detail}"
+            for time, kind, detail in self.harness.event_log)
+
+    # -- checkpoint / restore ---------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Persist a restorable snapshot; returns its generation.
+
+        Routed through :class:`SyncCheckpointer`, so flaky storage is
+        retried under the policy and an exhausted budget raises
+        :class:`~repro.core.checkpoint.CheckpointError` — the service
+        itself stays consistent and can keep advancing either way.
+        """
+        generation = self._next_generation
+        self._clock.offset = 0.0
+        try:
+            self._checkpointer.save(generation,
+                                    encode_state(self._state_payload()))
+        finally:
+            self.persist_stall_seconds += self._clock.offset
+            self._clock.offset = 0.0
+        self._next_generation = generation + 1
+        return generation
+
+    def _state_payload(self) -> dict[str, Any]:
+        snapshot = self.engine.snapshot()
+        return {
+            "version": STATE_VERSION,
+            "scenario": scenario_to_dict(self.scenario),
+            "journal": self._journal,
+            "engine": {
+                "now": snapshot.now,
+                "next_seq": snapshot.next_seq,
+                "events_processed": snapshot.events_processed,
+                "heap": [list(entry) for entry in snapshot.heap],
+                "digest": snapshot.digest(),
+            },
+            "scheduler_digest": self.scheduler.state_digest(),
+            "event_log_digest": text_digest(self.event_log_text()),
+        }
+
+    @classmethod
+    def restore(cls, storage: Any, *,
+                at_or_before: int | None = None,
+                retry: RetryPolicy | None = None,
+                tracer: TracerLike | None = None) -> "ClusterService":
+        """Rebuild a service from its newest persisted snapshot.
+
+        Walks generations through ``load_at_or_before`` (corrupt ones
+        are quarantined, older generations are fallen back to), then
+        replays the journal against a fresh service and verifies the
+        engine heap, scheduler digest, and event-log digest all match
+        what the snapshot recorded.  Raises
+        :class:`~repro.core.checkpoint.StorageError` when storage is
+        unreachable and :class:`ServiceStateError` when nothing
+        readable exists or the replay diverges.
+        """
+        probe = SyncCheckpointer(storage,
+                                 retry=retry or RetryPolicy(),
+                                 clock=_VirtualClock(), tracer=tracer)
+        loaded = probe.load_at_or_before(at_or_before)
+        if loaded is None:
+            raise ServiceStateError(
+                "no readable service snapshot in storage")
+        generation, state = loaded
+        payload = decode_state(state)
+        service = cls(scenario_from_dict(payload["scenario"]),
+                      storage=storage, retry=retry, tracer=tracer)
+        service._replay(payload["journal"])
+        service._verify(payload)
+        service._next_generation = generation + 1
+        return service
+
+    def _replay(self, journal: list[list[Any]]) -> None:
+        for entry in journal:
+            op, arg = entry
+            if op == "attach":
+                self.attach_stream(stream_from_config(arg))
+            elif op == "submit":
+                self.submit(job_from_dict(arg))
+            elif op == "advance":
+                self.advance(arg)
+            else:
+                raise ServiceStateError(
+                    f"unknown journal op {op!r}")
+
+    def _verify(self, payload: dict[str, Any]) -> None:
+        recorded = payload["engine"]
+        snapshot = EngineSnapshot(
+            now=recorded["now"], next_seq=recorded["next_seq"],
+            events_processed=recorded["events_processed"],
+            heap=tuple((float(time), int(seq), bool(cancelled))
+                       for time, seq, cancelled in recorded["heap"]))
+        # structural heap verification + clock/seq fast-forward;
+        # raises SimulationError if the replay diverged
+        self.engine.restore(snapshot)
+        if snapshot.digest() != recorded["digest"]:
+            raise ServiceStateError(
+                f"engine digest mismatch after replay: "
+                f"{snapshot.digest()} != {recorded['digest']}")
+        scheduler_digest = self.scheduler.state_digest()
+        if scheduler_digest != payload["scheduler_digest"]:
+            raise ServiceStateError(
+                f"scheduler state diverged after replay: "
+                f"{scheduler_digest} != {payload['scheduler_digest']}")
+        log_digest = text_digest(self.event_log_text())
+        if log_digest != payload["event_log_digest"]:
+            raise ServiceStateError(
+                f"event log diverged after replay: "
+                f"{log_digest} != {payload['event_log_digest']}")

@@ -6,7 +6,8 @@ repository that involves time — the cluster scheduler, the evaluation
 coordinator, failure injection, checkpointing — runs on :class:`Engine`.
 """
 
-from repro.sim.engine import Engine, Event, Process, Resource
+from repro.sim.engine import (Engine, EngineSnapshot, Event, Process,
+                              Resource)
 from repro.sim.distributions import (
     Distribution,
     Constant,
@@ -22,6 +23,7 @@ from repro.sim.distributions import (
 
 __all__ = [
     "Engine",
+    "EngineSnapshot",
     "Event",
     "Process",
     "Resource",

@@ -23,8 +23,9 @@ dependency, which keeps every experiment in the repository reproducible.
 from __future__ import annotations
 
 import heapq
-import itertools
+import zlib
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
 #: lazy-deletion compaction thresholds: the heap is rebuilt when at
@@ -47,7 +48,7 @@ class _ScheduledItem:
     full-trace run.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "in_heap")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[[], None]) -> None:
@@ -55,6 +56,13 @@ class _ScheduledItem:
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Whether this item is physically buried in the heap.  The
+        # garbage counter only tracks cancelled items that are *still
+        # in the heap*; cancelling an item after it was popped (its
+        # time was reached but another same-timestamp callback killed
+        # it before dispatch) must not count as buried garbage, or
+        # ``pending`` drifts negative.
+        self.in_heap = False
 
     def __lt__(self, other: "_ScheduledItem") -> bool:
         if self.time != other.time:
@@ -64,6 +72,35 @@ class _ScheduledItem:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"_ScheduledItem(time={self.time!r}, seq={self.seq!r}, "
                 f"cancelled={self.cancelled!r})")
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A picklable structural snapshot of an :class:`Engine`.
+
+    Heap callbacks are arbitrary closures and cannot be serialized, so
+    the snapshot captures the *restorable* scalars (clock, sequence
+    counter, event count) plus the heap's structural identity: every
+    buried item's ``(time, seq, cancelled)`` triple in canonical
+    (time, seq) order.  Restoring is replay-based — the caller rebuilds
+    the engine by replaying the operations that produced this snapshot,
+    then :meth:`Engine.restore` proves the rebuilt heap is structurally
+    identical and fast-forwards the scalars (see ``repro.service``).
+    """
+
+    now: float
+    next_seq: int
+    events_processed: int
+    #: every live-or-cancelled heap entry as (time, seq, cancelled),
+    #: sorted by the engine's strict (time, seq) total order so the
+    #: snapshot is independent of internal heap-array layout
+    heap: tuple[tuple[float, int, bool], ...]
+
+    def digest(self) -> str:
+        """Deterministic content digest (crc32 of the canonical repr)."""
+        canonical = repr((self.now, self.next_seq,
+                          self.events_processed, self.heap))
+        return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
 
 
 class Event:
@@ -224,7 +261,9 @@ class Engine:
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[_ScheduledItem] = []
-        self._seq = itertools.count()
+        # plain int, not itertools.count(): the next sequence number is
+        # part of the engine's restorable state (see snapshot())
+        self._next_seq = 0
         self._events_processed = 0
         self._cancelled = 0
         self._listeners: list[Callable[[float], None]] = []
@@ -237,7 +276,9 @@ class Engine:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < {self.now}")
-        item = _ScheduledItem(time, next(self._seq), callback)
+        item = _ScheduledItem(time, self._next_seq, callback)
+        self._next_seq += 1
+        item.in_heap = True
         heapq.heappush(self._heap, item)
         return item
 
@@ -259,6 +300,12 @@ class Engine:
         if item.cancelled:
             return
         item.cancelled = True
+        if not item.in_heap:
+            # Already popped (dispatched, or reached at the head of the
+            # same timestamp): there is no buried garbage to account
+            # for.  Counting it anyway let ``pending`` go negative once
+            # a ``_compact()`` inside a callback zeroed the counter.
+            return
         self._cancelled += 1
         if (self._cancelled >= _COMPACT_MIN_CANCELLED
                 and self._cancelled * 2 >= len(self._heap)):
@@ -266,7 +313,13 @@ class Engine:
 
     def _compact(self) -> None:
         """Drop cancelled items and re-heapify (order-preserving)."""
-        self._heap = [item for item in self._heap if not item.cancelled]
+        live = []
+        for item in self._heap:
+            if item.cancelled:
+                item.in_heap = False
+            else:
+                live.append(item)
+        self._heap = live
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -278,12 +331,25 @@ class Engine:
         Listeners receive the current simulated time.  They observe, they
         do not schedule: raising from a listener aborts the run, which is
         exactly what an invariant checker wants.
+
+        The listener list is copy-on-write: mutating it is safe at any
+        point, including from inside a running callback or listener.  A
+        listener attached mid-run starts firing from the *next* event;
+        one detached mid-run stops immediately (it does not fire for
+        the event being dispatched, even if it was about to).
         """
-        self._listeners.append(listener)
+        self._listeners = self._listeners + [listener]
 
     def remove_listener(self, listener: Callable[[float], None]) -> None:
-        """Unregister a previously added listener."""
-        self._listeners.remove(listener)
+        """Unregister a previously added listener.
+
+        Raises ``ValueError`` if the listener was never added, matching
+        ``list.remove`` — a detach that silently no-ops would hide
+        double-detach bugs in exit paths.
+        """
+        listeners = list(self._listeners)
+        listeners.remove(listener)
+        self._listeners = listeners
 
     # -- high-level helpers ------------------------------------------------
 
@@ -363,22 +429,34 @@ class Engine:
         processed = 0
         heap = self._heap
         heappop = heapq.heappop
-        listeners = self._listeners
         while heap:
             item = heap[0]
             if item.cancelled:
                 heappop(heap)
+                item.in_heap = False
                 self._cancelled -= 1
                 continue
             if until is not None and item.time > until:
                 self.now = until
                 return self.now
             heappop(heap)
+            item.in_heap = False
             self.now = item.time
+            # Per-event snapshot of the copy-on-write listener list,
+            # taken *before* the callback: a listener attached inside
+            # the callback (or inside another listener) is absent from
+            # the snapshot and first fires on the next event; one
+            # detached anywhere mid-event is skipped immediately.  When
+            # nothing mutates, the identity check short-circuits and
+            # the loop costs the same as iterating a cached list.
+            snapshot = self._listeners
             item.callback()
             # compaction inside the callback may have replaced the heap
             heap = self._heap
-            for listener in listeners:
+            for listener in snapshot:
+                if (self._listeners is not snapshot
+                        and listener not in self._listeners):
+                    continue
                 listener(self.now)
             processed += 1
             self._events_processed += 1
@@ -389,6 +467,39 @@ class Engine:
         if until is not None:
             self.now = max(self.now, until)
         return self.now
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the engine's restorable state (see EngineSnapshot)."""
+        heap = tuple(sorted((item.time, item.seq, item.cancelled)
+                            for item in self._heap))
+        return EngineSnapshot(now=self.now, next_seq=self._next_seq,
+                              events_processed=self._events_processed,
+                              heap=heap)
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Adopt ``snapshot``'s clock and sequence counter.
+
+        Heap callbacks cannot be serialized, so this engine must first
+        be rebuilt by replaying the operations that produced the
+        snapshot; ``restore`` then *verifies* the rebuilt heap is
+        structurally identical — same (time, seq, cancelled) triples —
+        and fast-forwards the clock, next sequence number, and event
+        counter.  A structural mismatch means the replay diverged and
+        raises :class:`SimulationError` rather than resuming a run
+        that could silently differ from the original.
+        """
+        current = self.snapshot()
+        if current.heap != snapshot.heap:
+            raise SimulationError(
+                f"engine restore diverged: rebuilt heap has "
+                f"{len(current.heap)} items (digest {current.digest()}) "
+                f"but the snapshot recorded {len(snapshot.heap)} "
+                f"(digest {snapshot.digest()})")
+        self.now = snapshot.now
+        self._next_seq = snapshot.next_seq
+        self._events_processed = snapshot.events_processed
 
     @property
     def pending(self) -> int:

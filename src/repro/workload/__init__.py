@@ -19,6 +19,10 @@ from repro.workload.validate import (Anchor, AnchorResult, PAPER_ANCHORS,
                                      calibration_report, validate_trace)
 from repro.workload.dataprep import (CorpusSource, DataPrepPipeline,
                                      DEFAULT_MIXTURE)
+from repro.workload.streams import (ArrivalStream, EvalBurstConfig,
+                                    EvalBurstStream, PoissonJobStream,
+                                    PoissonStreamConfig,
+                                    stream_from_config)
 
 __all__ = [
     "ClusterWorkloadSpec",
@@ -41,4 +45,10 @@ __all__ = [
     "CorpusSource",
     "DataPrepPipeline",
     "DEFAULT_MIXTURE",
+    "ArrivalStream",
+    "EvalBurstConfig",
+    "EvalBurstStream",
+    "PoissonJobStream",
+    "PoissonStreamConfig",
+    "stream_from_config",
 ]

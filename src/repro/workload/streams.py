@@ -1,0 +1,179 @@
+"""Open-ended streaming arrival processes for the simulation service.
+
+``TraceGenerator`` samples a *closed* trace: a fixed number of jobs,
+all materialized up front.  The paper's cluster, though, is operated
+continuously — eval trials and fine-tune jobs arrive as an unbounded
+stream (§3.2: evaluation jobs arrive in batches per checkpoint, the
+rest as a Poisson-like background).  These processes generate that
+stream lazily, one arrival at a time, so ``repro.service`` can feed a
+long-lived engine without ever deciding how many jobs "exist".
+
+Determinism contract: a stream is a pure function of its config — the
+``k``-th call to :meth:`emit_next` returns the same arrivals no matter
+when it is made or how the run is partitioned into horizons.  All
+randomness comes from registered RNG streams
+(:data:`repro.chaos.streams.STREAM_OFFSETS`), one draw sequence per
+stream instance, which is what makes journal-replay restore exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.scheduler.job import Job, JobType
+
+#: jitter between members of one evaluation burst, seconds (§3.2 —
+#: trials of one checkpoint land almost simultaneously)
+_BURST_JITTER = 2.0
+
+
+@dataclass(frozen=True)
+class PoissonStreamConfig:
+    """A memoryless single-job arrival process (SFT/debug background).
+
+    All fields are primitives so the config round-trips through the
+    service's JSON snapshot unchanged.
+    """
+
+    name: str
+    seed: int = 0
+    rate_per_hour: float = 60.0
+    job_type: str = "sft"
+    #: GPU demands drawn uniformly from this tuple (Fig. 5: demand is
+    #: dominated by small powers of two)
+    gpu_choices: tuple[int, ...] = (1, 2, 4, 8)
+    duration_median_s: float = 600.0
+    #: lognormal shape of the duration spread (Fig. 2a long tail)
+    duration_sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+        if not self.gpu_choices:
+            raise ValueError("gpu_choices must be non-empty")
+        JobType(self.job_type)  # validate eagerly, not at emit time
+
+
+@dataclass(frozen=True)
+class EvalBurstConfig:
+    """Checkpoint-evaluation bursts: batches of short one-GPU trials.
+
+    Bursts arrive as a Poisson process; each burst lands
+    ``batch_size`` trials within a couple of seconds (§6.2's ~60-
+    dataset eval fan-out, scaled by config).
+    """
+
+    name: str
+    seed: int = 0
+    bursts_per_hour: float = 4.0
+    batch_size: int = 8
+    gpu_demand: int = 1
+    trial_duration_s: float = 300.0
+    #: lognormal shape of per-trial duration spread
+    duration_sigma: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.bursts_per_hour <= 0:
+            raise ValueError("bursts_per_hour must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+class PoissonJobStream:
+    """Seeded, open-ended Poisson job arrivals.
+
+    ``emit_next`` advances the stream's own arrival clock by an
+    exponential gap and returns the single ``(submit_time, job)`` it
+    produced.  The stream never looks at the engine clock: arrival
+    ``k`` depends only on the config and ``k``.
+    """
+
+    kind = "poisson"
+
+    def __init__(self, config: PoissonStreamConfig) -> None:
+        # deferred: importing repro.chaos at module scope would close
+        # an import cycle (chaos -> invariants -> recovery ->
+        # diagnosis -> failures -> workload)
+        from repro.chaos.streams import stream_rng
+        self.config = config
+        self._rng = stream_rng(config.seed, "service_jobs")
+        self._time = 0.0
+        self.emitted = 0
+
+    def emit_next(self) -> list[tuple[float, Job]]:
+        config = self.config
+        self._time += float(
+            self._rng.exponential(3600.0 / config.rate_per_hour))
+        duration = float(config.duration_median_s * 2.0 ** (
+            config.duration_sigma * self._rng.standard_normal()))
+        gpus = int(config.gpu_choices[
+            int(self._rng.integers(0, len(config.gpu_choices)))])
+        job = Job(
+            job_id=f"{config.name}-{self.emitted:06d}",
+            cluster="service", job_type=JobType(config.job_type),
+            submit_time=self._time, duration=duration,
+            gpu_demand=gpus)
+        self.emitted += 1
+        return [(self._time, job)]
+
+    def to_config_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self.config)}
+
+
+class EvalBurstStream:
+    """Seeded, open-ended evaluation bursts.
+
+    Each ``emit_next`` produces one whole burst: an exponential gap to
+    the burst anchor, then ``batch_size`` trials jittered within
+    ``_BURST_JITTER`` seconds of it.
+    """
+
+    kind = "eval_burst"
+
+    def __init__(self, config: EvalBurstConfig) -> None:
+        from repro.chaos.streams import stream_rng
+        self.config = config
+        self._rng = stream_rng(config.seed, "service_evals")
+        self._time = 0.0
+        self.emitted = 0
+        self._bursts = 0
+
+    def emit_next(self) -> list[tuple[float, Job]]:
+        config = self.config
+        self._time += float(
+            self._rng.exponential(3600.0 / config.bursts_per_hour))
+        burst = self._bursts
+        self._bursts += 1
+        arrivals: list[tuple[float, Job]] = []
+        for index in range(config.batch_size):
+            submit = self._time + float(
+                self._rng.uniform(0.0, _BURST_JITTER))
+            duration = float(config.trial_duration_s * 2.0 ** (
+                config.duration_sigma * self._rng.standard_normal()))
+            job = Job(
+                job_id=f"{config.name}-{burst:04d}-{index:02d}",
+                cluster="service", job_type=JobType.EVALUATION,
+                submit_time=submit, duration=duration,
+                gpu_demand=config.gpu_demand)
+            self.emitted += 1
+            arrivals.append((submit, job))
+        return arrivals
+
+    def to_config_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self.config)}
+
+
+ArrivalStream = PoissonJobStream | EvalBurstStream
+
+
+def stream_from_config(config: dict) -> ArrivalStream:
+    """Rebuild a stream from its snapshot dict (see service/state)."""
+    payload = dict(config)
+    kind = payload.pop("kind")
+    if "gpu_choices" in payload:
+        payload["gpu_choices"] = tuple(payload["gpu_choices"])
+    if kind == PoissonJobStream.kind:
+        return PoissonJobStream(PoissonStreamConfig(**payload))
+    if kind == EvalBurstStream.kind:
+        return EvalBurstStream(EvalBurstConfig(**payload))
+    raise ValueError(f"unknown arrival-stream kind {kind!r}")

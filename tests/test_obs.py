@@ -253,6 +253,79 @@ class TestChromeTrace:
                                          end_time=4.0)
 
 
+class TestRepeatedExport:
+    """Exporting an *unfinished* run must be a pure read.
+
+    The streaming service exports traces between horizons while spans
+    are still open; exporting at horizon N and again at N+1 must never
+    duplicate clip events, close spans, or write ``unfinished`` flags
+    back into the tracer's state.
+    """
+
+    def make_tracer(self):
+        tracer, clock = manual_tracer()
+        done = tracer.begin("run:j1", "sched", gpus=8)
+        clock.time = 2.0
+        tracer.end(done)
+        tracer.begin("run:j2", "sched")      # still open at export
+        tracer.instant("fault", "chaos", at=1.0)
+        tracer.count("faults", at=1.0)
+        return tracer, clock
+
+    def test_same_horizon_export_is_byte_identical(self):
+        tracer, _ = self.make_tracer()
+        first = chrome_trace_json(tracer, end_time=4.0)
+        second = chrome_trace_json(tracer, end_time=4.0)
+        assert first == second
+
+    def test_export_leaves_open_spans_open(self):
+        tracer, _ = self.make_tracer()
+        chrome_trace_json(tracer, end_time=4.0)
+        open_spans = [span for span in tracer.spans
+                      if span.end is None]
+        assert [span.name for span in open_spans] == ["run:j2"]
+        # the clip flag lives only in the export, never in the span
+        assert all("unfinished" not in span.args
+                   for span in tracer.spans)
+
+    def test_horizon_n_export_does_not_perturb_horizon_n_plus_1(self):
+        witness, witness_clock = self.make_tracer()
+        probed, probed_clock = self.make_tracer()
+        # horizon N: export the probed tracer mid-run
+        early = chrome_trace_json(probed, end_time=4.0)
+        assert json.loads(early)  # well-formed
+        # both runs continue identically: the open span closes later
+        for tracer, clock in ((witness, witness_clock),
+                              (probed, probed_clock)):
+            clock.time = 6.0
+            span = next(span for span in tracer.spans
+                        if span.end is None)
+            tracer.end(span)
+        assert (chrome_trace_json(probed, end_time=8.0)
+                == chrome_trace_json(witness, end_time=8.0))
+
+    def test_no_duplicate_clip_events_across_horizons(self):
+        tracer, _ = self.make_tracer()
+        at_n = chrome_trace(tracer, end_time=4.0)
+        at_n1 = chrome_trace(tracer, end_time=5.0)
+        spans_n = [e for e in at_n["traceEvents"] if e["ph"] == "X"]
+        spans_n1 = [e for e in at_n1["traceEvents"] if e["ph"] == "X"]
+        assert len(spans_n) == len(spans_n1) == 2
+        clipped = [e for e in spans_n1
+                   if e["args"].get("unfinished")]
+        assert len(clipped) == 1
+        # open span started at t=2: re-clipped to the new horizon,
+        # not left at the stale horizon-N duration
+        assert clipped[0]["dur"] == 3_000_000.0
+
+    def test_flame_summary_is_also_pure(self):
+        tracer, _ = self.make_tracer()
+        first = flame_summary(tracer, end_time=4.0)
+        assert first == flame_summary(tracer, end_time=4.0)
+        assert all("unfinished" not in span.args
+                   for span in tracer.spans)
+
+
 class TestFlameSummary:
     def test_empty_tracer(self):
         tracer, _ = manual_tracer()

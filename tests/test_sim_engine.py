@@ -504,3 +504,228 @@ class TestLazyDeletionCompaction:
             engine.cancel(item)
         assert engine.pending == 6
         assert engine.heap_size == 10  # garbage not yet collected
+
+
+class TestListenerMutationDuringRun:
+    """Listeners attached/detached from inside callbacks or other
+    listeners: the run loop iterates a per-event snapshot of the
+    copy-on-write list, so mid-run mutation is always safe."""
+
+    def test_attach_inside_callback_fires_from_next_event(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(1.0, lambda: engine.add_listener(seen.append))
+        engine.call_at(2.0, lambda: None)
+        engine.call_at(3.0, lambda: None)
+        engine.run()
+        # not for the attaching event itself, every event after it
+        assert seen == [2.0, 3.0]
+
+    def test_detach_inside_callback_skips_current_event(self):
+        engine = Engine()
+        first, second = [], []
+        engine.add_listener(first.append)
+        engine.add_listener(second.append)
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: engine.remove_listener(second.append))
+        engine.call_at(3.0, lambda: None)
+        engine.run()
+        assert first == [1.0, 2.0, 3.0]
+        assert second == [1.0]  # detached before its t=2 firing
+
+    def test_detach_of_currently_firing_listener(self):
+        engine = Engine()
+        seen = []
+
+        def detach_b(now):
+            seen.append(("a", now))
+            if now == 1.0:
+                engine.remove_listener(listener_b)
+
+        def listener_b(now):
+            seen.append(("b", now))
+
+        engine.add_listener(detach_b)
+        engine.add_listener(listener_b)
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        # listener A detaches B while firing at t=1: B never fires,
+        # and A keeps firing alone afterwards
+        assert seen == [("a", 1.0), ("a", 2.0)]
+
+    def test_listener_removing_itself_stops_immediately(self):
+        engine = Engine()
+        seen = []
+
+        def one_shot(now):
+            seen.append(now)
+            engine.remove_listener(one_shot)
+
+        engine.add_listener(one_shot)
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert seen == [1.0]
+
+    def test_attach_inside_listener_fires_from_next_event(self):
+        engine = Engine()
+        seen = []
+
+        def attach_once(now):
+            if not seen:
+                engine.add_listener(seen.append)
+
+        engine.add_listener(attach_once)
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert seen == [2.0]
+
+    def test_remove_unknown_listener_raises(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.remove_listener(lambda now: None)
+
+
+class TestCancelAccounting:
+    """Cancelling an item whose time was already reached (popped for
+    dispatch, or already dispatched) must not count as buried heap
+    garbage — ``pending`` and ``_cancelled`` never go negative."""
+
+    def test_cancel_after_dispatch_keeps_pending_nonnegative(self):
+        engine = Engine()
+        item = engine.call_at(1.0, lambda: None)
+        engine.run()
+        engine.cancel(item)  # time reached, callback already ran
+        assert engine.pending == 0
+        assert engine.heap_size == 0
+
+    def test_cancel_of_currently_firing_item(self):
+        engine = Engine()
+        box = {}
+
+        def self_cancel():
+            engine.cancel(box["item"])
+
+        box["item"] = engine.call_at(1.0, self_cancel)
+        engine.call_at(1.0, lambda: None)  # same-timestamp follower
+        engine.run()
+        assert engine.pending == 0
+
+    def test_post_dispatch_cancel_survives_compaction(self):
+        """A phantom garbage count used to linger across _compact()
+        (which zeroes the counter) and drive ``pending`` negative once
+        real garbage was popped."""
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+        engine = Engine()
+        victims = [engine.call_at(100.0 + i, lambda: None)
+                   for i in range(2 * _COMPACT_MIN_CANCELLED + 10)]
+        box = {}
+
+        def purge():
+            engine.cancel(box["item"])  # currently firing: not garbage
+            for victim in victims:
+                engine.cancel(victim)   # forces _compact() mid-callback
+
+        box["item"] = engine.call_at(1.0, purge)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert engine.pending == 0
+        assert engine.heap_size == 0
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pending_equals_live_items_across_interleavings(self, data):
+        """pending == live (uncancelled, still-queued) items after any
+        interleaving of schedule / cancel / re-cancel / run / storm."""
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+        engine = Engine()
+        handles = []
+        ops = data.draw(st.lists(
+            st.sampled_from(["schedule", "cancel", "run", "storm"]),
+            min_size=1, max_size=25), label="ops")
+        for op in ops:
+            if op == "schedule":
+                delay = data.draw(st.floats(0.0, 10.0, allow_nan=False))
+                handles.append(
+                    engine.call_at(engine.now + delay, lambda: None))
+            elif op == "cancel" and handles:
+                index = data.draw(
+                    st.integers(0, len(handles) - 1), label="victim")
+                engine.cancel(handles[index])  # may be fired/cancelled
+            elif op == "run":
+                delay = data.draw(st.floats(0.0, 10.0, allow_nan=False))
+                engine.run(until=engine.now + delay)
+            elif op == "storm":
+                storm = [engine.call_at(engine.now + 100.0 + i,
+                                        lambda: None)
+                         for i in range(_COMPACT_MIN_CANCELLED + 1)]
+                for item in storm:
+                    engine.cancel(item)  # crosses compaction threshold
+            live = sum(1 for item in engine._heap if not item.cancelled)
+            assert engine.pending == live
+            assert engine._cancelled >= 0
+        engine.run()
+        assert engine.pending == 0
+
+
+class TestEngineSnapshot:
+    def _build(self):
+        engine = Engine()
+        engine.call_at(1.0, lambda: None)
+        engine.call_at(5.0, lambda: None)
+        doomed = engine.call_at(3.0, lambda: None)
+        engine.cancel(doomed)
+        engine.call_at(4.0, lambda: None)
+        engine.run(until=2.0)
+        return engine
+
+    def test_snapshot_captures_clock_seq_and_heap(self):
+        engine = self._build()
+        snap = engine.snapshot()
+        assert snap.now == 2.0
+        assert snap.next_seq == 4
+        assert snap.events_processed == 1
+        # the cancelled t=3 item was popped as garbage when it reached
+        # the heap head during run(until=2.0)
+        assert snap.heap == ((4.0, 3, False), (5.0, 1, False))
+
+    def test_restore_after_identical_replay(self):
+        snap = self._build().snapshot()
+        rebuilt = self._build()
+        rebuilt.restore(snap)
+        assert rebuilt.snapshot() == snap
+        assert rebuilt.snapshot().digest() == snap.digest()
+
+    def test_restore_rejects_divergent_heap(self):
+        snap = self._build().snapshot()
+        diverged = self._build()
+        diverged.call_at(9.0, lambda: None)
+        with pytest.raises(SimulationError):
+            diverged.restore(snap)
+
+    def test_snapshot_is_picklable_and_digest_stable(self):
+        import pickle
+        snap = self._build().snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert clone.digest() == snap.digest()
+
+    def test_restored_engine_resumes_identically(self):
+        fired_a, fired_b = [], []
+
+        def run_to_end(engine, fired):
+            for item in list(engine._heap):
+                if not item.cancelled:
+                    item.callback = (
+                        lambda t=item.time: fired.append(t))
+            engine.run()
+            return fired
+
+        original = self._build()
+        snap = original.snapshot()
+        rebuilt = self._build()
+        rebuilt.restore(snap)
+        assert run_to_end(original, fired_a) == run_to_end(
+            rebuilt, fired_b)
