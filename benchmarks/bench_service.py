@@ -2,7 +2,8 @@
 
 Measures ``repro.service.ClusterService`` operating a chaos-storm
 cluster under open-ended streaming load — the long-lived counterpart
-of ``bench_engine.py``'s batch scenarios:
+of ``bench_engine.py``'s batch scenarios — and compares against the
+committed baseline in ``BENCH_service.json`` at the repo root:
 
 * **streaming-horizons** — Poisson jobs + eval bursts feeding the
   live scheduler, advanced in many incremental horizons; reports
@@ -10,14 +11,25 @@ of ``bench_engine.py``'s batch scenarios:
 * **checkpoint-cadence** — the same run with a snapshot persisted at
   every horizon plus one full restore at the end; reports snapshot
   save throughput and the restore's replay cost.
+* **overload-saturation** — arrivals at 3× the analytic best-effort
+  capacity with admission control, backpressure, and the shed sweep
+  all armed; measures how fast the service runs while actively
+  rejecting, deferring, and shedding.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py --quick
-    PYTHONPATH=src python benchmarks/bench_service.py --out svc.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --check
+    PYTHONPATH=src python benchmarks/bench_service.py --update
+
+``--check`` exits non-zero when any scenario's throughput falls more
+than ``--tolerance`` (default 20%) below the committed baseline — the
+CI bench-smoke job runs exactly that.  ``--update`` re-measures and
+rewrites the baseline for the chosen profile, preserving the other
+profile's numbers.
 
 Also importable: each ``run_*`` function returns its metrics dict and
-``run_profile`` drives both scenarios.
+``run_profile`` drives all three scenarios.
 """
 
 from __future__ import annotations
@@ -28,7 +40,10 @@ import sys
 import time
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
+
+SCHEMA_VERSION = 2
 
 #: pinned sizes per profile
 PROFILES: dict[str, dict[str, float]] = {
@@ -37,12 +52,16 @@ PROFILES: dict[str, dict[str, float]] = {
         "eval_bursts_per_hour": 12.0,
         "horizons": 16,
         "duration_scale": 1.0,
+        "overload_multiplier": 3.0,
+        "overload_horizon_s": 2.0 * 3600.0,
     },
     "full": {
         "jobs_per_hour": 720.0,
         "eval_bursts_per_hour": 30.0,
         "horizons": 64,
         "duration_scale": 4.0,
+        "overload_multiplier": 3.0,
+        "overload_horizon_s": 6.0 * 3600.0,
     },
 }
 
@@ -121,13 +140,68 @@ def run_checkpoint_cadence(sizes: dict[str, float]) -> dict:
             "replayed_events": restored.engine.events_processed}
 
 
+def run_overload_saturation(sizes: dict[str, float]) -> dict:
+    """One saturated load-test cell with the overload machinery hot."""
+    from repro.service import run_loadtest
+
+    multiplier = sizes["overload_multiplier"]
+    run_loadtest(multipliers=(multiplier,),
+                 policy_kinds=("queue-depth",),
+                 horizon_s=600.0)  # warm imports out of the timing
+    start = time.perf_counter()
+    report = run_loadtest(multipliers=(multiplier,),
+                          horizon_s=sizes["overload_horizon_s"])
+    elapsed = time.perf_counter() - start
+    offered = sum(cell.offered for cell in report.cells)
+    pushback = sum(cell.rejected + cell.shed + cell.chains_deferred
+                   for cell in report.cells)
+    assert pushback > 0, "saturated sweep produced no pushback"
+    return {"events": offered, "seconds": elapsed,
+            "events_per_sec": offered / elapsed,
+            "cells": len(report.cells),
+            "cells_per_sec": len(report.cells) / elapsed,
+            "pushback_decisions": pushback}
+
+
 def run_profile(profile: str) -> dict[str, dict]:
-    """Both scenarios at the given profile's sizes."""
+    """All three scenarios at the given profile's sizes."""
     sizes = PROFILES[profile]
     return {
         "streaming-horizons": run_streaming_horizons(sizes),
         "checkpoint-cadence": run_checkpoint_cadence(sizes),
+        "overload-saturation": run_overload_saturation(sizes),
     }
+
+
+def load_baseline(path: Path) -> dict:
+    """The committed baseline, or an empty shell when absent."""
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "profiles": {}}
+    return json.loads(path.read_text())
+
+
+def check_regression(current: dict[str, dict], baseline: dict,
+                     profile: str, tolerance: float) -> list[str]:
+    """Throughput regressions beyond ``tolerance``, as messages."""
+    committed = baseline.get("profiles", {}).get(profile, {})
+    problems = []
+    for name, metrics in current.items():
+        pinned = committed.get(name)
+        if pinned is None:
+            problems.append(f"{name}: no committed baseline for "
+                            f"profile {profile!r}")
+            continue
+        for key in ("events_per_sec", "arrivals_per_sec"):
+            if key not in pinned:
+                continue
+            floor = pinned[key] * (1.0 - tolerance)
+            if metrics.get(key, 0.0) < floor:
+                problems.append(
+                    f"{name}: {key} {metrics.get(key, 0.0):,.0f} < "
+                    f"floor {floor:,.0f} "
+                    f"(baseline {pinned[key]:,.0f}, "
+                    f"tolerance {tolerance:.0%})")
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,6 +209,14 @@ def main(argv: list[str] | None = None) -> int:
         description="streaming-service throughput benchmark")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes (the CI profile)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression vs the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline for this profile")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown for --check")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH),
+                        help="baseline JSON path")
     parser.add_argument("--out", default=None,
                         help="also write this run's numbers as JSON")
     args = parser.parse_args(argv)
@@ -151,15 +233,40 @@ def main(argv: list[str] | None = None) -> int:
         if "restore_seconds" in metrics:
             line += (f"  [restore {metrics['restore_seconds']:.2f}s, "
                      f"{metrics['snapshot_bytes']:,} snapshot bytes]")
+        if "pushback_decisions" in metrics:
+            line += (f"  [{metrics['pushback_decisions']:,} "
+                     f"reject/shed/defer]")
         print(line)
 
+    baseline_path = Path(args.baseline)
     if args.out:
         payload = {"schema": SCHEMA_VERSION, "profile": profile,
                    "results": results}
         Path(args.out).write_text(json.dumps(payload, indent=2,
                                              sort_keys=True) + "\n")
         print(f"wrote {args.out}")
-    return 0
+
+    status = 0
+    if args.check:
+        problems = check_regression(results, load_baseline(baseline_path),
+                                    profile, args.tolerance)
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if problems:
+            status = 1
+        else:
+            print(f"ok: all scenarios within {args.tolerance:.0%} of "
+                  f"the committed baseline")
+
+    if args.update:
+        baseline = load_baseline(baseline_path)
+        baseline["schema"] = SCHEMA_VERSION
+        baseline.setdefault("profiles", {})[profile] = results
+        baseline_path.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"updated {baseline_path} [{profile}]")
+
+    return status
 
 
 if __name__ == "__main__":

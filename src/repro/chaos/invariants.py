@@ -62,6 +62,19 @@ Failure-domain invariants (this PR's additions):
     convicted by fabric localization must have at least one segment of
     its path (NIC, leaf uplink, pod uplink) actually running below the
     pass threshold at conviction time.
+
+Overload / admission invariants (armed by ``repro.service`` when
+admission control is enabled):
+
+15. **Reserved work is untouchable** — admission control never
+    rejects, defers, or sheds a reserved-class job (pretrain / SFT /
+    MLLM): shedding and rejection may only ever hit best-effort and
+    eval work, even while best-effort borrowers occupy the reserved
+    quota.
+16. **Bounded queues are actually bounded** — when the active
+    admission policy declares a best-effort depth bound, the tracked
+    best-effort queue depth never exceeds it after *any* engine
+    event, under any bundled scenario.
 """
 
 from __future__ import annotations
@@ -166,6 +179,19 @@ class InvariantChecker:
     #: localization, per invariant 14
     node_conviction_records: list[tuple[float, str, float]] = field(
         default_factory=list)
+    # -- overload/admission state (populated via set_admission_context) --
+    #: job types admission control must never touch, per invariant 15
+    admission_reserved_types: frozenset = frozenset()
+    #: live best-effort queue depth oracle (the service's tracker)
+    admission_depth_fn: Callable[[], int] | None = None
+    #: the active policy's declared depth bound, per invariant 16
+    admission_depth_bound: int | None = None
+    #: (time, job_id, job_type) for every shed decision
+    shed_records: list[tuple[float, str, str]] = field(
+        default_factory=list)
+    #: (time, job_id, job_type, admitted) for every admission decision
+    admission_records: list[tuple[float, str, str, bool]] = field(
+        default_factory=list)
 
     # -- per-event check ----------------------------------------------------
 
@@ -177,6 +203,7 @@ class InvariantChecker:
         self._check_cordon_isolation(time)
         self._check_rollbacks()
         self._check_spares(time)
+        self._check_queue_bound(time)
 
     def _fail(self, time: float, message: str) -> None:
         raise InvariantViolation(f"t={time:.3f}: {message}")
@@ -251,6 +278,17 @@ class InvariantChecker:
         if placed:
             self._fail(time, "reserved spare(s) hosting the gang: "
                              f"{sorted(placed)}")
+
+    def _check_queue_bound(self, time: float) -> None:
+        """Invariant 16: a declared best-effort depth bound holds."""
+        if (self.admission_depth_bound is None
+                or self.admission_depth_fn is None):
+            return
+        depth = self.admission_depth_fn()
+        if depth > self.admission_depth_bound:
+            self._fail(time, f"best-effort queue depth {depth} exceeds "
+                             f"the admission policy's declared bound "
+                             f"{self.admission_depth_bound}")
 
     # -- end-of-run check ---------------------------------------------------
 
@@ -488,6 +526,44 @@ class InvariantChecker:
                             gpu_hours: float) -> None:
         """An undetected straggler's waste was flagged at the horizon."""
         self.straggler_records[index].silent_waste_gpu_hours = gpu_hours
+
+    # -- overload/admission bookkeeping ------------------------------------
+
+    def set_admission_context(self, reserved_types: frozenset,
+                              depth_fn: Callable[[], int],
+                              depth_bound: int | None) -> None:
+        """Arm invariants 15–16 for an admission-controlled service.
+
+        ``depth_fn`` is the service's live best-effort depth tracker
+        (shared by reference, like the cordon set), sampled after
+        every engine event while ``depth_bound`` is not ``None``.
+        """
+        self.admission_reserved_types = frozenset(reserved_types)
+        self.admission_depth_fn = depth_fn
+        self.admission_depth_bound = (None if depth_bound is None
+                                      else int(depth_bound))
+
+    def record_admission(self, time: float, job,
+                         admitted: bool) -> None:
+        """Invariant 15: reserved-class work is never rejected."""
+        self.admission_records.append(
+            (time, job.job_id, job.job_type.value, admitted))
+        if (not admitted
+                and job.job_type in self.admission_reserved_types):
+            raise InvariantViolation(
+                f"t={time:.3f}: admission rejected reserved-class job "
+                f"{job.job_id} ({job.job_type.value}) — reserved work "
+                "must always be admitted")
+
+    def record_shed(self, time: float, job) -> None:
+        """Invariant 15: reserved-class work is never shed."""
+        self.shed_records.append(
+            (time, job.job_id, job.job_type.value))
+        if job.job_type in self.admission_reserved_types:
+            raise InvariantViolation(
+                f"t={time:.3f}: load shedding hit reserved-class job "
+                f"{job.job_id} ({job.job_type.value}) — shedding may "
+                "only touch best-effort and eval work")
 
     def record_spare_swap(self, time: float, victim: str,
                           spare: str) -> None:

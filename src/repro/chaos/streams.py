@@ -35,6 +35,9 @@ STREAM_OFFSETS: dict[str, int] = {
     # (repro.workload.streams / repro.service)
     "service_jobs": 8,
     "service_evals": 9,
+    # admission-control randomness (repro.service.admission): the
+    # token-bucket policy's random-early-drop draws
+    "admission": 10,
 }
 
 

@@ -10,6 +10,7 @@ Subcommands::
     acme-repro report --jobs 6000
     acme-repro chaos --scenario smoke --seed 0
     acme-repro serve --scenario storage-storm --horizons 3 --selfcheck
+    acme-repro loadtest --smoke
     acme-repro trace storage-storm --seed 0 --out trace.json
     acme-repro lint src --format json
 
@@ -273,6 +274,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.chaos import InvariantViolation
+    from repro.service import POLICY_KINDS, render_report, run_loadtest
+
+    if args.smoke:
+        multipliers: list[float] = [1.0, 3.0]
+        horizon_s: float | None = 2.0 * 3600.0
+    else:
+        try:
+            multipliers = [float(part)
+                           for part in args.multipliers.split(",")
+                           if part]
+        except ValueError:
+            print("--multipliers expects a comma-separated list of "
+                  "numbers, e.g. 1,2,3.5")
+            return 2
+        horizon_s = (args.horizon_hours * 3600.0
+                     if args.horizon_hours is not None else None)
+    if not multipliers or min(multipliers) <= 0:
+        print("--multipliers expects positive values")
+        return 2
+    policy_kinds = [part for part in args.policies.split(",") if part]
+    unknown = sorted(set(policy_kinds) - set(POLICY_KINDS))
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)} "
+              f"(known: {', '.join(POLICY_KINDS)})")
+        return 2
+    try:
+        report = run_loadtest(
+            scenario_name=args.scenario, multipliers=multipliers,
+            policy_kinds=policy_kinds, horizon_s=horizon_s,
+            slots=args.slots, seed=args.seed)
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        return 2
+    print(render_report(report))
+    if args.smoke:
+        saturated = [cell for cell in report.cells
+                     if cell.multiplier >= 3.0]
+        turned_away = sum(cell.rejected + cell.shed
+                          + cell.chains_deferred for cell in saturated)
+        if not saturated or turned_away == 0:
+            print("\nSMOKE FAILED: no admission pushback at >=3x "
+                  "capacity — overload machinery appears inert")
+            return 2
+        print(f"\nsmoke ok: {turned_away} reject/shed/defer decisions "
+              f"across {len(saturated)} saturated cells, reserved "
+              f"work untouched (invariants 15-16 held)")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        print(f"\nwrote load-test report to {args.json_out}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import run_sweep
 
@@ -446,6 +502,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json-out", default=None,
                        help="write the gauge timeline as JSON")
     serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="sweep arrival rates past capacity per "
+                         "admission policy (docs/SERVICE.md)")
+    loadtest.add_argument("--scenario", default="smoke",
+                          choices=sorted(_bundled_scenario_names()))
+    loadtest.add_argument("--multipliers", default="1,2,3,4",
+                          help="comma-separated arrival-rate multiples "
+                               "of analytic capacity")
+    loadtest.add_argument("--policies",
+                          default="accept-all,queue-depth,"
+                                  "token-bucket,weighted-quota",
+                          help="comma-separated admission policy kinds")
+    loadtest.add_argument("--horizon-hours", type=float, default=None,
+                          help="simulated hours per cell (default: "
+                               "the scenario's full duration)")
+    loadtest.add_argument("--slots", type=int, default=None,
+                          help="best-effort slot budget (sets the "
+                               "overload watermarks)")
+    loadtest.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's seed")
+    loadtest.add_argument("--smoke", action="store_true",
+                          help="CI profile: 1x and 3x over 2h; exit 2 "
+                               "unless saturation produced pushback")
+    loadtest.add_argument("--json-out", default=None,
+                          help="write the report as JSON")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     sweep = sub.add_parser(
         "sweep", help="run a chaos scenario under many seeds in "

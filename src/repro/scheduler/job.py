@@ -104,6 +104,21 @@ class Job:
         self.state = JobState.FINISHED
         self.end_time = time
 
+    def mark_canceled(self, time: float) -> None:
+        """Terminate a job straight out of the queue (load shedding).
+
+        Unlike :meth:`mark_finished` the job never ran: it goes
+        PENDING → FINISHED with ``FinalStatus.CANCELED`` and no
+        ``start_time``, which is how the paper's job log records jobs
+        withdrawn before placement.
+        """
+        if self.state is not JobState.PENDING:
+            raise RuntimeError(
+                f"job {self.job_id} canceled but not pending")
+        self.state = JobState.FINISHED
+        self.end_time = time
+        self.final_status = FinalStatus.CANCELED
+
     # -- derived metrics -----------------------------------------------------
 
     @property

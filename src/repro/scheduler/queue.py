@@ -124,3 +124,7 @@ class JobQueue:
     def oldest(self) -> Job | None:
         """Head of the queue, or None."""
         return next(iter(self._jobs.values()), None)
+
+    def get(self, job_id: str) -> Job | None:
+        """The queued job with ``job_id``, or None."""
+        return self._jobs.get(job_id)

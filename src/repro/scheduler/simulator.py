@@ -97,11 +97,14 @@ class SchedulerSimulator:
         self._allocations: dict[str, _Allocation] = {}
         self.started: list[Job] = []
         self.finished: list[Job] = []
+        #: queued jobs withdrawn by load shedding (never ran)
+        self.shed: list[Job] = []
         self.preemptions = 0
         #: time series of (time, gpus_in_use) for utilization accounting
         self.occupancy: list[tuple[float, int]] = []
         #: lifecycle hooks, called as hook(kind, job) with kind one of
-        #: "start", "finish", "preempt", "fail" (chaos/observability layer)
+        #: "start", "finish", "preempt", "fail", "shed"
+        #: (chaos/observability layer)
         self.hooks: list[Callable[[str, Job], None]] = []
         #: GPUs removed from service (cordoned nodes); they are taken out
         #: of the free pools, never out of running allocations
@@ -165,6 +168,30 @@ class SchedulerSimulator:
         self._record_occupancy()
         self._notify("fail", job)
         self._try_schedule()
+        return job
+
+    def shed_job(self, job_id: str, reason: str | None = None) -> Job:
+        """Withdraw a *queued* job (admission-control load shedding).
+
+        The job terminates with ``FinalStatus.CANCELED`` without ever
+        holding GPUs; its queue-wait span closes with outcome
+        ``"shed"`` and hooks fire with kind ``"shed"``.  Only pending
+        jobs can be shed — running work is protected; killing it is
+        :meth:`fail_job`'s business.
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(f"job {job_id} is not queued")
+        self.queue.remove(job)
+        job.mark_canceled(self.engine.now)
+        if reason is not None:
+            job.failure_reason = reason
+        self.shed.append(job)
+        wait = self._wait_spans.pop(job_id, None)
+        if wait is not None:
+            self.tracer.end(wait, outcome="shed")
+        self.tracer.set_gauge("scheduler.queue_length", len(self.queue))
+        self._notify("shed", job)
         return job
 
     # -- capacity cordons ---------------------------------------------------
@@ -399,7 +426,7 @@ class SchedulerSimulator:
         canonical = repr((
             queued, allocations, self.free_reserved, self.free_shared,
             self.cordoned_gpus, self._pending_cordon, self.preemptions,
-            len(self.started), len(self.finished)))
+            len(self.started), len(self.finished), len(self.shed)))
         return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
 
     def gpu_seconds_used(self) -> float:

@@ -3,12 +3,29 @@
 * ``cluster`` — :class:`ClusterService`: one persistent engine +
   scheduler + chaos/recovery stack, fed by open-ended arrival
   processes, advanced in incremental horizons with live gauges;
+* ``admission`` — overload robustness: pluggable admission policies,
+  hysteresis backpressure watermarks, and the
+  ``HEALTHY → PRESSURED → SATURATED → SHEDDING`` state machine;
+* ``loadtest`` — the saturation harness: sweeps arrival-rate
+  multipliers past capacity and reports goodput / reject / shed
+  rates and queue-age percentiles per policy;
 * ``state`` — the replay-based snapshot format that rides the
   ``core/checkpoint.py`` persist pipeline (retries, replication,
   quarantine) so the simulator can checkpoint *itself*.
 """
 
+from repro.service.admission import (POLICY_KINDS, RESERVED_TYPES,
+                                     AcceptAllPolicy, AdmissionDecision,
+                                     AdmissionPolicy, AdmissionView,
+                                     OverloadConfig, OverloadState,
+                                     QueueDepthCapPolicy,
+                                     TokenBucketPolicy,
+                                     WeightedQuotaPolicy,
+                                     policy_from_config)
 from repro.service.cluster import ClusterService, ServiceGauges
+from repro.service.loadtest import (LoadTestCell, LoadTestReport,
+                                    capacity_jobs_per_hour,
+                                    render_report, run_loadtest)
 from repro.service.state import (STATE_KEY, STATE_VERSION,
                                  ServiceStateError, decode_state,
                                  encode_state, job_from_dict,
@@ -16,15 +33,32 @@ from repro.service.state import (STATE_KEY, STATE_VERSION,
                                  scenario_to_dict, text_digest)
 
 __all__ = [
+    "AcceptAllPolicy",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionView",
     "ClusterService",
+    "LoadTestCell",
+    "LoadTestReport",
+    "OverloadConfig",
+    "OverloadState",
+    "POLICY_KINDS",
+    "QueueDepthCapPolicy",
+    "RESERVED_TYPES",
     "ServiceGauges",
     "ServiceStateError",
     "STATE_KEY",
     "STATE_VERSION",
+    "TokenBucketPolicy",
+    "WeightedQuotaPolicy",
+    "capacity_jobs_per_hour",
     "decode_state",
     "encode_state",
     "job_from_dict",
     "job_to_dict",
+    "policy_from_config",
+    "render_report",
+    "run_loadtest",
     "scenario_from_dict",
     "scenario_to_dict",
     "text_digest",

@@ -1,0 +1,342 @@
+"""Admission control and overload state for the streaming service.
+
+The paper's §2.2 resource-isolation guarantee is a graceful-degradation
+contract: when demand exceeds capacity, best-effort work queues (or is
+turned away) while the reserved pretraining quota keeps running.  This
+module supplies the pieces :class:`~repro.service.cluster.ClusterService`
+uses to honour that contract past saturation:
+
+* :class:`OverloadState` — the explicit ``HEALTHY → PRESSURED →
+  SATURATED → SHEDDING`` ladder, driven by scheduler queue depth
+  through hysteresis watermarks (:class:`OverloadConfig`);
+* :class:`AdmissionPolicy` implementations — accept-all (the
+  baseline), a queue-depth cap, a seeded token-bucket rate limiter
+  with random early drop, and per-stream weighted quotas.
+
+Two properties are load-bearing:
+
+* **Reserved bypass.**  Policies are never consulted for reserved-class
+  jobs (:data:`RESERVED_TYPES`); the service admits them uncondi-
+  tionally, so no policy — however misconfigured — can reject or shed
+  pretraining work.  Chaos invariant 15 checks this live.
+* **Determinism.**  Every policy decision is a pure function of the
+  decision sequence and the :class:`AdmissionView` it is handed; the
+  token bucket's only randomness comes from the registered
+  ``"admission"`` RNG stream.  Replaying the service journal therefore
+  reproduces every admit/reject byte-for-byte, which is what lets
+  snapshot/restore work mid-overload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.chaos.streams import stream_rng
+from repro.scheduler.job import Job
+from repro.scheduler.policy import ReservationPolicy
+
+#: job types admission control must never reject, defer, or shed —
+#: the scheduler's reserved classes (§2.2 quota holders)
+RESERVED_TYPES = ReservationPolicy.reserved_types
+
+
+class OverloadState(enum.IntEnum):
+    """Service pressure ladder; higher values are worse."""
+
+    HEALTHY = 0
+    PRESSURED = 1
+    SATURATED = 2
+    SHEDDING = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Watermarks and knobs for the overload state machine.
+
+    The state *rises* the moment queue depth reaches a state's entry
+    watermark and *falls* one rung only when depth drops below the
+    next-lower entry watermark (``healthy_depth`` at the bottom) —
+    classic hysteresis, so the state never flaps on a depth oscillating
+    around one threshold.
+    """
+
+    #: depth at which PRESSURED begins
+    pressured_depth: int = 32
+    #: depth below which PRESSURED relaxes back to HEALTHY
+    healthy_depth: int = 16
+    #: depth at which SATURATED begins (arrival chains defer)
+    saturated_depth: int = 96
+    #: depth at which SHEDDING begins (age-based shedding arms)
+    shedding_depth: int = 160
+    #: how long a saturated stream chain parks before re-checking
+    defer_seconds: float = 120.0
+    #: queued best-effort work older than this is shed while SHEDDING
+    shed_max_age_s: float = 1800.0
+    #: cadence of the shed sweep (also reaps expired deadlines)
+    sweep_interval_s: float = 300.0
+    #: sitting at SATURATED continuously for this long escalates to
+    #: SHEDDING even below the depth watermark — backpressure holds
+    #: the depth down, but parked jobs keep aging, and *sustained*
+    #: saturation is exactly when stale work should be culled
+    escalate_after_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.healthy_depth < self.pressured_depth
+                <= self.saturated_depth <= self.shedding_depth):
+            raise ValueError(
+                "watermarks must satisfy healthy < pressured <= "
+                "saturated <= shedding")
+        if min(self.defer_seconds, self.shed_max_age_s,
+               self.sweep_interval_s, self.escalate_after_s) <= 0:
+            raise ValueError("overload intervals must be positive")
+
+    def to_config_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_config_dict(cls, payload: Mapping[str, Any]
+                         ) -> "OverloadConfig":
+        return cls(**dict(payload))
+
+    def resolve(self, previous: OverloadState,
+                depth: int) -> OverloadState:
+        """Next state for ``depth``, with hysteresis against
+        ``previous``."""
+        entry = {OverloadState.PRESSURED: self.pressured_depth,
+                 OverloadState.SATURATED: self.saturated_depth,
+                 OverloadState.SHEDDING: self.shedding_depth}
+        state = previous
+        for candidate in (OverloadState.SHEDDING,
+                          OverloadState.SATURATED,
+                          OverloadState.PRESSURED):
+            if depth >= entry[candidate]:
+                state = max(state, candidate)
+                break
+        # fall one rung at a time, each gated by the watermark below
+        exits = {OverloadState.SHEDDING: self.saturated_depth,
+                 OverloadState.SATURATED: self.pressured_depth,
+                 OverloadState.PRESSURED: self.healthy_depth}
+        while (state is not OverloadState.HEALTHY
+               and depth < exits[state]):
+            state = OverloadState(state - 1)
+        return state
+
+
+@dataclass(frozen=True)
+class AdmissionView:
+    """What a policy may look at when deciding (pure snapshot)."""
+
+    now: float
+    #: total scheduler queue depth (reserved + best-effort)
+    queue_depth: int
+    #: best-effort jobs this service admitted and still queued
+    best_effort_depth: int
+    #: best-effort queued counts per arrival source (stream name or
+    #: ``"external"``)
+    source_depths: Mapping[str, int]
+    overload: OverloadState
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str
+
+
+class AdmissionPolicy:
+    """Base policy: decides best-effort admits; reserved work bypasses.
+
+    Subclasses override :meth:`decide`; config round-trips through
+    :meth:`to_config_dict` / :func:`policy_from_config` so the service
+    snapshot can rebuild the exact policy (including its seed) before
+    replaying the journal.
+    """
+
+    kind: str = "accept-all"
+
+    def decide(self, job: Job, source: str,
+               view: AdmissionView) -> AdmissionDecision:
+        return AdmissionDecision(True, "accept-all")
+
+    def depth_bound(self) -> int | None:
+        """Hard cap this policy puts on best-effort queue depth, if
+        any — armed as chaos invariant 16 when not ``None``."""
+        return None
+
+    def to_config_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+
+class AcceptAllPolicy(AdmissionPolicy):
+    """The baseline: every arrival is admitted (measurement control)."""
+
+    kind = "accept-all"
+
+
+class QueueDepthCapPolicy(AdmissionPolicy):
+    """Reject best-effort arrivals once the queue holds ``max_depth``.
+
+    The cap applies to the *best-effort* depth the service tracks, so
+    reserved work (which bypasses admission anyway) can never push
+    best-effort arrivals out of an otherwise-empty queue.
+    """
+
+    kind = "queue-depth"
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = int(max_depth)
+
+    def decide(self, job: Job, source: str,
+               view: AdmissionView) -> AdmissionDecision:
+        if view.best_effort_depth >= self.max_depth:
+            return AdmissionDecision(
+                False, f"queue-depth cap {self.max_depth} reached")
+        return AdmissionDecision(True, "below queue-depth cap")
+
+    def depth_bound(self) -> int | None:
+        return self.max_depth
+
+    def to_config_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "max_depth": self.max_depth}
+
+
+class TokenBucketPolicy(AdmissionPolicy):
+    """Seeded token-bucket rate limiter with random early drop.
+
+    Tokens refill continuously at ``rate_per_hour`` up to ``burst``;
+    each admit consumes one.  An empty bucket rejects outright.  While
+    the bucket sits below ``red_fraction`` of ``burst``, arrivals are
+    admitted with probability proportional to the remaining fill (RED-
+    style early drop), drawn from the registered ``"admission"`` RNG
+    stream — so the drop pattern is a pure function of the seed and
+    the decision sequence, and journal replay reproduces it exactly.
+    """
+
+    kind = "token-bucket"
+
+    def __init__(self, rate_per_hour: float = 120.0,
+                 burst: float = 32.0, red_fraction: float = 0.5,
+                 seed: int = 0) -> None:
+        if rate_per_hour <= 0 or burst <= 0:
+            raise ValueError("rate_per_hour and burst must be positive")
+        if not 0.0 <= red_fraction <= 1.0:
+            raise ValueError("red_fraction must be in [0, 1]")
+        self.rate_per_hour = float(rate_per_hour)
+        self.burst = float(burst)
+        self.red_fraction = float(red_fraction)
+        self.seed = int(seed)
+        self._rng = stream_rng(self.seed, "admission")
+        self._tokens = self.burst
+        self._refilled_at = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(
+            self.burst,
+            self._tokens + elapsed * self.rate_per_hour / 3600.0)
+        self._refilled_at = now
+
+    def decide(self, job: Job, source: str,
+               view: AdmissionView) -> AdmissionDecision:
+        self._refill(view.now)
+        if self._tokens < 1.0:
+            return AdmissionDecision(False, "token bucket empty")
+        red_level = self.red_fraction * self.burst
+        if self._tokens < red_level:
+            keep = self._tokens / red_level
+            if float(self._rng.random()) >= keep:
+                return AdmissionDecision(
+                    False, f"early drop (fill {keep:.2f})")
+        self._tokens -= 1.0
+        return AdmissionDecision(True, "token consumed")
+
+    def to_config_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "rate_per_hour": self.rate_per_hour,
+                "burst": self.burst, "red_fraction": self.red_fraction,
+                "seed": self.seed}
+
+
+class WeightedQuotaPolicy(AdmissionPolicy):
+    """Per-stream weighted shares of a bounded best-effort queue.
+
+    ``slots`` bounds the total best-effort queue depth (invariant 16);
+    below that bound, each source may hold at most its weighted share
+    ``max(1, floor(slots * weight / sum(weights)))`` of the slots.
+    Sources missing from ``weights`` get ``default_weight``, counted
+    against the listed total — a heavy stream can therefore never
+    starve a light one of its share.
+    """
+
+    kind = "weighted-quota"
+
+    def __init__(self, slots: int = 64,
+                 weights: Mapping[str, float] | None = None,
+                 default_weight: float = 1.0) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        self.slots = int(slots)
+        self.weights = dict(weights or {})
+        if any(weight <= 0 for weight in self.weights.values()):
+            raise ValueError("weights must be positive")
+        self.default_weight = float(default_weight)
+
+    def _share(self, source: str) -> int:
+        weight = self.weights.get(source, self.default_weight)
+        total = sum(self.weights.values()) + (
+            0.0 if source in self.weights else self.default_weight)
+        return max(1, int(self.slots * weight / total))
+
+    def decide(self, job: Job, source: str,
+               view: AdmissionView) -> AdmissionDecision:
+        if view.best_effort_depth >= self.slots:
+            return AdmissionDecision(
+                False, f"all {self.slots} best-effort slots full")
+        share = self._share(source)
+        held = view.source_depths.get(source, 0)
+        if held >= share:
+            return AdmissionDecision(
+                False, f"source {source!r} over its {share}-slot share")
+        return AdmissionDecision(True, "within weighted share")
+
+    def depth_bound(self) -> int | None:
+        return self.slots
+
+    def to_config_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "slots": self.slots,
+                "weights": dict(self.weights),
+                "default_weight": self.default_weight}
+
+
+#: policy kinds accepted by the CLI and :func:`policy_from_config`
+POLICY_KINDS: tuple[str, ...] = (
+    AcceptAllPolicy.kind, QueueDepthCapPolicy.kind,
+    TokenBucketPolicy.kind, WeightedQuotaPolicy.kind)
+
+_POLICY_CLASSES: dict[str, type[AdmissionPolicy]] = {
+    AcceptAllPolicy.kind: AcceptAllPolicy,
+    QueueDepthCapPolicy.kind: QueueDepthCapPolicy,
+    TokenBucketPolicy.kind: TokenBucketPolicy,
+    WeightedQuotaPolicy.kind: WeightedQuotaPolicy,
+}
+
+
+def policy_from_config(config: Mapping[str, Any]) -> AdmissionPolicy:
+    """Rebuild a policy from its :meth:`to_config_dict` output."""
+    payload = dict(config)
+    kind = payload.pop("kind", None)
+    cls = _POLICY_CLASSES.get(kind)
+    if cls is None:
+        known = ", ".join(POLICY_KINDS)
+        raise ValueError(
+            f"unknown admission policy kind {kind!r} (known: {known})")
+    return cls(**payload)

@@ -36,6 +36,9 @@ from repro.core.checkpoint import (InMemoryStorage, RetryPolicy,
                                    SyncCheckpointer)
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.scheduler.job import Job
+from repro.service.admission import (RESERVED_TYPES, AdmissionPolicy,
+                                     AdmissionView, OverloadConfig,
+                                     OverloadState, policy_from_config)
 from repro.service.state import (STATE_VERSION, ServiceStateError,
                                  decode_state, encode_state,
                                  job_from_dict, job_to_dict,
@@ -83,6 +86,15 @@ class ServiceGauges:
     events_processed: int
     engine_digest: str
     scheduler_digest: str
+    #: overload state machine position (``healthy`` when disarmed)
+    overload_state: str
+    jobs_rejected: int
+    jobs_shed: int
+    chains_deferred: int
+    #: highest queue depth seen so far (tracked while overload armed)
+    queue_depth_peak: int
+    #: crc32 of the admission decision log (empty log = crc of "")
+    admission_digest: str
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -97,6 +109,12 @@ class ServiceGauges:
             "events_processed": self.events_processed,
             "engine_digest": self.engine_digest,
             "scheduler_digest": self.scheduler_digest,
+            "overload_state": self.overload_state,
+            "jobs_rejected": self.jobs_rejected,
+            "jobs_shed": self.jobs_shed,
+            "chains_deferred": self.chains_deferred,
+            "queue_depth_peak": self.queue_depth_peak,
+            "admission_digest": self.admission_digest,
         }
 
 
@@ -108,7 +126,9 @@ class ClusterService:
                  = (),
                  storage: Any = None,
                  retry: RetryPolicy | None = None,
-                 tracer: TracerLike | None = None) -> None:
+                 tracer: TracerLike | None = None,
+                 admission: AdmissionPolicy | None = None,
+                 overload: OverloadConfig | None = None) -> None:
         self.scenario = scenario
         self.tracer = tracer or NULL_TRACER
         self.harness = ChaosHarness(scenario, tracer=tracer)
@@ -127,7 +147,39 @@ class ClusterService:
             self._storage, retry=retry or RetryPolicy(),
             clock=self._clock, tracer=self.tracer)
         self._next_generation = 0
+        # -- overload machinery (strict no-op when disarmed: goldens
+        # with admission disabled stay byte-identical) --
+        self.admission = admission
+        self.overload = overload
+        self._armed = admission is not None or overload is not None
+        self.overload_state = OverloadState.HEALTHY
+        self.jobs_rejected = 0
+        self.jobs_shed = 0
+        self.chains_deferred = 0
+        self.queue_depth_peak = 0
+        #: every admit / reject / shed / state decision, in order —
+        #: replayed byte-identically by the journal (digest-verified)
+        self.admission_log: list[tuple[float, str, str]] = []
+        #: best-effort jobs this service admitted and still queued:
+        #: job_id -> (source, time it (re-)entered the queue)
+        self._queued: dict[str, tuple[str, float]] = {}
+        #: admitted job -> arrival source, kept until the job leaves
+        #: the scheduler (preempted jobs re-queue under their source)
+        self._origin: dict[str, str] = {}
+        self._source_depth: dict[str, int] = {}
+        self._shed_span: Any = None
+        self._saturated_since: float | None = None
+        if self._armed:
+            self.scheduler.hooks.append(self._on_scheduler_event)
+            bound = (admission.depth_bound()
+                     if admission is not None else None)
+            self.harness.checker.set_admission_context(
+                RESERVED_TYPES,
+                lambda: len(self._queued), bound)
         self.harness.start()
+        if overload is not None:
+            self.engine.call_after(overload.sweep_interval_s,
+                                   self._shed_sweep)
         for stream in streams:
             self.attach_stream(stream)
 
@@ -145,9 +197,7 @@ class ClusterService:
         arrival event chains the next one, so the stream generates
         exactly as far as the run advances — never a whole trace.
         """
-        demands = (max(stream.config.gpu_choices)
-                   if hasattr(stream.config, "gpu_choices")
-                   else stream.config.gpu_demand)
+        demands = stream.max_gpu_demand()
         if demands > self.scheduler.config.total_gpus:
             raise ValueError(
                 f"stream {stream.config.name!r} can demand {demands} "
@@ -159,6 +209,14 @@ class ClusterService:
 
     def _chain(self, stream: ArrivalStream) -> None:
         arrivals = stream.emit_next()
+        if not arrivals:
+            # an empty emission still advanced the stream's anchor
+            # clock; re-chain from there instead of crashing on
+            # max() over an empty range
+            self.engine.call_at(
+                max(stream.anchor_time(), self.engine.now),
+                lambda s=stream: self._chain(s))
+            return
         chain_index = max(range(len(arrivals)),
                           key=lambda i: arrivals[i][0])
         for index, (time, job) in enumerate(arrivals):
@@ -172,18 +230,185 @@ class ClusterService:
 
     def _on_arrival(self, job: Job, stream: ArrivalStream,
                     tail: bool) -> None:
-        self._submit_now(job)
+        self._submit_now(job, source=stream.config.name)
         if tail:
-            self._chain(stream)
+            self._maybe_chain(stream)
 
-    def _submit_now(self, job: Job) -> None:
+    def _maybe_chain(self, stream: ArrivalStream) -> None:
+        """Chain the stream's next emission, unless backpressured.
+
+        At SATURATED and above the chain parks for ``defer_seconds``
+        and re-checks — no new arrivals materialize while the queue
+        sits past the saturation watermark, which is the service
+        pushing back on its sources rather than buffering without
+        bound.
+        """
+        if (self.overload is not None
+                and self.overload_state >= OverloadState.SATURATED):
+            self.chains_deferred += 1
+            self.tracer.count("service.chain_deferred")
+            self._admission_record(
+                "defer", f"stream={stream.config.name} "
+                         f"state={self.overload_state.label}")
+            self.engine.call_after(
+                self.overload.defer_seconds,
+                lambda s=stream: self._maybe_chain(s))
+            return
+        self._chain(stream)
+
+    def _submit_now(self, job: Job, source: str = "external") -> None:
+        if self.admission is not None and job.gpu_demand > 0:
+            if job.job_type in RESERVED_TYPES:
+                # the reserved bypass: no policy is consulted, so no
+                # policy can ever turn reserved work away (invariant 15)
+                self.harness.checker.record_admission(
+                    self.engine.now, job, True)
+                self._admission_record(
+                    "admit", f"{job.job_id} source={source} "
+                             f"(reserved bypass)")
+            else:
+                decision = self.admission.decide(
+                    job, source, self._admission_view())
+                self.harness.checker.record_admission(
+                    self.engine.now, job, decision.admitted)
+                if not decision.admitted:
+                    self.jobs_rejected += 1
+                    self.tracer.count("service.rejected")
+                    self._admission_record(
+                        "reject", f"{job.job_id} source={source} "
+                                  f"({decision.reason})")
+                    return
+                self.tracer.count("service.admitted")
+                self._admission_record(
+                    "admit", f"{job.job_id} source={source}")
+        if (self._armed and job.gpu_demand > 0
+                and job.job_type not in RESERVED_TYPES):
+            self._origin[job.job_id] = source
+            self._queued[job.job_id] = (source, self.engine.now)
+            self._source_depth[source] = (
+                self._source_depth.get(source, 0) + 1)
         self.scheduler.submit(job, at=self.engine.now)
         self.jobs_submitted += 1
+        if self._armed:
+            self._update_overload()
 
     def submit(self, job: Job) -> None:
-        """Submit one externally supplied job (journaled)."""
+        """Submit one externally supplied job (journaled).
+
+        Goes through the same admission gate as stream arrivals, under
+        the source name ``"external"``.
+        """
         self._journal.append(["submit", job_to_dict(job)])
         self._submit_now(job)
+
+    # -- overload machinery -------------------------------------------------
+
+    def _admission_record(self, kind: str, detail: str) -> None:
+        self.admission_log.append((self.engine.now, kind, detail))
+
+    def _admission_view(self) -> AdmissionView:
+        return AdmissionView(
+            now=self.engine.now,
+            queue_depth=len(self.scheduler.queue),
+            best_effort_depth=len(self._queued),
+            source_depths=dict(self._source_depth),
+            overload=self.overload_state)
+
+    def _on_scheduler_event(self, kind: str, job: Job) -> None:
+        """Keep the best-effort queue tracker in sync (hook)."""
+        if kind in ("start", "shed"):
+            entry = self._queued.pop(job.job_id, None)
+            if entry is not None:
+                self._source_depth[entry[0]] -= 1
+        elif kind == "preempt":
+            source = self._origin.get(job.job_id)
+            if source is not None:
+                self._queued[job.job_id] = (source, self.engine.now)
+                self._source_depth[source] = (
+                    self._source_depth.get(source, 0) + 1)
+        elif kind in ("finish", "fail"):
+            self._origin.pop(job.job_id, None)
+        if kind in ("start", "preempt", "shed"):
+            self._update_overload()
+
+    def _update_overload(self) -> None:
+        depth = len(self.scheduler.queue)
+        self.queue_depth_peak = max(self.queue_depth_peak, depth)
+        if self.overload is None:
+            return
+        self._transition(
+            self.overload.resolve(self.overload_state, depth), depth)
+
+    def _transition(self, state: OverloadState, depth: int) -> None:
+        if state is self.overload_state:
+            return
+        previous = self.overload_state
+        self.overload_state = state
+        if state >= OverloadState.SATURATED:
+            if previous < OverloadState.SATURATED:
+                self._saturated_since = self.engine.now
+        else:
+            self._saturated_since = None
+        self._admission_record(
+            "state", f"{previous.label}->{state.label} depth={depth}")
+        self.tracer.set_gauge("service.overload_level", int(state))
+        self.tracer.count(f"service.overload.{state.label}")
+        if state is OverloadState.SHEDDING and self._shed_span is None:
+            self._shed_span = self.tracer.begin(
+                "overload:shedding", "service", depth=depth)
+        elif (state is not OverloadState.SHEDDING
+                and self._shed_span is not None):
+            self.tracer.end(self._shed_span, depth=depth)
+            self._shed_span = None
+
+    def _shed_sweep(self) -> None:
+        """Periodic reaper: expired deadlines always, age while
+        SHEDDING — never reserved-class work (invariant 15)."""
+        overload = self.overload
+        assert overload is not None
+        now = self.engine.now
+        if (self.overload_state is OverloadState.SATURATED
+                and self._saturated_since is not None
+                and now - self._saturated_since
+                >= overload.escalate_after_s):
+            # backpressure is holding the depth below the shedding
+            # watermark, but the queue has been saturated continuously
+            # for the escalation interval: parked work is going stale
+            self._transition(OverloadState.SHEDDING,
+                             len(self.scheduler.queue))
+        victims: list[tuple[Job, str, float]] = []
+        for job in self.scheduler.queue:
+            if job.job_type in RESERVED_TYPES:
+                continue
+            entry = self._queued.get(job.job_id)
+            queued_at = (entry[1] if entry is not None
+                         else job.submit_time)
+            deadline = job.metadata.get("deadline")
+            if deadline is not None and now > float(deadline):
+                victims.append((job, "deadline", now - queued_at))
+            elif (self.overload_state is OverloadState.SHEDDING
+                    and now - queued_at > overload.shed_max_age_s):
+                victims.append((job, "age", now - queued_at))
+        for job, why, age in victims:
+            self._shed(job, why, age)
+        if victims:
+            self._update_overload()
+        self.engine.call_after(overload.sweep_interval_s,
+                               self._shed_sweep)
+
+    def _shed(self, job: Job, why: str, age: float) -> None:
+        self.scheduler.shed_job(job.job_id, reason=f"shed:{why}")
+        self.jobs_shed += 1
+        self.tracer.count("service.shed")
+        self.harness.checker.record_shed(self.engine.now, job)
+        self._admission_record(
+            "shed", f"{job.job_id} {why} age={age:.0f}s")
+
+    def admission_log_text(self) -> str:
+        """The admission decision log so far, as stable text lines."""
+        return "\n".join(
+            f"{time:12.3f}  {kind:<8} {detail}"
+            for time, kind, detail in self.admission_log)
 
     # -- incremental operation --------------------------------------------
 
@@ -213,6 +438,12 @@ class ClusterService:
             events_processed=self.engine.events_processed,
             engine_digest=self.engine.snapshot().digest(),
             scheduler_digest=self.scheduler.state_digest(),
+            overload_state=self.overload_state.label,
+            jobs_rejected=self.jobs_rejected,
+            jobs_shed=self.jobs_shed,
+            chains_deferred=self.chains_deferred,
+            queue_depth_peak=self.queue_depth_peak,
+            admission_digest=text_digest(self.admission_log_text()),
         )
 
     def finish(self) -> ChaosResult:
@@ -261,6 +492,12 @@ class ClusterService:
             },
             "scheduler_digest": self.scheduler.state_digest(),
             "event_log_digest": text_digest(self.event_log_text()),
+            "admission": (self.admission.to_config_dict()
+                          if self.admission is not None else None),
+            "overload": (self.overload.to_config_dict()
+                         if self.overload is not None else None),
+            "admission_log_digest": text_digest(
+                self.admission_log_text()),
         }
 
     @classmethod
@@ -288,8 +525,15 @@ class ClusterService:
                 "no readable service snapshot in storage")
         generation, state = loaded
         payload = decode_state(state)
-        service = cls(scenario_from_dict(payload["scenario"]),
-                      storage=storage, retry=retry, tracer=tracer)
+        admission = payload.get("admission")
+        overload = payload.get("overload")
+        service = cls(
+            scenario_from_dict(payload["scenario"]),
+            storage=storage, retry=retry, tracer=tracer,
+            admission=(policy_from_config(admission)
+                       if admission is not None else None),
+            overload=(OverloadConfig.from_config_dict(overload)
+                      if overload is not None else None))
         service._replay(payload["journal"])
         service._verify(payload)
         service._next_generation = generation + 1
@@ -332,3 +576,9 @@ class ClusterService:
             raise ServiceStateError(
                 f"event log diverged after replay: "
                 f"{log_digest} != {payload['event_log_digest']}")
+        admission_digest = text_digest(self.admission_log_text())
+        if admission_digest != payload["admission_log_digest"]:
+            raise ServiceStateError(
+                f"admission log diverged after replay: "
+                f"{admission_digest} != "
+                f"{payload['admission_log_digest']}")

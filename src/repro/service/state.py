@@ -29,7 +29,9 @@ from repro.scheduler.job import FinalStatus, Job, JobType
 
 #: the single StateDict key a service snapshot occupies
 STATE_KEY = "service_state"
-STATE_VERSION = 1
+#: version 2 added the admission/overload config and the admission
+#: decision-log digest to the payload (overload-robust service PR)
+STATE_VERSION = 2
 
 
 class ServiceStateError(RuntimeError):
@@ -92,6 +94,8 @@ def job_to_dict(job: Job) -> dict[str, Any]:
         "cpu_demand": job.cpu_demand,
         "final_status": job.final_status.value,
         "gpu_utilization": job.gpu_utilization,
+        # shedding reads metadata (deadlines), so replay needs it too
+        "metadata": dict(job.metadata),
     }
 
 
@@ -107,6 +111,7 @@ def job_from_dict(payload: dict[str, Any]) -> Job:
         final_status=FinalStatus(payload.get("final_status",
                                              "completed")),
         gpu_utilization=payload.get("gpu_utilization", 0.0),
+        metadata=dict(payload.get("metadata", {})),
     )
 
 

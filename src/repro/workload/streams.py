@@ -116,6 +116,14 @@ class PoissonJobStream:
         self.emitted += 1
         return [(self._time, job)]
 
+    def max_gpu_demand(self) -> int:
+        """Largest single-job GPU demand this stream can emit."""
+        return max(self.config.gpu_choices)
+
+    def anchor_time(self) -> float:
+        """The stream's internal arrival clock (last emitted anchor)."""
+        return self._time
+
     def to_config_dict(self) -> dict:
         return {"kind": self.kind, **asdict(self.config)}
 
@@ -158,6 +166,14 @@ class EvalBurstStream:
             self.emitted += 1
             arrivals.append((submit, job))
         return arrivals
+
+    def max_gpu_demand(self) -> int:
+        """Largest single-trial GPU demand this stream can emit."""
+        return self.config.gpu_demand
+
+    def anchor_time(self) -> float:
+        """The stream's internal burst clock (last burst anchor)."""
+        return self._time
 
     def to_config_dict(self) -> dict:
         return {"kind": self.kind, **asdict(self.config)}

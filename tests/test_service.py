@@ -201,6 +201,41 @@ class TestPersistPipelineIntegration:
         assert restored.gauges() == mid_gauges
 
 
+class _SkippingStream:
+    """Stub stream whose first emission is empty (regression: the
+    service must re-chain from the stream's anchor clock instead of
+    crashing on ``max()`` over zero arrivals)."""
+
+    kind = "poisson"  # piggyback for to_config_dict round-trip shape
+
+    def __init__(self):
+        self.config = PoissonStreamConfig(
+            name="skipper", rate_per_hour=60.0, gpu_choices=(2,))
+        self.calls = 0
+        self._time = 0.0
+
+    def emit_next(self):
+        self.calls += 1
+        self._time += 120.0
+        if self.calls == 1:
+            return []
+        job = Job(job_id=f"skip-{self.calls:04d}", cluster="service",
+                  job_type=JobType.DEBUG, submit_time=self._time,
+                  duration=60.0, gpu_demand=2)
+        return [(self._time, job)]
+
+    def max_gpu_demand(self):
+        return 2
+
+    def anchor_time(self):
+        return self._time
+
+    def to_config_dict(self):
+        from dataclasses import asdict
+
+        return {"kind": self.kind, **asdict(self.config)}
+
+
 class TestStreams:
     def test_streams_are_pure_functions_of_config(self):
         first = make_streams()[0]
@@ -230,6 +265,27 @@ class TestStreams:
         with pytest.raises(ValueError):
             service.attach_stream(PoissonJobStream(PoissonStreamConfig(
                 name="huge", gpu_choices=(total + 1,))))
+
+    def test_empty_emission_rechains_instead_of_crashing(self):
+        service = ClusterService(BUNDLED_SCENARIOS["smoke"])
+        stream = _SkippingStream()
+        service.attach_stream(stream)
+        service.advance(600.0)
+        # the empty first emission advanced the anchor; the service
+        # re-chained from it and later emissions flowed normally
+        assert stream.calls >= 3
+        assert service.jobs_submitted >= 2
+
+    def test_max_gpu_demand_protocol_sizes_the_check(self):
+        # the admission check reads the stream's protocol method, not
+        # its config shape: EvalBurstConfig has no gpu_choices at all
+        service = ClusterService(BUNDLED_SCENARIOS["smoke"])
+        total = service.scheduler.config.total_gpus
+        assert EvalBurstStream(EvalBurstConfig(
+            name="e", gpu_demand=total)).max_gpu_demand() == total
+        with pytest.raises(ValueError):
+            service.attach_stream(EvalBurstStream(EvalBurstConfig(
+                name="e2", gpu_demand=total + 1)))
 
     def test_scenario_round_trips_through_snapshot_dict(self):
         scenario = BUNDLED_SCENARIOS[STORM]
